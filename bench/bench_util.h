@@ -1,0 +1,114 @@
+// Shared helpers for the figure-reproduction benches: tiny flag parsing and
+// aligned table printing matching the series the paper plots.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace dufs::bench {
+
+// --flag=value / --flag value / --flag (bool). Unknown flags abort with the
+// usage string so typos never silently change an experiment.
+class Flags {
+ public:
+  Flags(int argc, char** argv, std::string usage)
+      : usage_(std::move(usage)) {
+    for (int i = 1; i < argc; ++i) args_.emplace_back(argv[i]);
+    for (std::size_t i = 0; i < args_.size(); ++i) {
+      if (args_[i].rfind("--", 0) != 0) Fail("unexpected arg: " + args_[i]);
+      std::string key = args_[i].substr(2);
+      std::string value = "1";
+      const auto eq = key.find('=');
+      if (eq != std::string::npos) {
+        value = key.substr(eq + 1);
+        key = key.substr(0, eq);
+      } else if (i + 1 < args_.size() && args_[i + 1].rfind("--", 0) != 0) {
+        value = args_[++i];
+      }
+      values_.emplace_back(std::move(key), std::move(value));
+    }
+  }
+
+  bool Bool(const std::string& key, bool fallback = false) const {
+    const auto* v = Find(key);
+    return v == nullptr ? fallback : (*v != "0" && *v != "false");
+  }
+  long Int(const std::string& key, long fallback) const {
+    const auto* v = Find(key);
+    return v == nullptr ? fallback : std::strtol(v->c_str(), nullptr, 10);
+  }
+  double Double(const std::string& key, double fallback) const {
+    const auto* v = Find(key);
+    return v == nullptr ? fallback : std::strtod(v->c_str(), nullptr);
+  }
+  std::string Str(const std::string& key, std::string fallback) const {
+    const auto* v = Find(key);
+    return v == nullptr ? std::move(fallback) : *v;
+  }
+  // Comma-separated integer list.
+  std::vector<long> IntList(const std::string& key,
+                            std::vector<long> fallback) const {
+    const auto* v = Find(key);
+    if (v == nullptr) return fallback;
+    std::vector<long> out;
+    std::size_t start = 0;
+    while (start <= v->size()) {
+      auto end = v->find(',', start);
+      if (end == std::string::npos) end = v->size();
+      out.push_back(std::strtol(v->substr(start, end - start).c_str(),
+                                nullptr, 10));
+      start = end + 1;
+    }
+    return out;
+  }
+
+ private:
+  const std::string* Find(const std::string& key) const {
+    for (const auto& [k, v] : values_) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+  [[noreturn]] void Fail(const std::string& message) const {
+    std::fprintf(stderr, "%s\nusage: %s\n", message.c_str(), usage_.c_str());
+    std::exit(2);
+  }
+
+  std::string usage_;
+  std::vector<std::string> args_;
+  std::vector<std::pair<std::string, std::string>> values_;
+};
+
+// Prints a "series table": one row per x value, one column per series —
+// mirroring the figures' curves.
+class SeriesTable {
+ public:
+  SeriesTable(std::string x_label, std::vector<std::string> series)
+      : x_label_(std::move(x_label)), series_(std::move(series)) {}
+
+  void AddRow(long x, std::vector<double> values) {
+    rows_.emplace_back(x, std::move(values));
+  }
+
+  void Print(const std::string& title) const {
+    std::printf("\n## %s\n", title.c_str());
+    std::printf("%-10s", x_label_.c_str());
+    for (const auto& s : series_) std::printf(" %18s", s.c_str());
+    std::printf("\n");
+    for (const auto& [x, values] : rows_) {
+      std::printf("%-10ld", x);
+      for (double v : values) std::printf(" %18.1f", v);
+      std::printf("\n");
+    }
+  }
+
+ private:
+  std::string x_label_;
+  std::vector<std::string> series_;
+  std::vector<std::pair<long, std::vector<double>>> rows_;
+};
+
+}  // namespace dufs::bench

@@ -1,0 +1,124 @@
+// Micro-benchmarks (google-benchmark) for the hot paths everything else is
+// built on: MD5, the wire codec, the znode tree, the event queue, and the
+// FID physical-path codec.
+#include <benchmark/benchmark.h>
+
+#include "common/md5.h"
+#include "core/physical_path.h"
+#include "sim/task.h"
+#include "wire/buffer.h"
+#include "zk/database.h"
+
+namespace dufs {
+namespace {
+
+void BM_Md5Small(benchmark::State& state) {
+  const std::array<std::uint8_t, 16> fid_bytes{1, 2, 3, 4, 5, 6, 7, 8,
+                                               9, 10, 11, 12, 13, 14, 15, 16};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Md5::Hash(fid_bytes.data(), fid_bytes.size()));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 16);
+}
+BENCHMARK(BM_Md5Small);
+
+void BM_Md5Bulk(benchmark::State& state) {
+  const std::string data(static_cast<std::size_t>(state.range(0)), 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Md5::Hash(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Md5Bulk)->Arg(1024)->Arg(64 * 1024);
+
+void BM_WireRoundTrip(benchmark::State& state) {
+  for (auto _ : state) {
+    wire::BufferWriter w;
+    w.WriteU64(0x123456789abcdef0ull);
+    w.WriteString("/dufs/ns/some/virtual/path");
+    w.WriteVarint(12345);
+    wire::BufferReader r(w.data());
+    benchmark::DoNotOptimize(r.ReadU64());
+    benchmark::DoNotOptimize(r.ReadString());
+    benchmark::DoNotOptimize(r.ReadVarint());
+  }
+}
+BENCHMARK(BM_WireRoundTrip);
+
+void BM_ZnodeCreate(benchmark::State& state) {
+  zk::DataTree tree;
+  zk::Zxid zxid = 0;
+  (void)tree.Create("/d", {}, zk::CreateMode::kPersistent, 0, ++zxid, 0);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.Create("/d/n" + std::to_string(i++), {},
+                                         zk::CreateMode::kPersistent, 0,
+                                         ++zxid, 0));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ZnodeCreate);
+
+void BM_ZnodeLookup(benchmark::State& state) {
+  zk::DataTree tree;
+  zk::Zxid zxid = 0;
+  (void)tree.Create("/a", {}, zk::CreateMode::kPersistent, 0, ++zxid, 0);
+  (void)tree.Create("/a/b", {}, zk::CreateMode::kPersistent, 0, ++zxid, 0);
+  (void)tree.Create("/a/b/c", {}, zk::CreateMode::kPersistent, 0, ++zxid, 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.Find("/a/b/c"));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ZnodeLookup);
+
+void BM_EventQueueChurn(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulation sim;
+    int fired = 0;
+    for (int i = 0; i < 1000; ++i) {
+      sim.ScheduleFn(i % 97, [&fired] { ++fired; });
+    }
+    sim.Run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          1000);
+}
+BENCHMARK(BM_EventQueueChurn);
+
+void BM_CoroutinePingPong(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulation sim;
+    auto result = sim::RunTask(
+        sim, [](sim::Simulation& s) -> sim::Task<int> {
+          int sum = 0;
+          for (int i = 0; i < 100; ++i) {
+            co_await s.Delay(1);
+            sum += i;
+          }
+          co_return sum;
+        }(sim));
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          100);
+}
+BENCHMARK(BM_CoroutinePingPong);
+
+void BM_PhysicalPathCodec(benchmark::State& state) {
+  std::uint64_t counter = 0;
+  for (auto _ : state) {
+    const Fid fid{42, ++counter};
+    auto path = core::PhysicalPathForFid(fid);
+    benchmark::DoNotOptimize(core::FidFromPhysicalPath(path));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PhysicalPathCodec);
+
+}  // namespace
+}  // namespace dufs
+
+BENCHMARK_MAIN();

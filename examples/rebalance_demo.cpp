@@ -1,0 +1,141 @@
+// Future-work demo (paper §VII): replacing the MD5-mod-N mapping with
+// consistent hashing so back-ends can be added or removed while "the amount
+// of data to relocate stays bounded".
+//
+// The demo creates files through DUFS with each placement policy, then
+// simulates growing the back-end pool and reports how many existing files
+// would have to move.
+//
+//   $ ./rebalance_demo
+#include <cstdio>
+
+#include "core/mapping.h"
+#include "core/rebalancer.h"
+#include "mdtest/testbed.h"
+#include "sim/task.h"
+
+using namespace dufs;
+using mdtest::Testbed;
+using mdtest::TestbedConfig;
+
+namespace {
+
+void Demo(const std::string& policy_name) {
+  TestbedConfig config;
+  config.zk_servers = 3;
+  config.client_nodes = 2;
+  config.backend = mdtest::BackendKind::kMemFs;
+  config.backend_instances = 4;
+  config.placement = policy_name;
+  Testbed tb(config);
+  tb.MountAll();
+
+  // Create files through the real stack and record each file's placement.
+  constexpr int kFiles = 3000;
+  std::vector<Fid> fids;
+  sim::RunTask(tb.sim(), [](Testbed& t, std::vector<Fid>& out,
+                            int n) -> sim::Task<void> {
+    auto& dufs = *t.client(0).dufs;
+    for (int i = 0; i < n; ++i) {
+      auto created = co_await dufs.Create("/f" + std::to_string(i), 0644);
+      DUFS_CHECK(created.ok());
+    }
+    // FIDs are (client id, 1..n) for this client.
+    for (int i = 1; i <= n; ++i) {
+      out.push_back(Fid{t.client(0).dufs->client_id(),
+                        static_cast<std::uint64_t>(i)});
+    }
+  }(tb, fids, kFiles));
+
+  auto& placement = tb.client(0).dufs->placement();
+  std::vector<std::uint32_t> before;
+  before.reserve(fids.size());
+  for (const auto& fid : fids) before.push_back(placement.Place(fid));
+
+  std::size_t counts[5] = {0};
+  for (auto b : before) ++counts[b];
+  std::printf("%-18s placement over 4 back-ends: %zu/%zu/%zu/%zu\n",
+              policy_name.c_str(), counts[0], counts[1], counts[2],
+              counts[3]);
+
+  // Grow the pool 4 -> 5 and count relocations.
+  placement.SetBackendCount(5);
+  std::size_t moved = 0;
+  for (std::size_t i = 0; i < fids.size(); ++i) {
+    if (placement.Place(fids[i]) != before[i]) ++moved;
+  }
+  std::printf("%-18s add a 5th back-end: %zu/%d files must move (%.0f%%)\n\n",
+              policy_name.c_str(), moved, kFiles,
+              100.0 * static_cast<double>(moved) / kFiles);
+}
+
+}  // namespace
+
+// Actually move the data: switch a live volume from MD5-mod-N to the ring
+// using core::Rebalancer, then verify every file still reads back.
+void LiveRebalance() {
+  TestbedConfig config;
+  config.zk_servers = 3;
+  config.client_nodes = 1;
+  config.backend = mdtest::BackendKind::kMemFs;
+  config.backend_instances = 4;
+  Testbed tb(config);
+  tb.MountAll();
+
+  sim::RunTask(tb.sim(), [](Testbed& t) -> sim::Task<void> {
+    auto& fs = *t.client(0).dufs;
+    constexpr int kFiles = 500;
+    for (int i = 0; i < kFiles; ++i) {
+      const std::string path = "/data" + std::to_string(i);
+      (void)co_await fs.Create(path, 0644);
+      auto h = co_await fs.Open(path, vfs::kWrite);
+      (void)co_await fs.Write(*h, 0,
+                              vfs::ToBytes("v" + std::to_string(i)));
+      (void)co_await fs.Release(*h);
+    }
+
+    core::Md5ModNPlacement old_policy(4);
+    core::ConsistentHashPlacement new_policy(4);
+    std::vector<vfs::FileSystem*> backends;
+    for (auto& m : t.client(0).backend_mounts) backends.push_back(m.get());
+    core::Rebalancer rebalancer(*t.client(0).zk, backends, old_policy,
+                                new_policy);
+    auto stats = co_await rebalancer.Run();
+    std::printf("live rebalance (mod-N -> ring over the same 4 back-ends):\n"
+                "  scanned=%llu moved=%llu bytes=%llu errors=%llu\n",
+                static_cast<unsigned long long>(stats->files_scanned),
+                static_cast<unsigned long long>(stats->files_moved),
+                static_cast<unsigned long long>(stats->bytes_moved),
+                static_cast<unsigned long long>(stats->errors));
+
+    // Every file still readable through the new policy.
+    int intact = 0;
+    for (int i = 0; i < kFiles; ++i) {
+      const Fid fid{t.client(0).dufs->client_id(),
+                          static_cast<std::uint64_t>(i + 1)};
+      const auto where = new_policy.Place(fid);
+      auto h = co_await backends[where]->Open(
+          core::PhysicalPathForFid(fid), vfs::kRead);
+      if (!h.ok()) continue;
+      auto data = co_await backends[where]->Read(*h, 0, 32);
+      if (data.ok() && vfs::FromBytes(*data) == "v" + std::to_string(i)) {
+        ++intact;
+      }
+      (void)co_await backends[where]->Release(*h);
+    }
+    std::printf("  %d/%d files intact at their new homes\n", intact, kFiles);
+  }(tb));
+}
+
+int main() {
+  std::printf("== Back-end rebalancing: MD5 mod N vs consistent hashing ==\n");
+  std::printf("(ideal relocation when growing 4 -> 5 back-ends: 20%%)\n\n");
+  Demo("md5-mod-n");
+  Demo("consistent-hash");
+  LiveRebalance();
+  std::printf("\nTakeaway: with consistent hashing DUFS can grow its "
+              "back-end pool while\nrelocating only ~1/N of the files (the "
+              "paper's planned extension); the\nRebalancer migrates exactly "
+              "the affected files with no namespace change.\n");
+  return 0;
+}

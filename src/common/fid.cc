@@ -1,0 +1,30 @@
+#include "common/fid.h"
+
+#include "common/hex.h"
+
+namespace dufs {
+
+std::string Fid::ToHex() const {
+  return U64ToHex(client_id) + U64ToHex(counter);
+}
+
+std::optional<Fid> Fid::FromHex(std::string_view hex) {
+  if (hex.size() != 32) return std::nullopt;
+  const auto hi = HexToU64(hex.substr(0, 16));
+  const auto lo = HexToU64(hex.substr(16, 16));
+  if (!hi || !lo) return std::nullopt;
+  return Fid{*hi, *lo};
+}
+
+std::size_t FidHasher::operator()(const Fid& fid) const noexcept {
+  // splitmix64-style mix of the two words.
+  std::uint64_t x = fid.client_id ^ (fid.counter * 0x9e3779b97f4a7c15ull);
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return static_cast<std::size_t>(x);
+}
+
+}  // namespace dufs

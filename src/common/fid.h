@@ -1,0 +1,35 @@
+// File Identifier (paper §IV-E).
+//
+// A FID is a 128-bit value: the high 64 bits identify the DUFS client
+// *instance* that created the file, the low 64 bits are that client's
+// monotone creation counter. Uniqueness therefore needs no coordination at
+// file-creation time; client-instance ids are made unique at mount time
+// (core::FidGenerator draws them from a ZooKeeper sequential counter).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace dufs {
+
+struct Fid {
+  std::uint64_t client_id = 0;
+  std::uint64_t counter = 0;
+
+  bool IsNull() const { return client_id == 0 && counter == 0; }
+
+  // 32 lower-case hex chars: client_id then counter, MSB first.
+  std::string ToHex() const;
+  static std::optional<Fid> FromHex(std::string_view hex);
+
+  friend bool operator==(const Fid&, const Fid&) = default;
+  friend auto operator<=>(const Fid&, const Fid&) = default;
+};
+
+struct FidHasher {
+  std::size_t operator()(const Fid& fid) const noexcept;
+};
+
+}  // namespace dufs

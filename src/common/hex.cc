@@ -1,0 +1,64 @@
+#include "common/hex.h"
+
+namespace dufs {
+namespace {
+
+constexpr char kHexChars[] = "0123456789abcdef";
+
+int HexDigit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+std::string BytesToHex(const std::uint8_t* data, std::size_t len) {
+  std::string out;
+  out.reserve(len * 2);
+  for (std::size_t i = 0; i < len; ++i) {
+    out.push_back(kHexChars[data[i] >> 4]);
+    out.push_back(kHexChars[data[i] & 0xF]);
+  }
+  return out;
+}
+
+std::string BytesToHex(const std::vector<std::uint8_t>& bytes) {
+  return BytesToHex(bytes.data(), bytes.size());
+}
+
+std::optional<std::vector<std::uint8_t>> HexToBytes(std::string_view hex) {
+  if (hex.size() % 2 != 0) return std::nullopt;
+  std::vector<std::uint8_t> out;
+  out.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    const int hi = HexDigit(hex[i]);
+    const int lo = HexDigit(hex[i + 1]);
+    if (hi < 0 || lo < 0) return std::nullopt;
+    out.push_back(static_cast<std::uint8_t>((hi << 4) | lo));
+  }
+  return out;
+}
+
+std::string U64ToHex(std::uint64_t v) {
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kHexChars[v & 0xF];
+    v >>= 4;
+  }
+  return out;
+}
+
+std::optional<std::uint64_t> HexToU64(std::string_view hex) {
+  if (hex.size() != 16) return std::nullopt;
+  std::uint64_t v = 0;
+  for (char c : hex) {
+    const int d = HexDigit(c);
+    if (d < 0) return std::nullopt;
+    v = (v << 4) | static_cast<std::uint64_t>(d);
+  }
+  return v;
+}
+
+}  // namespace dufs

@@ -1,0 +1,26 @@
+// Hex encoding helpers (FID physical-path codec, digests, debug dumps).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dufs {
+
+// Lower-case hex, two chars per byte.
+std::string BytesToHex(const std::uint8_t* data, std::size_t len);
+std::string BytesToHex(const std::vector<std::uint8_t>& bytes);
+
+// Returns nullopt on odd length or non-hex characters.
+std::optional<std::vector<std::uint8_t>> HexToBytes(std::string_view hex);
+
+// 16 lower-case hex chars, most-significant nibble first.
+std::string U64ToHex(std::uint64_t v);
+
+// Parses exactly-16-char hex; nullopt otherwise.
+std::optional<std::uint64_t> HexToU64(std::string_view hex);
+
+}  // namespace dufs

@@ -1,0 +1,71 @@
+#include "common/log.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+namespace dufs {
+namespace {
+
+LogLevel InitialLevel() {
+  if (const char* env = std::getenv("DUFS_LOG_LEVEL")) {
+    return ParseLogLevel(env, LogLevel::kWarn);
+  }
+  return LogLevel::kWarn;
+}
+
+LogLevel& MutableLevel() {
+  static LogLevel level = InitialLevel();
+  return level;
+}
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "T";
+    case LogLevel::kDebug: return "D";
+    case LogLevel::kInfo: return "I";
+    case LogLevel::kWarn: return "W";
+    case LogLevel::kError: return "E";
+    case LogLevel::kOff: return "?";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel GlobalLogLevel() { return MutableLevel(); }
+void SetGlobalLogLevel(LogLevel level) { MutableLevel() = level; }
+
+LogLevel ParseLogLevel(std::string_view name, LogLevel fallback) {
+  if (name == "trace") return LogLevel::kTrace;
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "warn") return LogLevel::kWarn;
+  if (name == "error") return LogLevel::kError;
+  if (name == "off") return LogLevel::kOff;
+  return fallback;
+}
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  const char* base = std::strrchr(file, '/');
+  stream_ << "[" << LevelTag(level) << " " << (base ? base + 1 : file) << ":"
+          << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  (void)level_;
+  stream_ << "\n";
+  std::cerr << stream_.str();
+}
+
+void CheckFailure(const char* cond, const char* file, int line) {
+  std::cerr << "[CHECK failed] " << cond << " at " << file << ":" << line
+            << std::endl;
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace dufs

@@ -1,0 +1,73 @@
+// Tiny leveled logger. Single-threaded by design (the simulator is
+// deterministic and single-threaded); sinks default to stderr.
+//
+//   DUFS_LOG(Info) << "leader elected, epoch=" << epoch;
+//
+// Log level is process-global and settable from the DUFS_LOG_LEVEL
+// environment variable (trace|debug|info|warn|error|off).
+#pragma once
+
+#include <sstream>
+#include <string_view>
+
+namespace dufs {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+LogLevel GlobalLogLevel();
+void SetGlobalLogLevel(LogLevel level);
+LogLevel ParseLogLevel(std::string_view name, LogLevel fallback);
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+struct LogVoidify {
+  // Lower precedence than << but higher than ?:, used to swallow the stream.
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal
+
+#define DUFS_LOG_ENABLED(level) \
+  (::dufs::LogLevel::k##level >= ::dufs::GlobalLogLevel())
+
+#define DUFS_LOG(level)                                               \
+  !DUFS_LOG_ENABLED(level)                                            \
+      ? (void)0                                                       \
+      : ::dufs::internal::LogVoidify() &                              \
+            ::dufs::internal::LogMessage(::dufs::LogLevel::k##level,  \
+                                         __FILE__, __LINE__)          \
+                .stream()
+
+// Invariant check that survives NDEBUG: simulation correctness depends on
+// these, and benches run optimized.
+#define DUFS_CHECK(cond)                                              \
+  (cond) ? (void)0                                                    \
+         : ::dufs::internal::CheckFailure(#cond, __FILE__, __LINE__)
+
+namespace internal {
+[[noreturn]] void CheckFailure(const char* cond, const char* file, int line);
+}  // namespace internal
+
+}  // namespace dufs

@@ -1,0 +1,167 @@
+#include "common/md5.h"
+
+#include <cstring>
+
+#include "common/hex.h"
+#include "common/log.h"
+
+namespace dufs {
+namespace {
+
+constexpr std::uint32_t kInitA = 0x67452301u;
+constexpr std::uint32_t kInitB = 0xefcdab89u;
+constexpr std::uint32_t kInitC = 0x98badcfeu;
+constexpr std::uint32_t kInitD = 0x10325476u;
+
+// T[i] = floor(2^32 * abs(sin(i+1))), RFC 1321 §3.4.
+constexpr std::uint32_t kT[64] = {
+    0xd76aa478, 0xe8c7b756, 0x242070db, 0xc1bdceee, 0xf57c0faf, 0x4787c62a,
+    0xa8304613, 0xfd469501, 0x698098d8, 0x8b44f7af, 0xffff5bb1, 0x895cd7be,
+    0x6b901122, 0xfd987193, 0xa679438e, 0x49b40821, 0xf61e2562, 0xc040b340,
+    0x265e5a51, 0xe9b6c7aa, 0xd62f105d, 0x02441453, 0xd8a1e681, 0xe7d3fbc8,
+    0x21e1cde6, 0xc33707d6, 0xf4d50d87, 0x455a14ed, 0xa9e3e905, 0xfcefa3f8,
+    0x676f02d9, 0x8d2a4c8a, 0xfffa3942, 0x8771f681, 0x6d9d6122, 0xfde5380c,
+    0xa4beea44, 0x4bdecfa9, 0xf6bb4b60, 0xbebfbc70, 0x289b7ec6, 0xeaa127fa,
+    0xd4ef3085, 0x04881d05, 0xd9d4d039, 0xe6db99e5, 0x1fa27cf8, 0xc4ac5665,
+    0xf4292244, 0x432aff97, 0xab9423a7, 0xfc93a039, 0x655b59c3, 0x8f0ccc92,
+    0xffeff47d, 0x85845dd1, 0x6fa87e4f, 0xfe2ce6e0, 0xa3014314, 0x4e0811a1,
+    0xf7537e82, 0xbd3af235, 0x2ad7d2bb, 0xeb86d391};
+
+constexpr int kShift[64] = {7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22,
+                            7, 12, 17, 22, 5, 9,  14, 20, 5, 9,  14, 20,
+                            5, 9,  14, 20, 5, 9,  14, 20, 4, 11, 16, 23,
+                            4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23,
+                            6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21,
+                            6, 10, 15, 21};
+
+inline std::uint32_t Rotl(std::uint32_t x, int s) {
+  return (x << s) | (x >> (32 - s));
+}
+
+}  // namespace
+
+Md5::Md5() : a_(kInitA), b_(kInitB), c_(kInitC), d_(kInitD) {}
+
+void Md5::ProcessBlock(const std::uint8_t block[64]) {
+  std::uint32_t m[16];
+  for (int i = 0; i < 16; ++i) {
+    m[i] = static_cast<std::uint32_t>(block[4 * i]) |
+           static_cast<std::uint32_t>(block[4 * i + 1]) << 8 |
+           static_cast<std::uint32_t>(block[4 * i + 2]) << 16 |
+           static_cast<std::uint32_t>(block[4 * i + 3]) << 24;
+  }
+
+  std::uint32_t a = a_, b = b_, c = c_, d = d_;
+  for (int i = 0; i < 64; ++i) {
+    std::uint32_t f;
+    int g;
+    if (i < 16) {
+      f = (b & c) | (~b & d);
+      g = i;
+    } else if (i < 32) {
+      f = (d & b) | (~d & c);
+      g = (5 * i + 1) & 15;
+    } else if (i < 48) {
+      f = b ^ c ^ d;
+      g = (3 * i + 5) & 15;
+    } else {
+      f = c ^ (b | ~d);
+      g = (7 * i) & 15;
+    }
+    const std::uint32_t tmp = d;
+    d = c;
+    c = b;
+    b = b + Rotl(a + f + kT[i] + m[g], kShift[i]);
+    a = tmp;
+  }
+
+  a_ += a;
+  b_ += b;
+  c_ += c;
+  d_ += d;
+}
+
+void Md5::Update(const void* data, std::size_t len) {
+  DUFS_CHECK(!finished_);
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  total_len_ += len;
+
+  if (buffer_len_ > 0) {
+    const std::size_t need = 64 - buffer_len_;
+    const std::size_t take = len < need ? len : need;
+    std::memcpy(buffer_.data() + buffer_len_, p, take);
+    buffer_len_ += take;
+    p += take;
+    len -= take;
+    if (buffer_len_ == 64) {
+      ProcessBlock(buffer_.data());
+      buffer_len_ = 0;
+    }
+  }
+  while (len >= 64) {
+    ProcessBlock(p);
+    p += 64;
+    len -= 64;
+  }
+  if (len > 0) {
+    std::memcpy(buffer_.data(), p, len);
+    buffer_len_ = len;
+  }
+}
+
+Md5Digest Md5::Finish() {
+  DUFS_CHECK(!finished_);
+  finished_ = true;
+
+  const std::uint64_t bit_len = total_len_ * 8;
+  // Padding: 0x80 then zeros to 56 mod 64, then the 64-bit length (LE).
+  static constexpr std::uint8_t kPad[64] = {0x80};
+  const std::size_t pad_len =
+      (buffer_len_ < 56) ? (56 - buffer_len_) : (120 - buffer_len_);
+  finished_ = false;  // allow the padding Updates
+  Update(kPad, pad_len);
+  std::uint8_t len_bytes[8];
+  for (int i = 0; i < 8; ++i) {
+    len_bytes[i] = static_cast<std::uint8_t>(bit_len >> (8 * i));
+  }
+  // The length bytes must not be counted in total_len_, but Update already
+  // processed padding; total_len_ is no longer used after this point.
+  Update(len_bytes, 8);
+  finished_ = true;
+  DUFS_CHECK(buffer_len_ == 0);
+
+  Md5Digest out;
+  const std::uint32_t words[4] = {a_, b_, c_, d_};
+  for (int w = 0; w < 4; ++w) {
+    for (int i = 0; i < 4; ++i) {
+      out.bytes[4 * w + i] = static_cast<std::uint8_t>(words[w] >> (8 * i));
+    }
+  }
+  return out;
+}
+
+Md5Digest Md5::Hash(const void* data, std::size_t len) {
+  Md5 md5;
+  md5.Update(data, len);
+  return md5.Finish();
+}
+
+std::uint64_t Md5Digest::Low64() const {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(bytes[i]) << (8 * i);
+  return v;
+}
+
+std::uint64_t Md5Digest::High64() const {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(bytes[8 + i]) << (8 * i);
+  }
+  return v;
+}
+
+std::string Md5Digest::ToHex() const {
+  return BytesToHex(bytes.data(), bytes.size());
+}
+
+}  // namespace dufs

@@ -1,0 +1,50 @@
+// From-scratch MD5 (RFC 1321).
+//
+// DUFS uses MD5 only as a mixing function for back-end placement
+// (`MD5(fid) mod N`, paper §IV-F) — not for security. The implementation is
+// nevertheless a complete, test-vector-verified MD5.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace dufs {
+
+struct Md5Digest {
+  std::array<std::uint8_t, 16> bytes{};
+
+  // Little-endian low / high 64-bit words, convenient for `mod N` mapping.
+  std::uint64_t Low64() const;
+  std::uint64_t High64() const;
+  std::string ToHex() const;
+
+  friend bool operator==(const Md5Digest&, const Md5Digest&) = default;
+};
+
+class Md5 {
+ public:
+  Md5();
+
+  void Update(const void* data, std::size_t len);
+  void Update(std::string_view s) { Update(s.data(), s.size()); }
+
+  // Finalizes and returns the digest; the object must not be reused after.
+  Md5Digest Finish();
+
+  static Md5Digest Hash(const void* data, std::size_t len);
+  static Md5Digest Hash(std::string_view s) { return Hash(s.data(), s.size()); }
+
+ private:
+  void ProcessBlock(const std::uint8_t block[64]);
+
+  std::uint32_t a_, b_, c_, d_;
+  std::uint64_t total_len_ = 0;
+  std::array<std::uint8_t, 64> buffer_{};
+  std::size_t buffer_len_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace dufs

@@ -1,0 +1,16 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace dufs {
+
+double Rng::NextExponential(double mean) {
+  DUFS_CHECK(mean >= 0);
+  if (mean == 0) return 0;
+  // Inverse-CDF; clamp the uniform away from 0 to avoid log(0).
+  double u = NextDouble();
+  if (u < 1e-12) u = 1e-12;
+  return -mean * std::log(u);
+}
+
+}  // namespace dufs

@@ -1,0 +1,52 @@
+// Deterministic RNG for the simulator. Every Simulation owns one Rng seeded
+// explicitly, so experiments replay bit-for-bit.
+#pragma once
+
+#include <cstdint>
+
+#include "common/log.h"
+
+namespace dufs {
+
+// splitmix64 — tiny, fast, good distribution for simulation purposes.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed + 0x9e3779b97f4a7c15ull) {}
+
+  std::uint64_t NextU64() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform in [0, bound). bound must be > 0.
+  std::uint64_t NextBelow(std::uint64_t bound) {
+    DUFS_CHECK(bound > 0);
+    // Modulo bias is negligible for simulation bounds (<< 2^64).
+    return NextU64() % bound;
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform in [lo, hi] inclusive.
+  std::int64_t NextInRange(std::int64_t lo, std::int64_t hi) {
+    DUFS_CHECK(lo <= hi);
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(NextBelow(span));
+  }
+
+  // Exponential with the given mean (for service-time jitter).
+  double NextExponential(double mean);
+
+  // Fork a statistically-independent child stream (per node / per client).
+  Rng Fork() { return Rng(NextU64()); }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace dufs

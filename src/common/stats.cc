@@ -1,0 +1,126 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdio>
+
+#include "common/log.h"
+
+namespace dufs {
+
+void RunningStat::Add(double x) {
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double RunningStat::variance() const {
+  if (count_ == 0) return 0.0;
+  return m2_ / static_cast<double>(count_);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+void RunningStat::Merge(const RunningStat& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double n1 = static_cast<double>(count_);
+  const double n2 = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = n1 + n2;
+  mean_ += delta * n2 / n;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+LatencyHistogram::LatencyHistogram()
+    : buckets_(static_cast<std::size_t>(kSubBuckets * kOctaves), 0) {}
+
+int LatencyHistogram::BucketFor(std::int64_t v) {
+  if (v < kSubBuckets) return static_cast<int>(std::max<std::int64_t>(v, 0));
+  const auto uv = static_cast<std::uint64_t>(v);
+  const int octave = 63 - std::countl_zero(uv);  // floor(log2 v) >= 2
+  // Position within the octave, quantized into kSubBuckets slots.
+  const std::uint64_t base = 1ull << octave;
+  const int sub = static_cast<int>(((uv - base) * kSubBuckets) >> octave);
+  int idx = octave * kSubBuckets + sub;
+  const int max_idx = kSubBuckets * kOctaves - 1;
+  return std::min(idx, max_idx);
+}
+
+std::int64_t LatencyHistogram::BucketUpperBound(int bucket) {
+  if (bucket < kSubBuckets) return bucket;
+  const int octave = bucket / kSubBuckets;
+  const int sub = bucket % kSubBuckets;
+  const std::uint64_t base = 1ull << octave;
+  return static_cast<std::int64_t>(base +
+                                   ((base * static_cast<unsigned>(sub + 1)) >>
+                                    2));  // kSubBuckets == 4
+}
+
+void LatencyHistogram::Add(std::int64_t sample_ns) {
+  if (sample_ns < 0) sample_ns = 0;
+  ++buckets_[static_cast<std::size_t>(BucketFor(sample_ns))];
+  ++count_;
+  max_sample_ = std::max(max_sample_, sample_ns);
+}
+
+std::int64_t LatencyHistogram::Percentile(double p) const {
+  if (count_ == 0) return 0;
+  p = std::clamp(p, 0.0, 100.0);
+  const auto rank = static_cast<std::uint64_t>(
+      std::ceil(p / 100.0 * static_cast<double>(count_)));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= rank && buckets_[i] > 0) {
+      return std::min(BucketUpperBound(static_cast<int>(i)), max_sample_);
+    }
+  }
+  return max_sample_;
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  DUFS_CHECK(buckets_.size() == other.buckets_.size());
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  count_ += other.count_;
+  max_sample_ = std::max(max_sample_, other.max_sample_);
+}
+
+std::string LatencyHistogram::Summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "p50=%s p95=%s p99=%s max=%s",
+                FormatNanos(Percentile(50)).c_str(),
+                FormatNanos(Percentile(95)).c_str(),
+                FormatNanos(Percentile(99)).c_str(),
+                FormatNanos(max_sample_).c_str());
+  return buf;
+}
+
+std::string FormatNanos(std::int64_t ns) {
+  char buf[64];
+  const double v = static_cast<double>(ns);
+  if (ns < 1'000) {
+    std::snprintf(buf, sizeof(buf), "%lldns", static_cast<long long>(ns));
+  } else if (ns < 1'000'000) {
+    std::snprintf(buf, sizeof(buf), "%.2fus", v / 1e3);
+  } else if (ns < 1'000'000'000) {
+    std::snprintf(buf, sizeof(buf), "%.2fms", v / 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2fs", v / 1e9);
+  }
+  return buf;
+}
+
+}  // namespace dufs

@@ -1,0 +1,66 @@
+// Small statistics toolkit used by the mdtest harness and benches:
+// streaming mean/stddev, min/max, and a log-scaled latency histogram with
+// percentile queries.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace dufs {
+
+class RunningStat {
+ public:
+  void Add(double x);
+
+  std::uint64_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double variance() const;  // population variance
+  double stddev() const;
+
+  void Merge(const RunningStat& other);
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;  // Welford accumulator
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+// Histogram over non-negative int64 samples (we use nanoseconds). Buckets
+// grow geometrically (factor 2 with 4 sub-buckets per octave) giving <= ~19%
+// relative error on percentile queries — plenty for throughput analysis.
+class LatencyHistogram {
+ public:
+  LatencyHistogram();
+
+  void Add(std::int64_t sample_ns);
+  std::uint64_t count() const { return count_; }
+
+  // p in [0, 100]. Returns an upper bound of the bucket containing the
+  // requested rank; 0 when empty.
+  std::int64_t Percentile(double p) const;
+  std::int64_t MaxSample() const { return max_sample_; }
+
+  void Merge(const LatencyHistogram& other);
+  std::string Summary() const;  // "p50=… p95=… p99=… max=…" (human units)
+
+ private:
+  static constexpr int kSubBuckets = 4;
+  static constexpr int kOctaves = 48;  // covers up to ~2^48 ns (~3 days)
+  static int BucketFor(std::int64_t v);
+  static std::int64_t BucketUpperBound(int bucket);
+
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  std::int64_t max_sample_ = 0;
+};
+
+// Formats nanoseconds with an adaptive unit ("183us", "2.31ms", ...).
+std::string FormatNanos(std::int64_t ns);
+
+}  // namespace dufs

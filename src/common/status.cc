@@ -1,0 +1,45 @@
+#include "common/status.h"
+
+namespace dufs {
+
+std::string_view StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kNotFound: return "NOT_FOUND";
+    case StatusCode::kAlreadyExists: return "ALREADY_EXISTS";
+    case StatusCode::kNotADirectory: return "NOT_A_DIRECTORY";
+    case StatusCode::kIsADirectory: return "IS_A_DIRECTORY";
+    case StatusCode::kNotEmpty: return "NOT_EMPTY";
+    case StatusCode::kPermissionDenied: return "PERMISSION_DENIED";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kNameTooLong: return "NAME_TOO_LONG";
+    case StatusCode::kNoSpace: return "NO_SPACE";
+    case StatusCode::kIoError: return "IO_ERROR";
+    case StatusCode::kBusy: return "BUSY";
+    case StatusCode::kCrossDevice: return "CROSS_DEVICE";
+    case StatusCode::kStale: return "STALE";
+    case StatusCode::kBadVersion: return "BAD_VERSION";
+    case StatusCode::kTimeout: return "TIMEOUT";
+    case StatusCode::kUnavailable: return "UNAVAILABLE";
+    case StatusCode::kConflict: return "CONFLICT";
+    case StatusCode::kNotConnected: return "NOT_CONNECTED";
+    case StatusCode::kUnimplemented: return "UNIMPLEMENTED";
+    case StatusCode::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::ToString() const {
+  std::string out(StatusCodeName(code_));
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+}  // namespace dufs

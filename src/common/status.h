@@ -1,0 +1,132 @@
+// Error model shared by every DUFS module.
+//
+// The code space deliberately mirrors POSIX errno semantics for filesystem
+// operations (the FUSE layer translates StatusCode back to errno-style
+// results) plus a few distributed-systems codes (kTimeout, kUnavailable,
+// kConflict) used by the coordination and replication layers.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <utility>
+#include <variant>
+
+namespace dufs {
+
+enum class StatusCode : std::uint8_t {
+  kOk = 0,
+  kNotFound,        // ENOENT
+  kAlreadyExists,   // EEXIST
+  kNotADirectory,   // ENOTDIR
+  kIsADirectory,    // EISDIR
+  kNotEmpty,        // ENOTEMPTY
+  kPermissionDenied,// EACCES
+  kInvalidArgument, // EINVAL
+  kNameTooLong,     // ENAMETOOLONG
+  kNoSpace,         // ENOSPC
+  kIoError,         // EIO
+  kBusy,            // EBUSY
+  kCrossDevice,     // EXDEV (unsupported atomic subtree move)
+  kStale,           // ESTALE (fid no longer valid)
+  kBadVersion,      // optimistic concurrency failure (ZK version mismatch)
+  kTimeout,         // RPC deadline exceeded
+  kUnavailable,     // no quorum / server down
+  kConflict,        // lost a race that the caller may retry
+  kNotConnected,    // session closed
+  kUnimplemented,
+  kInternal,
+};
+
+std::string_view StatusCodeName(StatusCode code);
+
+// Cheap value-type status. An empty message is the common case and costs no
+// allocation.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;
+  explicit Status(StatusCode code) : code_(code) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  // Lets DUFS_RETURN_IF_ERROR accept both Status and Result<T> expressions.
+  const Status& status() const { return *this; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& s);
+
+// Minimal expected<T, Status>. C++20 has no std::expected, so we carry our
+// own; the API subset matches what the codebase needs (ok/value/status,
+// value_or, monadic map is intentionally omitted to keep call sites explicit).
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : rep_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Status status) : rep_(std::move(status)) {}  // NOLINT
+  Result(StatusCode code)                             // NOLINT
+    requires(!std::is_same_v<T, StatusCode>)
+      : rep_(Status(code)) {}
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+  explicit operator bool() const { return ok(); }
+
+  // Status of a value-holding Result is kOk.
+  Status status() const {
+    if (ok()) return Status::Ok();
+    return std::get<Status>(rep_);
+  }
+  StatusCode code() const {
+    return ok() ? StatusCode::kOk : std::get<Status>(rep_).code();
+  }
+
+  T& value() & { return std::get<T>(rep_); }
+  const T& value() const& { return std::get<T>(rep_); }
+  T&& value() && { return std::get<T>(std::move(rep_)); }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  T value_or(T fallback) const& {
+    return ok() ? value() : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> rep_;
+};
+
+// Propagation helpers. `expr` must yield a Status or Result<T>.
+#define DUFS_RETURN_IF_ERROR(expr)                  \
+  do {                                              \
+    if (auto _st = (expr).status(); !_st.ok()) {    \
+      return _st;                                   \
+    }                                               \
+  } while (0)
+
+// Co-routine flavour (bodies that co_return).
+#define DUFS_CO_RETURN_IF_ERROR(expr)               \
+  do {                                              \
+    if (auto _st = (expr).status(); !_st.ok()) {    \
+      co_return _st;                                \
+    }                                               \
+  } while (0)
+
+}  // namespace dufs

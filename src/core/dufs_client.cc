@@ -1,0 +1,570 @@
+#include "core/dufs_client.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace dufs::core {
+
+using vfs::FileAttr;
+using vfs::FileType;
+
+namespace {
+
+// Bounded positive caches; eviction is wholesale (caches are hints only).
+constexpr std::size_t kMaxCacheEntries = 1 << 16;
+
+StatusCode MapZkCode(StatusCode code) {
+  // Znode-level codes map 1:1 onto filesystem codes.
+  return code;
+}
+
+}  // namespace
+
+DufsClient::DufsClient(zk::ZkClient& zk,
+                       std::vector<vfs::FileSystem*> backends,
+                       DufsConfig config)
+    : zk_(zk), backends_(std::move(backends)), config_(std::move(config)) {
+  DUFS_CHECK(!backends_.empty());
+  placement_ = MakePlacement(config_.placement, backends_.size());
+}
+
+std::string DufsClient::ZnodePath(std::string_view virtual_path) const {
+  if (virtual_path == "/" || virtual_path.empty()) return NsRoot();
+  return NsRoot() + std::string(virtual_path);
+}
+
+Fid DufsClient::NextFid() {
+  DUFS_CHECK(client_id_ != 0);
+  return Fid{client_id_, ++fid_counter_};
+}
+
+vfs::FileSystem& DufsClient::BackendFor(const Fid& fid,
+                                        std::uint32_t* index) {
+  const std::uint32_t i = placement_->Place(fid);
+  DUFS_CHECK(i < backends_.size());
+  if (index != nullptr) *index = i;
+  return *backends_[i];
+}
+
+sim::Task<Status> DufsClient::Mount() {
+  if (!zk_.connected()) {
+    auto st = co_await zk_.Connect();
+    if (!st.ok()) co_return st;
+  }
+  // Metadata skeleton (idempotent).
+  const std::string skeleton[] = {config_.meta_prefix,
+                                  config_.meta_prefix + "/clients", NsRoot()};
+  for (const std::string& path : skeleton) {
+    auto created = co_await zk_.Create(path, MetaRecord::Dir(0755).Encode());
+    if (!created.ok() && created.code() != StatusCode::kAlreadyExists) {
+      co_return created.status();
+    }
+  }
+  // Claim a unique instance id (paper §IV-E): a sequential znode under
+  // <prefix>/clients; the sequence number + 1 becomes the 64-bit client id.
+  auto claimed = co_await zk_.Create(config_.meta_prefix + "/clients/c-", {},
+                                     zk::CreateMode::kPersistentSequential);
+  if (!claimed.ok()) co_return claimed.status();
+  const std::string& path = *claimed;
+  const auto digits = path.substr(path.size() - 10);
+  client_id_ = std::stoull(digits) + 1;
+  fid_counter_ = 0;
+  known_dirs_.insert(ZnodePath("/"));
+  co_return Status::Ok();
+}
+
+sim::Task<Status> DufsClient::FormatBackends() {
+  const auto skeleton = StaticPhysicalSkeleton();
+  std::size_t ops = 0;
+  for (std::uint32_t b = 0; b < backends_.size(); ++b) {
+    for (const auto& dir : skeleton) {
+      auto st = co_await backends_[b]->Mkdir(dir, 0755);
+      if (!st.ok() && st.code() != StatusCode::kAlreadyExists) co_return st;
+      // Yield through the event loop periodically: long chains of
+      // synchronously-completing back-end ops (MemFs) must not rely on
+      // symmetric-transfer tail calls, which unoptimized builds lack.
+      if (++ops % 64 == 0) co_await zk_.sim().Delay(0);
+    }
+  }
+  AssumeFormatted();
+  co_return Status::Ok();
+}
+
+void DufsClient::AssumeFormatted() {
+  for (std::uint32_t b = 0; b < backends_.size(); ++b) {
+    const std::string prefix = std::to_string(b) + ":";
+    for (const auto& dir : StaticPhysicalSkeleton()) {
+      known_phys_dirs_.insert(prefix + dir);
+    }
+  }
+}
+
+sim::Task<Result<DufsClient::Lookup>> DufsClient::LookupPath(
+    std::string virtual_path) {
+  auto got = co_await zk_.Get(ZnodePath(virtual_path));
+  if (!got.ok()) co_return Status(MapZkCode(got.code()), virtual_path);
+  auto record = MetaRecord::Decode(got->data);
+  if (!record.ok()) co_return record.status();
+  Lookup out;
+  out.record = std::move(*record);
+  out.stat = got->stat;
+  co_return out;
+}
+
+sim::Task<Status> DufsClient::CheckParentIsDir(
+    const std::string& virtual_path) {
+  const std::string parent = vfs::DirName(virtual_path);
+  const std::string znode = ZnodePath(parent);
+  if (known_dirs_.count(znode) > 0) co_return Status::Ok();
+  auto lookup = co_await LookupPath(parent);
+  if (!lookup.ok()) co_return lookup.status();
+  if (lookup->record.type != FileType::kDirectory) {
+    co_return Status(StatusCode::kNotADirectory, parent);
+  }
+  if (known_dirs_.size() >= kMaxCacheEntries) known_dirs_.clear();
+  known_dirs_.insert(znode);
+  co_return Status::Ok();
+}
+
+sim::Task<Status> DufsClient::EnsurePhysicalDirs(std::uint32_t backend,
+                                                 const Fid& fid) {
+  for (const auto& dir : PhysicalDirsForFid(fid)) {
+    const std::string key = std::to_string(backend) + ":" + dir;
+    if (known_phys_dirs_.count(key) > 0) continue;
+    auto st = co_await backends_[backend]->Mkdir(dir, 0755);
+    if (!st.ok() && st.code() != StatusCode::kAlreadyExists) co_return st;
+    if (known_phys_dirs_.size() >= kMaxCacheEntries) known_phys_dirs_.clear();
+    known_phys_dirs_.insert(key);
+  }
+  co_return Status::Ok();
+}
+
+vfs::FileAttr DufsClient::AttrFromDir(const MetaRecord& record,
+                                      const zk::ZnodeStat& stat) const {
+  FileAttr attr;
+  attr.type = FileType::kDirectory;
+  attr.mode = record.mode;
+  attr.size = 0;
+  attr.inode = static_cast<std::uint64_t>(stat.czxid);
+  attr.nlink = 2 + static_cast<std::uint32_t>(stat.num_children);
+  attr.ctime = stat.ctime;
+  attr.mtime = record.mtime_override.value_or(stat.mtime);
+  attr.atime = record.atime_override.value_or(stat.mtime);
+  return attr;
+}
+
+// Fig. 6 — stat(): directories are answered entirely from ZooKeeper; files
+// redirect to the physical file for size/times.
+sim::Task<Result<FileAttr>> DufsClient::GetAttr(std::string path) {
+  auto lookup = co_await LookupPath(path);
+  if (!lookup.ok()) co_return lookup.status();
+  const MetaRecord& record = lookup->record;
+
+  if (record.type == FileType::kDirectory) {
+    co_return AttrFromDir(record, lookup->stat);
+  }
+  if (record.type == FileType::kSymlink) {
+    FileAttr attr;
+    attr.type = FileType::kSymlink;
+    attr.mode = record.mode;
+    attr.size = record.symlink_target.size();
+    attr.inode = static_cast<std::uint64_t>(lookup->stat.czxid);
+    attr.ctime = attr.mtime = attr.atime = lookup->stat.ctime;
+    co_return attr;
+  }
+
+  std::uint32_t backend = 0;
+  auto& fs = BackendFor(record.fid, &backend);
+  auto phys = co_await fs.GetAttr(PhysicalPathForFid(record.fid));
+  if (!phys.ok()) {
+    if (phys.code() == StatusCode::kNotFound) {
+      co_return Status(StatusCode::kStale, "physical file missing: " + path);
+    }
+    co_return phys.status();
+  }
+  FileAttr attr = *phys;
+  attr.type = FileType::kRegular;
+  attr.mode = record.mode;
+  attr.inode = FidHasher{}(record.fid);
+  attr.ctime = lookup->stat.ctime;
+  co_return attr;
+}
+
+// Fig. 5 — mkdir(): a single znode create; never touches a back-end.
+sim::Task<Status> DufsClient::Mkdir(std::string path, vfs::Mode mode) {
+  if (auto st = vfs::ValidateVirtualPath(path); !st.ok()) co_return st;
+  if (auto st = co_await CheckParentIsDir(path); !st.ok()) co_return st;
+  auto created =
+      co_await zk_.Create(ZnodePath(path), MetaRecord::Dir(mode).Encode());
+  if (!created.ok()) co_return Status(MapZkCode(created.code()), path);
+  co_return Status::Ok();
+}
+
+sim::Task<Status> DufsClient::Rmdir(std::string path) {
+  auto lookup = co_await LookupPath(path);
+  if (!lookup.ok()) co_return lookup.status();
+  if (lookup->record.type != FileType::kDirectory) {
+    co_return Status(StatusCode::kNotADirectory, path);
+  }
+  const std::string znode = ZnodePath(path);
+  auto st = co_await zk_.Delete(znode);
+  if (!st.ok()) co_return Status(MapZkCode(st.code()), path);
+  known_dirs_.erase(znode);
+  co_return Status::Ok();
+}
+
+sim::Task<Result<FileAttr>> DufsClient::Create(std::string path,
+                                               vfs::Mode mode) {
+  if (auto st = vfs::ValidateVirtualPath(path); !st.ok()) co_return st;
+  if (auto st = co_await CheckParentIsDir(path); !st.ok()) co_return st;
+
+  const Fid fid = NextFid();
+  auto created = co_await zk_.Create(ZnodePath(path),
+                                     MetaRecord::File(fid, mode).Encode());
+  if (!created.ok()) co_return Status(MapZkCode(created.code()), path);
+
+  std::uint32_t backend = 0;
+  auto& fs = BackendFor(fid, &backend);
+  if (auto st = co_await EnsurePhysicalDirs(backend, fid); !st.ok()) {
+    (void)co_await zk_.Delete(ZnodePath(path));
+    co_return st;
+  }
+  auto phys = co_await fs.Create(PhysicalPathForFid(fid), mode);
+  if (!phys.ok() && phys.code() != StatusCode::kAlreadyExists) {
+    (void)co_await zk_.Delete(ZnodePath(path));  // roll back the znode
+    co_return phys.status();
+  }
+
+  FileAttr attr;
+  attr.type = FileType::kRegular;
+  attr.mode = mode;
+  attr.inode = FidHasher{}(fid);
+  co_return attr;
+}
+
+sim::Task<Status> DufsClient::Unlink(std::string path) {
+  auto lookup = co_await LookupPath(path);
+  if (!lookup.ok()) co_return lookup.status();
+  if (lookup->record.type == FileType::kDirectory) {
+    co_return Status(StatusCode::kIsADirectory, path);
+  }
+  auto st = co_await zk_.Delete(ZnodePath(path), lookup->stat.version);
+  if (st.code() == StatusCode::kBadVersion) {
+    co_return Status(StatusCode::kConflict, path);
+  }
+  if (!st.ok()) co_return Status(MapZkCode(st.code()), path);
+  if (lookup->record.type == FileType::kRegular) {
+    auto& fs = BackendFor(lookup->record.fid);
+    auto phys = co_await fs.Unlink(PhysicalPathForFid(lookup->record.fid));
+    if (!phys.ok() && phys.code() != StatusCode::kNotFound) co_return phys;
+  }
+  co_return Status::Ok();
+}
+
+sim::Task<Result<std::vector<vfs::DirEntry>>> DufsClient::ReadDir(
+    std::string path) {
+  auto lookup = co_await LookupPath(path);
+  if (!lookup.ok()) co_return lookup.status();
+  if (lookup->record.type != FileType::kDirectory) {
+    co_return Status(StatusCode::kNotADirectory, path);
+  }
+  auto children = co_await zk_.GetChildren(ZnodePath(path));
+  if (!children.ok()) co_return Status(MapZkCode(children.code()), path);
+  std::vector<vfs::DirEntry> entries;
+  entries.reserve(children->size());
+  for (auto& name : *children) {
+    // Child type requires its record; ZooKeeper returns names only. The
+    // FUSE readdir contract only needs types opportunistically, so probe
+    // through the (cheap, local-read) Get.
+    std::string child_path = path == "/" ? "/" + name : path + "/" + name;
+    auto child = co_await LookupPath(std::move(child_path));
+    entries.push_back(
+        {std::move(name),
+         child.ok() ? child->record.type : FileType::kRegular});
+  }
+  co_return entries;
+}
+
+sim::Task<Status> DufsClient::RenameSubtree(const std::string& from,
+                                            const std::string& to,
+                                            const Lookup& src) {
+  // Destination semantics (POSIX): a directory may replace only an *empty*
+  // directory; anything else is a type/occupancy error.
+  std::optional<std::int32_t> replace_dst_version;
+  auto dst = co_await LookupPath(to);
+  if (dst.ok()) {
+    if (dst->record.type != FileType::kDirectory) {
+      co_return Status(StatusCode::kNotADirectory, to);
+    }
+    if (dst->stat.num_children > 0) {
+      co_return Status(StatusCode::kNotEmpty, to);
+    }
+    replace_dst_version = dst->stat.version;
+  } else if (dst.code() != StatusCode::kNotFound) {
+    co_return dst.status();
+  }
+
+  // Collect the subtree breadth-first so creates are parent-before-child.
+  struct NodeCopy {
+    std::string rel;  // "" for the root of the subtree
+    std::vector<std::uint8_t> data;
+    std::int32_t version;
+  };
+  std::vector<NodeCopy> nodes;
+  nodes.push_back({"", src.record.Encode(), src.stat.version});
+  std::deque<std::string> frontier{""};
+  while (!frontier.empty()) {
+    const std::string rel = std::move(frontier.front());
+    frontier.pop_front();
+    const std::string abs = from + rel;
+    auto children = co_await zk_.GetChildren(ZnodePath(abs));
+    if (!children.ok()) co_return Status(MapZkCode(children.code()), abs);
+    for (const auto& name : *children) {
+      const std::string child_rel = rel + "/" + name;
+      auto child = co_await zk_.Get(ZnodePath(from + child_rel));
+      if (!child.ok()) co_return Status(StatusCode::kConflict, from);
+      nodes.push_back({child_rel, child->data, child->stat.version});
+      if (nodes.size() > config_.dir_rename_limit) {
+        co_return Status(StatusCode::kCrossDevice,
+                         "directory rename exceeds atomic-move limit");
+      }
+      auto rec = MetaRecord::Decode(child->data);
+      if (rec.ok() && rec->type == FileType::kDirectory) {
+        frontier.push_back(child_rel);
+      }
+    }
+  }
+
+  std::vector<zk::Op> ops;
+  ops.reserve(nodes.size() * 3 + 1);
+  for (const auto& n : nodes) {
+    ops.push_back(zk::Op::CheckVersion(ZnodePath(from + n.rel), n.version));
+  }
+  if (replace_dst_version.has_value()) {
+    ops.push_back(zk::Op::Delete(ZnodePath(to), *replace_dst_version));
+  }
+  for (const auto& n : nodes) {
+    ops.push_back(zk::Op::Create(ZnodePath(to + n.rel), n.data));
+  }
+  for (auto it = nodes.rbegin(); it != nodes.rend(); ++it) {
+    ops.push_back(zk::Op::Delete(ZnodePath(from + it->rel), it->version));
+  }
+  auto multi = co_await zk_.Multi(std::move(ops));
+  if (!multi.ok()) co_return Status(MapZkCode(multi.code()), from);
+  for (const auto& n : nodes) known_dirs_.erase(ZnodePath(from + n.rel));
+  co_return Status::Ok();
+}
+
+// Rename: the indirection through FIDs means no physical data moves — only
+// znodes change (§IV-A). Files move atomically via a ZooKeeper multi.
+sim::Task<Status> DufsClient::Rename(std::string from, std::string to) {
+  for (int attempt = 0; attempt <= config_.race_retries; ++attempt) {
+    auto src = co_await LookupPath(from);
+    if (!src.ok()) co_return src.status();
+    if (from == to) co_return Status::Ok();  // POSIX no-op
+    if (vfs::IsWithin(from, to)) {
+      co_return Status(StatusCode::kInvalidArgument,
+                       "rename into own subtree");
+    }
+    if (auto st = co_await CheckParentIsDir(to); !st.ok()) co_return st;
+
+    if (src->record.type == FileType::kDirectory) {
+      auto st = co_await RenameSubtree(from, to, *src);
+      if (st.code() == StatusCode::kConflict ||
+          st.code() == StatusCode::kBadVersion) {
+        continue;
+      }
+      co_return st;
+    }
+
+    // File / symlink: check src version, replace dst if it is a file,
+    // create dst, delete src — one atomic multi.
+    std::vector<zk::Op> ops;
+    ops.push_back(zk::Op::CheckVersion(ZnodePath(from), src->stat.version));
+    Fid replaced_fid;
+    auto dst = co_await LookupPath(to);
+    if (dst.ok()) {
+      if (dst->record.type == FileType::kDirectory) {
+        co_return Status(StatusCode::kIsADirectory, to);
+      }
+      replaced_fid = dst->record.fid;
+      ops.push_back(zk::Op::Delete(ZnodePath(to), dst->stat.version));
+    } else if (dst.code() != StatusCode::kNotFound) {
+      co_return dst.status();
+    }
+    ops.push_back(zk::Op::Create(ZnodePath(to), src->record.Encode()));
+    ops.push_back(zk::Op::Delete(ZnodePath(from), src->stat.version));
+
+    auto multi = co_await zk_.Multi(std::move(ops));
+    if (multi.ok()) {
+      if (!replaced_fid.IsNull()) {
+        auto& fs = BackendFor(replaced_fid);
+        (void)co_await fs.Unlink(PhysicalPathForFid(replaced_fid));
+      }
+      co_return Status::Ok();
+    }
+    if (multi.code() == StatusCode::kBadVersion ||
+        multi.code() == StatusCode::kAlreadyExists ||
+        multi.code() == StatusCode::kNotFound) {
+      continue;  // lost a race; re-resolve and retry
+    }
+    co_return Status(MapZkCode(multi.code()), from);
+  }
+  co_return Status(StatusCode::kConflict, from);
+}
+
+sim::Task<Status> DufsClient::Chmod(std::string path, vfs::Mode mode) {
+  for (int attempt = 0; attempt <= config_.race_retries; ++attempt) {
+    auto lookup = co_await LookupPath(path);
+    if (!lookup.ok()) co_return lookup.status();
+    MetaRecord record = lookup->record;
+    record.mode = mode;
+    auto st = co_await zk_.Set(ZnodePath(path), record.Encode(),
+                               lookup->stat.version);
+    if (st.ok()) co_return Status::Ok();
+    if (st.code() != StatusCode::kBadVersion) {
+      co_return Status(MapZkCode(st.code()), path);
+    }
+  }
+  co_return Status(StatusCode::kConflict, path);
+}
+
+sim::Task<Status> DufsClient::Utimens(std::string path, std::int64_t atime,
+                                      std::int64_t mtime) {
+  auto lookup = co_await LookupPath(path);
+  if (!lookup.ok()) co_return lookup.status();
+  if (lookup->record.type == FileType::kRegular) {
+    // Times live with the physical file and update transparently (§IV-D).
+    auto& fs = BackendFor(lookup->record.fid);
+    co_return co_await fs.Utimens(PhysicalPathForFid(lookup->record.fid),
+                                  atime, mtime);
+  }
+  MetaRecord record = lookup->record;
+  record.atime_override = atime;
+  record.mtime_override = mtime;
+  auto st = co_await zk_.Set(ZnodePath(path), record.Encode(),
+                             lookup->stat.version);
+  if (!st.ok()) co_return Status(MapZkCode(st.code()), path);
+  co_return Status::Ok();
+}
+
+sim::Task<Status> DufsClient::Truncate(std::string path, std::uint64_t size) {
+  auto lookup = co_await LookupPath(path);
+  if (!lookup.ok()) co_return lookup.status();
+  if (lookup->record.type != FileType::kRegular) {
+    co_return Status(StatusCode::kIsADirectory, path);
+  }
+  auto& fs = BackendFor(lookup->record.fid);
+  co_return co_await fs.Truncate(PhysicalPathForFid(lookup->record.fid),
+                                 size);
+}
+
+sim::Task<Status> DufsClient::Symlink(std::string target,
+                                      std::string link_path) {
+  if (auto st = vfs::ValidateVirtualPath(link_path); !st.ok()) co_return st;
+  if (auto st = co_await CheckParentIsDir(link_path); !st.ok()) co_return st;
+  auto created = co_await zk_.Create(
+      ZnodePath(link_path), MetaRecord::Symlink(std::move(target)).Encode());
+  if (!created.ok()) co_return Status(MapZkCode(created.code()), link_path);
+  co_return Status::Ok();
+}
+
+sim::Task<Result<std::string>> DufsClient::ReadLink(std::string path) {
+  auto lookup = co_await LookupPath(path);
+  if (!lookup.ok()) co_return lookup.status();
+  if (lookup->record.type != FileType::kSymlink) {
+    co_return Status(StatusCode::kInvalidArgument, "not a symlink");
+  }
+  co_return lookup->record.symlink_target;
+}
+
+sim::Task<Status> DufsClient::Access(std::string path, vfs::Mode mode) {
+  auto attr = co_await GetAttr(std::move(path));
+  if (!attr.ok()) co_return attr.status();
+  const vfs::Mode perms = attr->mode;
+  const vfs::Mode have = (perms | (perms >> 3) | (perms >> 6)) & 07;
+  if ((mode & have) != mode) co_return Status(StatusCode::kPermissionDenied);
+  co_return Status::Ok();
+}
+
+// Fig. 3 — open(): ZooKeeper lookup (B), deterministic mapping (C), then
+// the physical open on the back-end (D).
+sim::Task<Result<vfs::FileHandle>> DufsClient::Open(std::string path,
+                                                    std::uint32_t flags) {
+  auto lookup = co_await LookupPath(path);
+  if (!lookup.ok() && lookup.code() == StatusCode::kNotFound &&
+      (flags & vfs::kCreate)) {
+    auto created = co_await Create(path, vfs::kDefaultFileMode);
+    if (!created.ok() && created.code() != StatusCode::kAlreadyExists) {
+      co_return created.status();
+    }
+    lookup = co_await LookupPath(path);
+  }
+  if (!lookup.ok()) co_return lookup.status();
+  if (lookup->record.type == FileType::kDirectory) {
+    co_return Status(StatusCode::kIsADirectory, path);
+  }
+  if (lookup->record.type == FileType::kSymlink) {
+    co_return Status(StatusCode::kInvalidArgument, "open through symlink");
+  }
+  std::uint32_t backend = 0;
+  auto& fs = BackendFor(lookup->record.fid, &backend);
+  auto handle = co_await fs.Open(PhysicalPathForFid(lookup->record.fid),
+                                 flags & ~vfs::kCreate);
+  if (!handle.ok()) co_return handle.status();
+  const vfs::FileHandle fd = next_handle_++;
+  open_files_.emplace(fd, OpenState{backend, *handle});
+  co_return fd;
+}
+
+sim::Task<Status> DufsClient::Release(vfs::FileHandle handle) {
+  auto it = open_files_.find(handle);
+  if (it == open_files_.end()) {
+    co_return Status(StatusCode::kInvalidArgument, "bad handle");
+  }
+  const OpenState state = it->second;
+  open_files_.erase(it);
+  co_return co_await backends_[state.backend]->Release(state.backend_handle);
+}
+
+sim::Task<Result<vfs::Bytes>> DufsClient::Read(vfs::FileHandle handle,
+                                               std::uint64_t offset,
+                                               std::uint64_t length) {
+  auto it = open_files_.find(handle);
+  if (it == open_files_.end()) {
+    co_return Status(StatusCode::kInvalidArgument, "bad handle");
+  }
+  co_return co_await backends_[it->second.backend]->Read(
+      it->second.backend_handle, offset, length);
+}
+
+sim::Task<Result<std::uint64_t>> DufsClient::Write(vfs::FileHandle handle,
+                                                   std::uint64_t offset,
+                                                   vfs::Bytes data) {
+  auto it = open_files_.find(handle);
+  if (it == open_files_.end()) {
+    co_return Status(StatusCode::kInvalidArgument, "bad handle");
+  }
+  co_return co_await backends_[it->second.backend]->Write(
+      it->second.backend_handle, offset, std::move(data));
+}
+
+sim::Task<Result<vfs::FsStats>> DufsClient::StatFs() {
+  vfs::FsStats total;
+  for (auto* backend : backends_) {
+    auto stats = co_await backend->StatFs();
+    if (!stats.ok()) co_return stats.status();
+    total.total_bytes += stats->total_bytes;
+    total.free_bytes += stats->free_bytes;
+    total.files += stats->files;
+  }
+  co_return total;
+}
+
+std::size_t DufsClient::EstimateMemoryBytes() const {
+  constexpr std::size_t kFixed = 3 * 1024 * 1024;  // process + FUSE channel
+  return kFixed + known_dirs_.size() * 96 + known_phys_dirs_.size() * 96 +
+         open_files_.size() * 48;
+}
+
+}  // namespace dufs::core

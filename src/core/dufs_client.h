@@ -1,0 +1,144 @@
+// DUFS — the Distributed Union File System (paper §IV).
+//
+// A DufsClient merges N back-end parallel-filesystem mounts into one virtual
+// namespace:
+//
+//   * ALL namespace metadata lives in the coordination service: one znode
+//     per virtual file/directory under <prefix>/ns, with a MetaRecord in the
+//     data field. Directory operations never touch a back-end (§IV-B).
+//   * each file's contents live on exactly one back-end, at a physical path
+//     derived from its FID (Fig. 4); the back-end is chosen by the
+//     deterministic placement policy (§IV-F), so data placement needs no
+//     coordination;
+//   * FIDs are (client instance id ++ local counter); instance ids are made
+//     unique by a ZooKeeper sequential znode claimed at Mount() (§IV-E);
+//   * rename is an atomic ZooKeeper multi (check+create+delete); directory
+//     renames move the subtree in one multi up to a configured size;
+//   * the client itself is stateless (§IV-I): everything lives in ZooKeeper
+//     or on the back-ends, so client memory stays bounded (Fig. 11).
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/mapping.h"
+#include "core/meta_schema.h"
+#include "core/physical_path.h"
+#include "vfs/filesystem.h"
+#include "vfs/path.h"
+#include "zk/client.h"
+
+namespace dufs::core {
+
+struct DufsConfig {
+  std::string meta_prefix = "/dufs";
+  std::string placement = "md5-mod-n";  // or "consistent-hash"
+  // Largest directory subtree a rename may move atomically (znode count).
+  std::size_t dir_rename_limit = 256;
+  // Retries for optimistic multi-op races (rename vs concurrent mutation).
+  int race_retries = 3;
+};
+
+class DufsClient : public vfs::FileSystem {
+ public:
+  DufsClient(zk::ZkClient& zk, std::vector<vfs::FileSystem*> backends,
+             DufsConfig config = {});
+
+  // Connects the coordination session, creates the metadata skeleton and
+  // claims a unique client-instance id. Must succeed before any operation.
+  sim::Task<Status> Mount();
+  bool mounted() const { return client_id_ != 0; }
+  std::uint64_t client_id() const { return client_id_; }
+
+  // One-time back-end preparation: creates the static FID directory
+  // hierarchy on every back-end (paper §IV-G). Run once per filesystem,
+  // like mkfs; other clients then call AssumeFormatted().
+  sim::Task<Status> FormatBackends();
+  // Seeds the physical-directory cache without probing the back-ends
+  // (valid after some client ran FormatBackends).
+  void AssumeFormatted();
+
+  const DufsConfig& config() const { return config_; }
+  PlacementPolicy& placement() { return *placement_; }
+  std::size_t backend_count() const { return backends_.size(); }
+
+  // Client-resident memory (Fig. 11): caches + fd table, bounded.
+  std::size_t EstimateMemoryBytes() const;
+
+  std::string name() const override { return "dufs"; }
+
+  sim::Task<Result<vfs::FileAttr>> GetAttr(std::string path) override;
+  sim::Task<Status> Mkdir(std::string path, vfs::Mode mode) override;
+  sim::Task<Status> Rmdir(std::string path) override;
+  sim::Task<Result<vfs::FileAttr>> Create(std::string path,
+                                          vfs::Mode mode) override;
+  sim::Task<Status> Unlink(std::string path) override;
+  sim::Task<Result<std::vector<vfs::DirEntry>>> ReadDir(
+      std::string path) override;
+  sim::Task<Status> Rename(std::string from, std::string to) override;
+  sim::Task<Status> Chmod(std::string path, vfs::Mode mode) override;
+  sim::Task<Status> Utimens(std::string path, std::int64_t atime,
+                            std::int64_t mtime) override;
+  sim::Task<Status> Truncate(std::string path, std::uint64_t size) override;
+  sim::Task<Status> Symlink(std::string target,
+                            std::string link_path) override;
+  sim::Task<Result<std::string>> ReadLink(std::string path) override;
+  sim::Task<Status> Access(std::string path, vfs::Mode mode) override;
+  sim::Task<Result<vfs::FileHandle>> Open(std::string path,
+                                          std::uint32_t flags) override;
+  sim::Task<Status> Release(vfs::FileHandle handle) override;
+  sim::Task<Result<vfs::Bytes>> Read(vfs::FileHandle handle,
+                                     std::uint64_t offset,
+                                     std::uint64_t length) override;
+  sim::Task<Result<std::uint64_t>> Write(vfs::FileHandle handle,
+                                         std::uint64_t offset,
+                                         vfs::Bytes data) override;
+  sim::Task<Result<vfs::FsStats>> StatFs() override;
+
+ private:
+  struct OpenState {
+    std::uint32_t backend = 0;
+    vfs::FileHandle backend_handle = 0;
+  };
+
+  // "/a/b" -> "<prefix>/ns/a/b"; "/" -> "<prefix>/ns".
+  std::string ZnodePath(std::string_view virtual_path) const;
+  std::string NsRoot() const { return config_.meta_prefix + "/ns"; }
+
+  Fid NextFid();
+  vfs::FileSystem& BackendFor(const Fid& fid, std::uint32_t* index = nullptr);
+
+  // Reads a path's MetaRecord (+ znode stat/version).
+  struct Lookup {
+    MetaRecord record;
+    zk::ZnodeStat stat;
+  };
+  sim::Task<Result<Lookup>> LookupPath(std::string virtual_path);
+
+  // Fast parent-is-a-directory check with a positive-result cache (FUSE's
+  // dentry cache plays this role in the paper's prototype).
+  sim::Task<Status> CheckParentIsDir(const std::string& virtual_path);
+
+  // Creates (and caches) the static FID directory skeleton lazily.
+  sim::Task<Status> EnsurePhysicalDirs(std::uint32_t backend, const Fid& fid);
+
+  sim::Task<Status> RenameSubtree(const std::string& from,
+                                  const std::string& to, const Lookup& src);
+
+  vfs::FileAttr AttrFromDir(const MetaRecord& record,
+                            const zk::ZnodeStat& stat) const;
+
+  zk::ZkClient& zk_;
+  std::vector<vfs::FileSystem*> backends_;
+  DufsConfig config_;
+  std::unique_ptr<PlacementPolicy> placement_;
+  std::uint64_t client_id_ = 0;
+  std::uint64_t fid_counter_ = 0;
+  std::unordered_set<std::string> known_dirs_;       // znode paths
+  std::unordered_set<std::string> known_phys_dirs_;  // "<backend>:<dir>"
+  std::unordered_map<vfs::FileHandle, OpenState> open_files_;
+  vfs::FileHandle next_handle_ = 1;
+};
+
+}  // namespace dufs::core

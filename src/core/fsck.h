@@ -1,0 +1,70 @@
+// Consistency checker/repair for a DUFS deployment (extends the paper's
+// reliability discussion, §IV-I): the namespace lives in the coordination
+// service and file bodies on the back-ends, so partial failures can leave
+//
+//   * dangling files  — a znode whose FID has no physical file (e.g. the
+//     back-end lost data, or a create was interrupted after rollback
+//     failed), and
+//   * orphaned files  — physical files no znode references (e.g. an unlink
+//     that deleted the znode but crashed before the physical unlink).
+//
+// DufsFsck walks the metadata tree and every back-end's FID hierarchy,
+// reports both classes, and can repair them (drop dangling znodes, unlink
+// orphaned physical files).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/dufs_client.h"
+
+namespace dufs::core {
+
+struct FsckReport {
+  std::uint64_t directories = 0;
+  std::uint64_t files = 0;
+  std::uint64_t symlinks = 0;
+  std::uint64_t physical_files = 0;
+
+  // Virtual paths whose physical file is missing.
+  std::vector<std::string> dangling;
+  // (backend, physical path) pairs with no referencing znode.
+  std::vector<std::pair<std::uint32_t, std::string>> orphans;
+  // Znodes whose record failed to decode.
+  std::vector<std::string> corrupt_records;
+
+  bool clean() const {
+    return dangling.empty() && orphans.empty() && corrupt_records.empty();
+  }
+};
+
+class DufsFsck {
+ public:
+  // Uses the client's coordination session, back-ends and placement; the
+  // client must be mounted.
+  explicit DufsFsck(DufsClient& client, zk::ZkClient& zk,
+                    std::vector<vfs::FileSystem*> backends);
+
+  // Scan only.
+  sim::Task<Result<FsckReport>> Check();
+
+  // Scan + repair: dangling znodes are deleted, orphaned physical files
+  // unlinked. Returns the pre-repair report.
+  sim::Task<Result<FsckReport>> Repair();
+
+ private:
+  sim::Task<Status> WalkNamespace(std::string virtual_path,
+                                  FsckReport& report,
+                                  std::vector<std::pair<std::uint32_t,
+                                                        Fid>>& referenced);
+  sim::Task<Status> WalkBackend(std::uint32_t backend, std::string dir,
+                                int level, FsckReport& report,
+                                std::vector<std::pair<std::uint32_t, Fid>>&
+                                    referenced);
+
+  DufsClient& client_;
+  zk::ZkClient& zk_;
+  std::vector<vfs::FileSystem*> backends_;
+};
+
+}  // namespace dufs::core

@@ -1,0 +1,89 @@
+#include "core/mapping.h"
+
+#include "common/log.h"
+#include "common/md5.h"
+
+namespace dufs::core {
+namespace {
+
+// Canonical byte representation hashed for placement: big-endian client id
+// then counter (matches the FID hex form).
+std::array<std::uint8_t, 16> FidBytes(const Fid& fid) {
+  std::array<std::uint8_t, 16> bytes{};
+  for (int i = 0; i < 8; ++i) {
+    bytes[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(fid.client_id >> (8 * (7 - i)));
+    bytes[static_cast<std::size_t>(8 + i)] =
+        static_cast<std::uint8_t>(fid.counter >> (8 * (7 - i)));
+  }
+  return bytes;
+}
+
+std::uint64_t Md5Of(const Fid& fid) {
+  const auto bytes = FidBytes(fid);
+  return Md5::Hash(bytes.data(), bytes.size()).Low64();
+}
+
+}  // namespace
+
+Md5ModNPlacement::Md5ModNPlacement(std::size_t n) : n_(n) {
+  DUFS_CHECK(n > 0);
+}
+
+std::uint32_t Md5ModNPlacement::Place(const Fid& fid) const {
+  return static_cast<std::uint32_t>(Md5Of(fid) % n_);
+}
+
+void Md5ModNPlacement::SetBackendCount(std::size_t n) {
+  DUFS_CHECK(n > 0);
+  n_ = n;
+}
+
+ConsistentHashPlacement::ConsistentHashPlacement(std::size_t n,
+                                                 std::size_t vnodes)
+    : vnodes_(vnodes) {
+  DUFS_CHECK(n > 0 && vnodes > 0);
+  SetBackendCount(n);
+}
+
+void ConsistentHashPlacement::AddBackend(std::uint32_t id) {
+  for (std::size_t v = 0; v < vnodes_; ++v) {
+    const std::string key =
+        "backend-" + std::to_string(id) + "-vnode-" + std::to_string(v);
+    ring_.emplace(Md5::Hash(key).Low64(), id);
+  }
+}
+
+void ConsistentHashPlacement::RemoveBackend(std::uint32_t id) {
+  for (auto it = ring_.begin(); it != ring_.end();) {
+    if (it->second == id) {
+      it = ring_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void ConsistentHashPlacement::SetBackendCount(std::size_t n) {
+  DUFS_CHECK(n > 0);
+  while (n_ < n) AddBackend(static_cast<std::uint32_t>(n_++));
+  while (n_ > n) RemoveBackend(static_cast<std::uint32_t>(--n_));
+}
+
+std::uint32_t ConsistentHashPlacement::Place(const Fid& fid) const {
+  DUFS_CHECK(!ring_.empty());
+  const std::uint64_t h = Md5Of(fid);
+  auto it = ring_.lower_bound(h);
+  if (it == ring_.end()) it = ring_.begin();  // wrap
+  return it->second;
+}
+
+std::unique_ptr<PlacementPolicy> MakePlacement(const std::string& name,
+                                               std::size_t backends) {
+  if (name == "consistent-hash") {
+    return std::make_unique<ConsistentHashPlacement>(backends);
+  }
+  return std::make_unique<Md5ModNPlacement>(backends);
+}
+
+}  // namespace dufs::core

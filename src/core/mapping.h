@@ -1,0 +1,73 @@
+// Deterministic FID -> back-end mapping (paper §IV-F).
+//
+// Every DUFS client evaluates the mapping locally — placement never needs
+// coordination. The paper's implementation is `MD5(fid) mod N`; its stated
+// future work is consistent hashing so back-ends can be added/removed with
+// bounded relocation. Both are here; `bench/ablation_mapping` compares
+// their balance and relocation behaviour.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/fid.h"
+
+namespace dufs::core {
+
+class PlacementPolicy {
+ public:
+  virtual ~PlacementPolicy() = default;
+
+  virtual std::string name() const = 0;
+  // Index in [0, backend_count).
+  virtual std::uint32_t Place(const Fid& fid) const = 0;
+  virtual std::size_t backend_count() const = 0;
+  // Reconfigures the backend set. Md5ModN relocates ~(N-1)/N of all FIDs on
+  // such a change; ConsistentHashRing ~1/N.
+  virtual void SetBackendCount(std::size_t n) = 0;
+};
+
+// The paper's mapping: fid |-> MD5(fid) mod N. Uniform, stateless — but a
+// change of N remaps almost everything.
+class Md5ModNPlacement : public PlacementPolicy {
+ public:
+  explicit Md5ModNPlacement(std::size_t n);
+
+  std::string name() const override { return "md5-mod-n"; }
+  std::uint32_t Place(const Fid& fid) const override;
+  std::size_t backend_count() const override { return n_; }
+  void SetBackendCount(std::size_t n) override;
+
+ private:
+  std::size_t n_;
+};
+
+// Consistent hashing (paper §VII, [26]): each backend owns `vnodes` points
+// on a 64-bit ring; a FID maps to the first point clockwise of its hash.
+class ConsistentHashPlacement : public PlacementPolicy {
+ public:
+  ConsistentHashPlacement(std::size_t n, std::size_t vnodes_per_backend = 256);
+
+  std::string name() const override { return "consistent-hash"; }
+  std::uint32_t Place(const Fid& fid) const override;
+  std::size_t backend_count() const override { return n_; }
+  void SetBackendCount(std::size_t n) override;
+
+  std::size_t vnodes_per_backend() const { return vnodes_; }
+
+ private:
+  void AddBackend(std::uint32_t id);
+  void RemoveBackend(std::uint32_t id);
+
+  std::size_t n_ = 0;
+  std::size_t vnodes_;
+  std::map<std::uint64_t, std::uint32_t> ring_;
+};
+
+std::unique_ptr<PlacementPolicy> MakePlacement(const std::string& name,
+                                               std::size_t backends);
+
+}  // namespace dufs::core

@@ -1,0 +1,107 @@
+#include "core/rebalancer.h"
+
+namespace dufs::core {
+
+namespace {
+constexpr std::uint64_t kChunk = 1 << 20;  // copy granularity
+}  // namespace
+
+Rebalancer::Rebalancer(zk::ZkClient& zk,
+                       std::vector<vfs::FileSystem*> backends,
+                       PlacementPolicy& old_policy,
+                       PlacementPolicy& new_policy)
+    : zk_(zk),
+      backends_(std::move(backends)),
+      old_policy_(old_policy),
+      new_policy_(new_policy) {}
+
+sim::Task<Status> Rebalancer::MoveFile(const Fid& fid, std::uint32_t from,
+                                       std::uint32_t to,
+                                       RebalanceStats& stats) {
+  const std::string path = PhysicalPathForFid(fid);
+  auto src = co_await backends_[from]->Open(path, vfs::kRead);
+  if (!src.ok()) co_return src.status();
+
+  // Destination skeleton exists (format-time invariant), so create + copy.
+  auto created = co_await backends_[to]->Create(path, vfs::kDefaultFileMode);
+  if (!created.ok() && created.code() != StatusCode::kAlreadyExists) {
+    (void)co_await backends_[from]->Release(*src);
+    co_return created.status();
+  }
+  auto dst = co_await backends_[to]->Open(path, vfs::kWrite | vfs::kTruncate);
+  if (!dst.ok()) {
+    (void)co_await backends_[from]->Release(*src);
+    co_return dst.status();
+  }
+
+  std::uint64_t offset = 0;
+  Status failure = Status::Ok();
+  for (;;) {
+    auto chunk = co_await backends_[from]->Read(*src, offset, kChunk);
+    if (!chunk.ok()) {
+      failure = chunk.status();
+      break;
+    }
+    if (chunk->empty()) break;
+    const auto len = chunk->size();
+    auto wrote = co_await backends_[to]->Write(*dst, offset,
+                                               std::move(*chunk));
+    if (!wrote.ok()) {
+      failure = wrote.status();
+      break;
+    }
+    offset += len;
+  }
+  (void)co_await backends_[from]->Release(*src);
+  (void)co_await backends_[to]->Release(*dst);
+  if (!failure.ok()) co_return failure;
+
+  // Data is safely at the new home before the old copy goes away.
+  (void)co_await backends_[from]->Unlink(path);
+  ++stats.files_moved;
+  stats.bytes_moved += offset;
+  co_return Status::Ok();
+}
+
+sim::Task<Status> Rebalancer::Walk(std::string virtual_path,
+                                   RebalanceStats& stats) {
+  const std::string znode =
+      virtual_path == "/" ? "/dufs/ns" : "/dufs/ns" + virtual_path;
+  auto got = co_await zk_.Get(znode);
+  if (!got.ok()) co_return got.status();
+  auto record = MetaRecord::Decode(got->data);
+  if (!record.ok()) co_return record.status();
+
+  if (record->type == vfs::FileType::kDirectory) {
+    auto children = co_await zk_.GetChildren(znode);
+    if (!children.ok()) co_return children.status();
+    for (const auto& name : *children) {
+      std::string child =
+          virtual_path == "/" ? "/" + name : virtual_path + "/" + name;
+      auto st = co_await Walk(std::move(child), stats);
+      if (!st.ok()) co_return st;
+    }
+    co_return Status::Ok();
+  }
+  if (record->type != vfs::FileType::kRegular) co_return Status::Ok();
+
+  ++stats.files_scanned;
+  const std::uint32_t from = old_policy_.Place(record->fid);
+  const std::uint32_t to = new_policy_.Place(record->fid);
+  if (from == to) co_return Status::Ok();
+  auto st = co_await MoveFile(record->fid, from, to, stats);
+  if (!st.ok()) {
+    ++stats.errors;
+    DUFS_LOG(Warn) << "rebalance failed for " << virtual_path << ": " << st;
+  }
+  co_return Status::Ok();
+}
+
+sim::Task<Result<RebalanceStats>> Rebalancer::Run() {
+  RebalanceStats stats;
+  auto st = co_await Walk("/", stats);
+  if (!st.ok()) co_return st;
+  co_return stats;
+}
+
+}  // namespace dufs::core

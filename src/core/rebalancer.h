@@ -1,0 +1,44 @@
+// Back-end pool rebalancer — the machinery behind the paper's §VII plan
+// ("dynamically add and remove back-end storages while ensuring that the
+// amount of data to relocate stays bounded").
+//
+// Placement is a pure function of the FID, so after the pool changes the
+// new location of every file is known without coordination; what must move
+// is the data. The rebalancer walks the namespace, finds files whose
+// placement under the *new* policy differs from the old one, copies their
+// contents old -> new, and removes the old copy. Virtual names, FIDs and
+// znodes are untouched (the FID indirection at work).
+#pragma once
+
+#include "core/dufs_client.h"
+
+namespace dufs::core {
+
+struct RebalanceStats {
+  std::uint64_t files_scanned = 0;
+  std::uint64_t files_moved = 0;
+  std::uint64_t bytes_moved = 0;
+  std::uint64_t errors = 0;
+};
+
+class Rebalancer {
+ public:
+  // `old_policy` describes where data currently lives; `new_policy` where
+  // it must live. Both must be consistent with `backends.size()`.
+  Rebalancer(zk::ZkClient& zk, std::vector<vfs::FileSystem*> backends,
+             PlacementPolicy& old_policy, PlacementPolicy& new_policy);
+
+  sim::Task<Result<RebalanceStats>> Run();
+
+ private:
+  sim::Task<Status> Walk(std::string virtual_path, RebalanceStats& stats);
+  sim::Task<Status> MoveFile(const Fid& fid, std::uint32_t from,
+                             std::uint32_t to, RebalanceStats& stats);
+
+  zk::ZkClient& zk_;
+  std::vector<vfs::FileSystem*> backends_;
+  PlacementPolicy& old_policy_;
+  PlacementPolicy& new_policy_;
+};
+
+}  // namespace dufs::core

@@ -1,0 +1,185 @@
+#include "mdtest/workload.h"
+
+#include <cstdio>
+
+namespace dufs::mdtest {
+
+std::string_view PhaseName(Phase phase) {
+  switch (phase) {
+    case Phase::kDirCreate: return "dir-create";
+    case Phase::kDirStat: return "dir-stat";
+    case Phase::kDirRemove: return "dir-remove";
+    case Phase::kFileCreate: return "file-create";
+    case Phase::kFileStat: return "file-stat";
+    case Phase::kFileRemove: return "file-remove";
+  }
+  return "?";
+}
+
+MdtestRunner::MdtestRunner(Testbed& testbed, MdtestConfig config)
+    : testbed_(testbed), config_(std::move(config)) {}
+
+std::string MdtestRunner::ProcDir(std::size_t proc) const {
+  return config_.root + "/p" + std::to_string(proc);
+}
+
+std::string MdtestRunner::ItemPath(std::size_t proc, Phase phase,
+                                   std::size_t item) const {
+  const bool is_dir = phase == Phase::kDirCreate || phase == Phase::kDirStat ||
+                      phase == Phase::kDirRemove;
+  return ProcDir(proc) + "/t" +
+         std::to_string(item % static_cast<std::size_t>(config_.fanout)) +
+         (is_dir ? "/dir." : "/file.") + std::to_string(item);
+}
+
+MdtestRunner::Ops MdtestRunner::OpsFor(Target target, std::size_t node) {
+  Ops ops;
+  if (target == Target::kDufs) {
+    vfs::FuseMount* mount = testbed_.client(node).fuse.get();
+    ops.mkdir = [mount](std::string path) -> sim::Task<Status> {
+      co_return co_await mount->Mkdir(std::move(path));
+    };
+    ops.rmdir = [mount](std::string path) -> sim::Task<Status> {
+      co_return co_await mount->Rmdir(std::move(path));
+    };
+    ops.stat = [mount](std::string path) -> sim::Task<Status> {
+      co_return (co_await mount->Stat(std::move(path))).status();
+    };
+    ops.create = [mount](std::string path) -> sim::Task<Status> {
+      co_return co_await mount->Mknod(std::move(path));
+    };
+    ops.unlink = [mount](std::string path) -> sim::Task<Status> {
+      co_return co_await mount->Unlink(std::move(path));
+    };
+  } else {
+    vfs::FileSystem* fs = &testbed_.baseline(node);
+    ops.mkdir = [fs](std::string path) -> sim::Task<Status> {
+      co_return co_await fs->Mkdir(std::move(path), vfs::kDefaultDirMode);
+    };
+    ops.rmdir = [fs](std::string path) -> sim::Task<Status> {
+      co_return co_await fs->Rmdir(std::move(path));
+    };
+    ops.stat = [fs](std::string path) -> sim::Task<Status> {
+      co_return (co_await fs->GetAttr(std::move(path))).status();
+    };
+    ops.create = [fs](std::string path) -> sim::Task<Status> {
+      co_return (co_await fs->Create(std::move(path), vfs::kDefaultFileMode))
+          .status();
+    };
+    ops.unlink = [fs](std::string path) -> sim::Task<Status> {
+      co_return co_await fs->Unlink(std::move(path));
+    };
+  }
+  return ops;
+}
+
+std::vector<PhaseResult> MdtestRunner::Run(Target target,
+                                           std::vector<Phase> phases) {
+  auto& sim = testbed_.sim();
+  const std::size_t procs = config_.processes;
+  const std::size_t nodes = testbed_.client_count();
+
+  // Untimed setup: the directory skeleton every process works in.
+  sim::RunTask(sim, [](MdtestRunner& self, Target tgt, std::size_t n_procs,
+                       std::size_t n_nodes) -> sim::Task<void> {
+    auto root_ops = self.OpsFor(tgt, 0);
+    (void)co_await root_ops.mkdir(self.config_.root);
+    for (std::size_t p = 0; p < n_procs; ++p) {
+      auto ops = self.OpsFor(tgt, p % n_nodes);
+      (void)co_await ops.mkdir(self.ProcDir(p));
+      for (int t = 0; t < self.config_.fanout; ++t) {
+        (void)co_await ops.mkdir(self.ProcDir(p) + "/t" + std::to_string(t));
+      }
+    }
+  }(*this, target, procs, nodes));
+
+  std::vector<PhaseResult> results;
+  for (Phase phase : phases) {
+    PhaseResult result;
+    result.phase = phase;
+
+    struct ProcStats {
+      std::uint64_t errors = 0;
+      LatencyHistogram latency;
+    };
+    std::vector<ProcStats> proc_stats(procs);
+    sim::SimTime t_start = 0, t_end = 0;
+
+    sim::RunTask(sim, [](MdtestRunner& self, Target tgt, Phase ph,
+                         std::vector<ProcStats>& stats, sim::SimTime& start,
+                         sim::SimTime& end) -> sim::Task<void> {
+      auto& simulation = self.testbed_.sim();
+      const std::size_t n_procs = self.config_.processes;
+      const std::size_t n_nodes = self.testbed_.client_count();
+      sim::Barrier begin(simulation, n_procs + 1);
+      sim::Barrier done(simulation, n_procs + 1);
+      for (std::size_t p = 0; p < n_procs; ++p) {
+        simulation.Spawn([](MdtestRunner& self2, Target tgt2, Phase ph2,
+                            std::size_t proc, std::size_t node,
+                            ProcStats& st, sim::Barrier b0,
+                            sim::Barrier b1) -> sim::Task<void> {
+          auto ops = self2.OpsFor(tgt2, node);
+          auto& s = self2.testbed_.sim();
+          co_await b0.Arrive();
+          for (std::size_t i = 0; i < self2.config_.items_per_proc; ++i) {
+            const std::string path = self2.ItemPath(proc, ph2, i);
+            const sim::SimTime op_start = s.now();
+            Status status = Status::Ok();
+            switch (ph2) {
+              case Phase::kDirCreate:
+                status = co_await ops.mkdir(path);
+                break;
+              case Phase::kDirStat:
+              case Phase::kFileStat:
+                status = co_await ops.stat(path);
+                break;
+              case Phase::kDirRemove:
+                status = co_await ops.rmdir(path);
+                break;
+              case Phase::kFileCreate:
+                status = co_await ops.create(path);
+                break;
+              case Phase::kFileRemove:
+                status = co_await ops.unlink(path);
+                break;
+            }
+            if (!status.ok()) ++st.errors;
+            st.latency.Add(s.now() - op_start);
+          }
+          co_await b1.Arrive();
+        }(self, tgt, ph, p, p % n_nodes, stats[p], begin, done));
+      }
+      co_await begin.Arrive();
+      start = simulation.now();
+      co_await done.Arrive();
+      end = simulation.now();
+    }(*this, target, phase, proc_stats, t_start, t_end));
+
+    result.ops = procs * config_.items_per_proc;
+    for (const auto& st : proc_stats) {
+      result.errors += st.errors;
+      result.latency.Merge(st.latency);
+    }
+    result.seconds =
+        static_cast<double>(t_end - t_start) / static_cast<double>(sim::kSecond);
+    result.ops_per_sec =
+        result.seconds > 0 ? static_cast<double>(result.ops) / result.seconds
+                           : 0;
+    results.push_back(std::move(result));
+  }
+  return results;
+}
+
+std::string MdtestRunner::FormatRow(const PhaseResult& result) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "%-12s %10.1f ops/s  (ops=%llu errs=%llu %s)",
+                std::string(PhaseName(result.phase)).c_str(),
+                result.ops_per_sec,
+                static_cast<unsigned long long>(result.ops),
+                static_cast<unsigned long long>(result.errors),
+                result.latency.Summary().c_str());
+  return buf;
+}
+
+}  // namespace dufs::mdtest

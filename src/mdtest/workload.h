@@ -1,0 +1,88 @@
+// mdtest-style metadata benchmark (paper §V, [13]).
+//
+// P processes, spread round-robin over the client nodes, each work in a
+// unique directory (mdtest -u). A small fan-out skeleton (the paper uses
+// fan-out 10) is pre-created untimed; each timed phase then performs
+// `items_per_proc` operations per process, start/stop synchronized by
+// barriers, and reports aggregate ops/sec — exactly what the paper's
+// figures plot.
+//
+// Targets: the DUFS FUSE mount, or a "basic" native back-end client.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "mdtest/testbed.h"
+
+namespace dufs::mdtest {
+
+enum class Phase {
+  kDirCreate,
+  kDirStat,
+  kDirRemove,
+  kFileCreate,
+  kFileStat,
+  kFileRemove,
+};
+
+std::string_view PhaseName(Phase phase);
+
+enum class Target {
+  kDufs,      // through the FUSE mount (the paper's DUFS rows)
+  kBaseline,  // native back-end instance 0 (Basic Lustre / Basic PVFS)
+};
+
+struct MdtestConfig {
+  std::size_t processes = 64;
+  std::size_t items_per_proc = 100;
+  int fanout = 10;  // skeleton branching (paper: 10, depth 5 overall tree)
+  std::string root = "/mdtest";
+};
+
+struct PhaseResult {
+  Phase phase = Phase::kDirCreate;
+  std::uint64_t ops = 0;
+  std::uint64_t errors = 0;
+  double seconds = 0;
+  double ops_per_sec = 0;
+  LatencyHistogram latency;
+};
+
+class MdtestRunner {
+ public:
+  MdtestRunner(Testbed& testbed, MdtestConfig config);
+
+  // Runs the six mdtest phases (or a subset) against the target; the
+  // skeleton setup and teardown are untimed, as in mdtest.
+  std::vector<PhaseResult> Run(Target target,
+                               std::vector<Phase> phases = {
+                                   Phase::kDirCreate, Phase::kDirStat,
+                                   Phase::kDirRemove, Phase::kFileCreate,
+                                   Phase::kFileStat, Phase::kFileRemove});
+
+  // Formats one result row ("dir-create  12345.6 ops/s ...").
+  static std::string FormatRow(const PhaseResult& result);
+
+ private:
+  // Narrow per-process view over either target's API.
+  struct Ops {
+    std::function<sim::Task<Status>(std::string)> mkdir;
+    std::function<sim::Task<Status>(std::string)> rmdir;
+    std::function<sim::Task<Status>(std::string)> stat;
+    std::function<sim::Task<Status>(std::string)> create;  // create + close
+    std::function<sim::Task<Status>(std::string)> unlink;
+  };
+  Ops OpsFor(Target target, std::size_t node);
+
+  std::string ItemPath(std::size_t proc, Phase phase, std::size_t item) const;
+  std::string ProcDir(std::size_t proc) const;
+
+  Testbed& testbed_;
+  MdtestConfig config_;
+  bool skeleton_ready_ = false;
+};
+
+}  // namespace dufs::mdtest

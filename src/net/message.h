@@ -1,0 +1,26 @@
+// The unit of simulated network traffic.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace dufs::net {
+
+using NodeId = std::uint32_t;
+inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+
+struct Message {
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  std::uint64_t rpc_id = 0;
+  std::uint16_t method = 0;   // service-scoped method id; 0 on responses
+  bool is_response = false;
+  std::vector<std::uint8_t> payload;
+
+  // Ethernet/IP/TCP + our RPC framing. Added to the payload for the NIC
+  // bandwidth model.
+  static constexpr std::size_t kHeaderBytes = 78;
+  std::size_t WireSize() const { return payload.size() + kHeaderBytes; }
+};
+
+}  // namespace dufs::net

@@ -1,0 +1,115 @@
+#include "net/network.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace dufs::net {
+
+Node::Node(sim::Simulation& sim, NodeId id, std::string name, NodeModel model)
+    : sim_(sim),
+      id_(id),
+      name_(std::move(name)),
+      model_(model),
+      cpu_(sim, model.cores),
+      egress_(sim, 1),
+      ingress_(sim, 1),
+      disk_(sim, 1) {}
+
+sim::Task<void> Node::Compute(sim::Duration cpu_time) {
+  auto guard = co_await cpu_.Acquire();
+  co_await sim_.Delay(cpu_time);
+}
+
+sim::Task<void> Node::DiskWrite(std::size_t bytes) {
+  auto guard = co_await disk_.Acquire();
+  co_await sim_.Delay(model_.disk.WriteTime(bytes));
+}
+
+void Node::Deliver(Message msg) {
+  if (!up_) return;
+  ++messages_received;
+  bytes_received += msg.WireSize();
+  if (sink_) sink_(std::move(msg));
+}
+
+void Node::Crash() { up_ = false; }
+
+void Node::Restart() {
+  up_ = true;
+  ++incarnation_;
+}
+
+NodeId Network::AddNode(std::string name, NodeModel model) {
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(std::make_unique<Node>(sim_, id, std::move(name), model));
+  return id;
+}
+
+Node& Network::node(NodeId id) {
+  DUFS_CHECK(id < nodes_.size());
+  return *nodes_[id];
+}
+
+const Node& Network::node(NodeId id) const {
+  DUFS_CHECK(id < nodes_.size());
+  return *nodes_[id];
+}
+
+void Network::Send(Message msg) {
+  DUFS_CHECK(msg.src < nodes_.size() && msg.dst < nodes_.size());
+  sim::CurrentSimulationScope scope(&sim_);
+  sim_.Spawn(Transfer(std::move(msg)));
+}
+
+sim::Task<void> Network::Transfer(Message msg) {
+  Node& src = node(msg.src);
+  if (!src.up()) co_return;  // sender died before the packet left
+
+  const std::size_t wire = msg.WireSize();
+  {
+    // Source NIC serialization.
+    auto guard = co_await src.egress().Acquire();
+    co_await sim_.Delay(src.model().nic.TxTime(wire));
+  }
+  ++src.messages_sent;
+  src.bytes_sent += wire;
+
+  co_await sim_.Delay(src.model().nic.base_latency);
+
+  if (Partitioned(msg.src, msg.dst)) {
+    ++messages_dropped_;
+    co_return;
+  }
+  Node& dst = node(msg.dst);
+  if (!dst.up()) {
+    ++messages_dropped_;
+    co_return;
+  }
+  {
+    // Destination NIC serialization (receive-side bottleneck for fan-in).
+    auto guard = co_await dst.ingress().Acquire();
+    co_await sim_.Delay(dst.model().nic.TxTime(wire));
+  }
+  if (!dst.up() || Partitioned(msg.src, msg.dst)) {
+    ++messages_dropped_;
+    co_return;  // crashed or cut while the bytes were in flight
+  }
+  ++messages_delivered_;
+  dst.Deliver(std::move(msg));
+}
+
+void Network::Partition(NodeId a, NodeId b) {
+  partitions_.insert({std::min(a, b), std::max(a, b)});
+}
+
+void Network::Heal(NodeId a, NodeId b) {
+  partitions_.erase({std::min(a, b), std::max(a, b)});
+}
+
+void Network::HealAll() { partitions_.clear(); }
+
+bool Network::Partitioned(NodeId a, NodeId b) const {
+  return partitions_.count({std::min(a, b), std::max(a, b)}) > 0;
+}
+
+}  // namespace dufs::net

@@ -1,0 +1,110 @@
+// Simulated cluster: nodes with CPU / NIC / disk resources, and a network
+// that moves Messages between them with 1 GigE costs. Supports failure
+// injection (node crash/restart, pairwise partitions).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "net/message.h"
+#include "net/perf_model.h"
+#include "sim/simulation.h"
+#include "sim/sync.h"
+#include "sim/task.h"
+
+namespace dufs::net {
+
+class Network;
+
+// One machine. Owned by the Network; refer to it by NodeId.
+class Node {
+ public:
+  Node(sim::Simulation& sim, NodeId id, std::string name, NodeModel model);
+
+  NodeId id() const { return id_; }
+  const std::string& name() const { return name_; }
+  const NodeModel& model() const { return model_; }
+
+  bool up() const { return up_; }
+  std::uint64_t incarnation() const { return incarnation_; }
+
+  // Occupies one core for `cpu_time`. Queues behind other work when all
+  // cores are busy — this is how server-side contention emerges.
+  sim::Task<void> Compute(sim::Duration cpu_time);
+
+  // Synchronous disk write (journal commit). Serializes on the disk device.
+  sim::Task<void> DiskWrite(std::size_t bytes);
+
+  // Inbound-message sink, installed by the RPC endpoint.
+  void SetSink(std::function<void(Message)> sink) { sink_ = std::move(sink); }
+  void Deliver(Message msg);
+
+  // Failure injection. Crash drops all queued state at the endpoint level
+  // (the RPC layer watches the incarnation); restart bumps the incarnation.
+  void Crash();
+  void Restart();
+
+  sim::Resource& egress() { return egress_; }
+  sim::Resource& ingress() { return ingress_; }
+  sim::Resource& cpu() { return cpu_; }
+
+  // Traffic accounting for experiments.
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_received = 0;
+
+ private:
+  sim::Simulation& sim_;
+  NodeId id_;
+  std::string name_;
+  NodeModel model_;
+  bool up_ = true;
+  std::uint64_t incarnation_ = 1;
+  sim::Resource cpu_;
+  sim::Resource egress_;
+  sim::Resource ingress_;
+  sim::Resource disk_;
+  std::function<void(Message)> sink_;
+};
+
+class Network {
+ public:
+  explicit Network(sim::Simulation& sim) : sim_(sim) {}
+
+  NodeId AddNode(std::string name, NodeModel model = NodeModel{});
+  Node& node(NodeId id);
+  const Node& node(NodeId id) const;
+  std::size_t size() const { return nodes_.size(); }
+
+  // Asynchronously moves the message: serializes on the source NIC, waits
+  // propagation latency, serializes on the destination NIC, then delivers.
+  // Messages to crashed or partitioned destinations are silently dropped
+  // (the RPC layer turns that into a timeout).
+  void Send(Message msg);
+
+  // Pairwise partition control (symmetric).
+  void Partition(NodeId a, NodeId b);
+  void Heal(NodeId a, NodeId b);
+  void HealAll();
+  bool Partitioned(NodeId a, NodeId b) const;
+
+  sim::Simulation& sim() { return sim_; }
+
+  std::uint64_t messages_delivered() const { return messages_delivered_; }
+  std::uint64_t messages_dropped() const { return messages_dropped_; }
+
+ private:
+  sim::Task<void> Transfer(Message msg);
+
+  sim::Simulation& sim_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::set<std::pair<NodeId, NodeId>> partitions_;
+  std::uint64_t messages_delivered_ = 0;
+  std::uint64_t messages_dropped_ = 0;
+};
+
+}  // namespace dufs::net

@@ -1,0 +1,52 @@
+// Calibration constants for the simulated cluster.
+//
+// Defaults model the paper's testbed: dual Xeon E5335 nodes (8 cores),
+// 1 GigE networking, SATA disks. These are the *only* knobs that turn real
+// data-structure operations into throughput curves, so every experiment's
+// shape can be traced back to a constant here (see DESIGN.md §4).
+#pragma once
+
+#include <cstddef>
+
+#include "sim/time.h"
+
+namespace dufs::net {
+
+struct NicModel {
+  // ~1 GigE goodput after TCP/IP framing overheads.
+  double bandwidth_bytes_per_sec = 112e6;
+  // One-way propagation + kernel/TCP stack traversal per message.
+  sim::Duration base_latency = sim::Us(60);
+  // Fixed per-message CPU/DMA cost on the sending side (syscall, copy).
+  sim::Duration per_message_overhead = sim::Us(5);
+
+  sim::Duration TxTime(std::size_t wire_bytes) const {
+    const double secs =
+        static_cast<double>(wire_bytes) / bandwidth_bytes_per_sec;
+    return per_message_overhead +
+           static_cast<sim::Duration>(secs *
+                                      static_cast<double>(sim::kSecond));
+  }
+};
+
+struct DiskModel {
+  // SATA 250 GB spindle: a synchronous journal commit costs a few ms, but
+  // servers batch commits (group commit), so the per-batch cost dominates.
+  sim::Duration sync_latency = sim::Ms(2.0);
+  double bandwidth_bytes_per_sec = 70e6;
+
+  sim::Duration WriteTime(std::size_t bytes) const {
+    const double secs = static_cast<double>(bytes) / bandwidth_bytes_per_sec;
+    return sync_latency +
+           static_cast<sim::Duration>(secs *
+                                      static_cast<double>(sim::kSecond));
+  }
+};
+
+struct NodeModel {
+  std::size_t cores = 8;
+  NicModel nic;
+  DiskModel disk;
+};
+
+}  // namespace dufs::net

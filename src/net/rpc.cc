@@ -1,0 +1,115 @@
+#include "net/rpc.h"
+
+#include <utility>
+
+namespace dufs::net {
+
+RpcEndpoint::RpcEndpoint(Network& net, NodeId self) : net_(net), self_(self) {
+  net_.node(self_).SetSink([this](Message msg) { OnMessage(std::move(msg)); });
+}
+
+void RpcEndpoint::RegisterHandler(std::uint16_t method, Handler handler) {
+  DUFS_CHECK(handlers_.emplace(method, std::move(handler)).second);
+}
+
+sim::Task<RpcResult> RpcEndpoint::Call(NodeId dst, std::uint16_t method,
+                                       Payload request,
+                                       sim::Duration timeout) {
+  if (!node().up()) {
+    co_return Status(StatusCode::kNotConnected, "local node is down");
+  }
+  const std::uint64_t id = next_rpc_id_++;
+  ++calls_sent_;
+  auto [future, promise] = sim::MakeFuture<RpcResult>(sim());
+  pending_.emplace(id, promise);
+
+  Message msg;
+  msg.src = self_;
+  msg.dst = dst;
+  msg.rpc_id = id;
+  msg.method = method;
+  msg.payload = std::move(request);
+  net_.Send(std::move(msg));
+
+  // The timeout races the response; FutureState's first-writer-wins makes
+  // this safe without cancellation plumbing.
+  sim().ScheduleFn(timeout, [this, id, promise]() mutable {
+    if (promise.Set(Status(StatusCode::kTimeout, "rpc deadline exceeded"))) {
+      pending_.erase(id);
+    }
+  });
+
+  RpcResult result = co_await std::move(future);
+  co_return result;
+}
+
+void RpcEndpoint::Notify(NodeId dst, std::uint16_t method, Payload request) {
+  if (!node().up()) return;
+  Message msg;
+  msg.src = self_;
+  msg.dst = dst;
+  msg.rpc_id = 0;  // one-way
+  msg.method = method;
+  msg.payload = std::move(request);
+  net_.Send(std::move(msg));
+}
+
+void RpcEndpoint::FailPending(StatusCode code) {
+  auto pending = std::move(pending_);
+  pending_.clear();
+  for (auto& [id, promise] : pending) {
+    promise.Set(Status(code, "connection reset"));
+  }
+}
+
+void RpcEndpoint::OnMessage(Message msg) {
+  if (msg.is_response) {
+    auto it = pending_.find(msg.rpc_id);
+    if (it == pending_.end()) return;  // raced with the timeout
+    auto promise = it->second;
+    pending_.erase(it);
+    promise.Set(std::move(msg.payload));
+    return;
+  }
+
+  auto it = handlers_.find(msg.method);
+  if (it == handlers_.end()) {
+    if (msg.rpc_id != 0) {
+      // No such service: reply with an empty error frame is not expressible
+      // at this layer (payload-only responses), so we simply drop and let
+      // the caller time out — mirroring a connection refused + retry.
+      DUFS_LOG(Warn) << node().name() << ": no handler for method "
+                     << msg.method;
+    }
+    return;
+  }
+  ++calls_handled_;
+  sim::CurrentSimulationScope scope(&sim());
+  sim().Spawn(RunHandler(&it->second, std::move(msg), node().incarnation()));
+}
+
+sim::Task<void> RpcEndpoint::RunHandler(Handler* handler, Message msg,
+                                        std::uint64_t incarnation) {
+  RpcResult result = co_await (*handler)(msg.src, std::move(msg.payload));
+  if (msg.rpc_id == 0) co_return;  // one-way
+  // A handler that raced a crash/restart must not leak a reply from the
+  // previous incarnation.
+  if (!node().up() || node().incarnation() != incarnation) co_return;
+  if (!result.ok()) {
+    // Errors travel as dropped replies (callers time out). Services that
+    // need typed errors encode them in their own response payloads; a
+    // Status here means the service itself failed abnormally.
+    DUFS_LOG(Debug) << node().name() << ": handler error "
+                    << result.status().ToString();
+    co_return;
+  }
+  Message reply;
+  reply.src = self_;
+  reply.dst = msg.src;
+  reply.rpc_id = msg.rpc_id;
+  reply.is_response = true;
+  reply.payload = std::move(result).value();
+  net_.Send(std::move(reply));
+}
+
+}  // namespace dufs::net

@@ -1,0 +1,61 @@
+// Wire helpers shared by the parallel-filesystem protocols.
+#pragma once
+
+#include "common/status.h"
+#include "vfs/types.h"
+#include "wire/buffer.h"
+
+namespace dufs::pfs {
+
+inline void EncodeAttr(wire::BufferWriter& w, const vfs::FileAttr& a) {
+  w.WriteU8(static_cast<std::uint8_t>(a.type));
+  w.WriteU32(a.mode);
+  w.WriteU64(a.size);
+  w.WriteU64(a.inode);
+  w.WriteU32(a.nlink);
+  w.WriteI64(a.ctime);
+  w.WriteI64(a.mtime);
+  w.WriteI64(a.atime);
+}
+
+inline Result<vfs::FileAttr> DecodeAttr(wire::BufferReader& r) {
+  vfs::FileAttr a;
+  auto type = r.ReadU8();
+  DUFS_RETURN_IF_ERROR(type);
+  a.type = static_cast<vfs::FileType>(*type);
+  auto mode = r.ReadU32();
+  DUFS_RETURN_IF_ERROR(mode);
+  a.mode = *mode;
+  auto size = r.ReadU64();
+  DUFS_RETURN_IF_ERROR(size);
+  a.size = *size;
+  auto inode = r.ReadU64();
+  DUFS_RETURN_IF_ERROR(inode);
+  a.inode = *inode;
+  auto nlink = r.ReadU32();
+  DUFS_RETURN_IF_ERROR(nlink);
+  a.nlink = *nlink;
+  auto ctime = r.ReadI64();
+  DUFS_RETURN_IF_ERROR(ctime);
+  a.ctime = *ctime;
+  auto mtime = r.ReadI64();
+  DUFS_RETURN_IF_ERROR(mtime);
+  a.mtime = *mtime;
+  auto atime = r.ReadI64();
+  DUFS_RETURN_IF_ERROR(atime);
+  a.atime = *atime;
+  return a;
+}
+
+// Every PFS response begins with a status byte.
+inline void EncodeCode(wire::BufferWriter& w, StatusCode code) {
+  w.WriteU8(static_cast<std::uint8_t>(code));
+}
+
+inline Result<StatusCode> DecodeCode(wire::BufferReader& r) {
+  auto code = r.ReadU8();
+  DUFS_RETURN_IF_ERROR(code);
+  return static_cast<StatusCode>(*code);
+}
+
+}  // namespace dufs::pfs

@@ -1,0 +1,88 @@
+// One-shot Future/Promise pair for cross-actor completion (RPC responses,
+// commit notifications). Single waiter; first Set() wins (later Sets are
+// ignored, which is how RPC timeouts race responses safely).
+#pragma once
+
+#include <coroutine>
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "common/log.h"
+#include "sim/simulation.h"
+
+namespace dufs::sim {
+
+namespace internal {
+
+template <typename T>
+struct FutureState {
+  Simulation* sim;
+  std::optional<T> value;
+  std::coroutine_handle<> waiter;
+
+  explicit FutureState(Simulation* s) : sim(s) {}
+
+  bool Set(T v) {
+    if (value.has_value()) return false;  // first writer wins
+    value.emplace(std::move(v));
+    if (waiter) {
+      sim->ScheduleHandle(0, std::exchange(waiter, nullptr));
+    }
+    return true;
+  }
+};
+
+}  // namespace internal
+
+template <typename T>
+class Future {
+ public:
+  explicit Future(std::shared_ptr<internal::FutureState<T>> st)
+      : st_(std::move(st)) {}
+
+  bool ready() const { return st_->value.has_value(); }
+
+  auto operator co_await() && {
+    struct Awaiter {
+      std::shared_ptr<internal::FutureState<T>> st;
+      bool await_ready() const { return st->value.has_value(); }
+      void await_suspend(std::coroutine_handle<> h) {
+        DUFS_CHECK(st->waiter == nullptr);  // single waiter
+        st->waiter = h;
+      }
+      T await_resume() {
+        DUFS_CHECK(st->value.has_value());
+        return std::move(*st->value);
+      }
+    };
+    return Awaiter{std::move(st_)};
+  }
+
+ private:
+  std::shared_ptr<internal::FutureState<T>> st_;
+};
+
+template <typename T>
+class Promise {
+ public:
+  Promise() : st_(nullptr) {}
+  explicit Promise(std::shared_ptr<internal::FutureState<T>> st)
+      : st_(std::move(st)) {}
+
+  // Returns false if the future was already fulfilled.
+  bool Set(T v) const { return st_->Set(std::move(v)); }
+  bool fulfilled() const { return st_->value.has_value(); }
+  bool valid() const { return st_ != nullptr; }
+
+ private:
+  std::shared_ptr<internal::FutureState<T>> st_;
+};
+
+template <typename T>
+std::pair<Future<T>, Promise<T>> MakeFuture(Simulation& sim) {
+  auto st = std::make_shared<internal::FutureState<T>>(&sim);
+  return {Future<T>(st), Promise<T>(st)};
+}
+
+}  // namespace dufs::sim

@@ -1,0 +1,80 @@
+#include "sim/simulation.h"
+
+#include <utility>
+
+namespace dufs::sim {
+
+namespace {
+thread_local Simulation* g_current = nullptr;
+}  // namespace
+
+Simulation::Simulation(std::uint64_t seed) : rng_(seed) {}
+
+Simulation::~Simulation() { Shutdown(); }
+
+Simulation* Simulation::Current() { return g_current; }
+
+CurrentSimulationScope::CurrentSimulationScope(Simulation* sim)
+    : saved_(g_current) {
+  g_current = sim;
+}
+
+CurrentSimulationScope::~CurrentSimulationScope() { g_current = saved_; }
+
+void Simulation::ScheduleHandle(Duration delay, std::coroutine_handle<> h) {
+  DUFS_CHECK(delay >= 0);
+  DUFS_CHECK(h != nullptr);
+  queue_.push(Event{now_ + delay, next_seq_++, h, nullptr});
+}
+
+void Simulation::ScheduleFn(Duration delay, std::function<void()> fn) {
+  DUFS_CHECK(delay >= 0);
+  queue_.push(Event{now_ + delay, next_seq_++, nullptr, std::move(fn)});
+}
+
+std::uint64_t Simulation::Run(SimTime until) {
+  CurrentSimulationScope scope(this);
+  std::uint64_t processed = 0;
+  while (!queue_.empty() && !stop_requested_) {
+    const Event& top = queue_.top();
+    if (top.at > until) break;
+    // Copy out before pop: processing may push new events and invalidate the
+    // reference.
+    Event ev = top;
+    queue_.pop();
+    DUFS_CHECK(ev.at >= now_);
+    now_ = ev.at;
+    ++processed;
+    ++events_processed_;
+    if (ev.handle) {
+      ev.handle.resume();
+    } else if (ev.fn) {
+      ev.fn();
+    }
+  }
+  if (!stop_requested_ && now_ < until && until != kSimTimeMax) {
+    now_ = until;  // idle forward to the requested horizon
+  }
+  return processed;
+}
+
+void Simulation::Shutdown() {
+  if (shut_down_) return;
+  shut_down_ = true;
+  CurrentSimulationScope scope(this);
+  // Drop pending events first: the frames they reference are owned either by
+  // the detached registry (destroyed below) or by parent frames reachable
+  // from it.
+  while (!queue_.empty()) queue_.pop();
+  // Destroying a frame runs destructors of its locals, which recursively
+  // destroys owned child tasks — but never other *detached* frames, so a
+  // snapshot of the registry is safe to iterate.
+  std::vector<void*> frames(detached_.begin(), detached_.end());
+  detached_.clear();
+  for (void* frame : frames) {
+    std::coroutine_handle<>::from_address(frame).destroy();
+  }
+  shut_down_ = false;  // allow reuse (tests run several workloads per sim)
+}
+
+}  // namespace dufs::sim

@@ -1,0 +1,118 @@
+// Deterministic single-threaded discrete-event simulator.
+//
+// Coroutines (sim::Task<T>) model cluster actors: client processes, RPC
+// handlers, replication pipelines. The Simulation owns the event queue and a
+// registry of detached (Spawn-ed) coroutine frames so teardown never leaks.
+//
+// Determinism: one thread, one seeded RNG, events ordered by (time, seq).
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/log.h"
+#include "common/rng.h"
+#include "sim/time.h"
+
+namespace dufs::sim {
+
+template <typename T>
+class Task;
+
+class Simulation {
+ public:
+  explicit Simulation(std::uint64_t seed = 1);
+  ~Simulation();
+
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  SimTime now() const { return now_; }
+  Rng& rng() { return rng_; }
+
+  // The simulation currently constructing/running coroutines. Task promises
+  // capture this at creation time.
+  static Simulation* Current();
+
+  // --- scheduling ------------------------------------------------------
+  void ScheduleHandle(Duration delay, std::coroutine_handle<> h);
+  void ScheduleFn(Duration delay, std::function<void()> fn);
+
+  // Starts a detached coroutine now. The frame self-destroys on completion;
+  // Shutdown() destroys any still-suspended detached frames.
+  void Spawn(Task<void> task);
+
+  // --- running ---------------------------------------------------------
+  // Processes events until the queue is empty, `until` is passed, or
+  // RequestStop() was called. Returns the number of events processed.
+  std::uint64_t Run(SimTime until = kSimTimeMax);
+  void RequestStop() { stop_requested_ = true; }
+  bool stop_requested() const { return stop_requested_; }
+  void ClearStop() { stop_requested_ = false; }
+
+  std::uint64_t events_processed() const { return events_processed_; }
+  std::size_t pending_events() const { return queue_.size(); }
+  std::size_t live_detached_tasks() const { return detached_.size(); }
+
+  // Destroys all detached frames and drops all pending events. Called by the
+  // destructor; call it earlier if simulation actors (servers, resources)
+  // are destroyed before the Simulation object.
+  void Shutdown();
+
+  // awaitable: co_await sim.Delay(d)
+  struct DelayAwaiter {
+    Simulation* sim;
+    Duration delay;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) {
+      sim->ScheduleHandle(delay, h);
+    }
+    void await_resume() const noexcept {}
+  };
+  DelayAwaiter Delay(Duration d) { return DelayAwaiter{this, d}; }
+
+  // Internal, used by Task promises.
+  void RegisterDetached(void* frame) { detached_.insert(frame); }
+  void UnregisterDetached(void* frame) { detached_.erase(frame); }
+
+ private:
+  struct Event {
+    SimTime at;
+    std::uint64_t seq;
+    std::coroutine_handle<> handle;        // either handle ...
+    std::function<void()> fn;              // ... or callback
+  };
+  struct EventOrder {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;  // min-heap
+      return a.seq > b.seq;                  // FIFO within a timestamp
+    }
+  };
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t events_processed_ = 0;
+  bool stop_requested_ = false;
+  bool shut_down_ = false;
+  Rng rng_;
+  std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
+  std::unordered_set<void*> detached_;
+  Simulation* previous_current_ = nullptr;
+};
+
+// Scoped "current simulation" setter (used internally and by tests that
+// construct tasks outside Run()).
+class CurrentSimulationScope {
+ public:
+  explicit CurrentSimulationScope(Simulation* sim);
+  ~CurrentSimulationScope();
+
+ private:
+  Simulation* saved_;
+};
+
+}  // namespace dufs::sim

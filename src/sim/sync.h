@@ -1,0 +1,207 @@
+// Synchronization primitives for simulated actors:
+//   Resource — counted capacity (server thread pools, NIC serialization,
+//              disk queues); FIFO waiters; RAII guard.
+//   Mailbox  — unbounded MPSC queue with an awaitable receive (server loops).
+//   Barrier  — reusable N-party barrier (mdtest phase synchronization).
+//
+// All primitives keep their state behind shared_ptr so RAII guards and
+// late-destroyed coroutine frames never touch freed memory.
+#pragma once
+
+#include <coroutine>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/log.h"
+#include "sim/simulation.h"
+
+namespace dufs::sim {
+
+class Resource {
+  struct State {
+    Simulation* sim;
+    std::size_t capacity;
+    std::size_t in_use = 0;
+    std::deque<std::coroutine_handle<>> waiters;
+  };
+
+ public:
+  Resource(Simulation& sim, std::size_t capacity)
+      : st_(std::make_shared<State>(State{&sim, capacity, 0, {}})) {
+    DUFS_CHECK(capacity > 0);
+  }
+
+  // RAII permit. Move-only; releases on destruction (safe even if the
+  // Resource itself is gone — the shared state outlives it).
+  class Guard {
+   public:
+    Guard() = default;
+    explicit Guard(std::shared_ptr<State> st) : st_(std::move(st)) {}
+    Guard(Guard&& o) noexcept : st_(std::move(o.st_)) {}
+    Guard& operator=(Guard&& o) noexcept {
+      ReleaseNow();
+      st_ = std::move(o.st_);
+      return *this;
+    }
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+    ~Guard() { ReleaseNow(); }
+
+    void ReleaseNow() {
+      if (!st_) return;
+      auto st = std::move(st_);
+      DUFS_CHECK(st->in_use > 0);
+      if (!st->waiters.empty()) {
+        // Hand the permit directly to the next waiter (in_use unchanged).
+        auto h = st->waiters.front();
+        st->waiters.pop_front();
+        st->sim->ScheduleHandle(0, h);
+      } else {
+        --st->in_use;
+      }
+    }
+
+    bool held() const { return st_ != nullptr; }
+
+   private:
+    std::shared_ptr<State> st_;
+  };
+
+  auto Acquire() {
+    struct Awaiter {
+      std::shared_ptr<State> st;
+      bool suspended = false;
+      bool await_ready() const {
+        return st->in_use < st->capacity && st->waiters.empty();
+      }
+      void await_suspend(std::coroutine_handle<> h) {
+        suspended = true;
+        st->waiters.push_back(h);
+      }
+      Guard await_resume() {
+        // Ready path takes a fresh permit; the woken path was handed one by
+        // the releaser (which left in_use unchanged).
+        if (!suspended) ++st->in_use;
+        return Guard(std::move(st));
+      }
+    };
+    return Awaiter{st_};
+  }
+
+  std::size_t in_use() const { return st_->in_use; }
+  std::size_t capacity() const { return st_->capacity; }
+  std::size_t queue_length() const { return st_->waiters.size(); }
+
+ private:
+  std::shared_ptr<State> st_;
+};
+
+template <typename T>
+class Mailbox {
+  struct State {
+    Simulation* sim;
+    std::deque<T> items;
+    std::deque<std::coroutine_handle<>> waiters;
+    bool closed = false;
+  };
+
+ public:
+  explicit Mailbox(Simulation& sim)
+      : st_(std::make_shared<State>(State{&sim, {}, {}, false})) {}
+
+  void Send(T item) {
+    if (st_->closed) return;  // dropped, like a message to a dead process
+    st_->items.push_back(std::move(item));
+    WakeOne();
+  }
+
+  // Receivers see nullopt once the mailbox is closed and drained.
+  void Close() {
+    st_->closed = true;
+    while (!st_->waiters.empty()) {
+      auto h = st_->waiters.front();
+      st_->waiters.pop_front();
+      st_->sim->ScheduleHandle(0, h);
+    }
+  }
+
+  auto Recv() {
+    struct Awaiter {
+      std::shared_ptr<State> st;
+      bool await_ready() const { return !st->items.empty() || st->closed; }
+      void await_suspend(std::coroutine_handle<> h) {
+        st->waiters.push_back(h);
+      }
+      std::optional<T> await_resume() {
+        if (st->items.empty()) return std::nullopt;  // closed
+        T item = std::move(st->items.front());
+        st->items.pop_front();
+        return item;
+      }
+    };
+    return Awaiter{st_};
+  }
+
+  std::size_t size() const { return st_->items.size(); }
+  bool closed() const { return st_->closed; }
+
+ private:
+  void WakeOne() {
+    if (!st_->waiters.empty()) {
+      auto h = st_->waiters.front();
+      st_->waiters.pop_front();
+      st_->sim->ScheduleHandle(0, h);
+    }
+  }
+
+  std::shared_ptr<State> st_;
+};
+
+class Barrier {
+  struct State {
+    Simulation* sim;
+    std::size_t parties;
+    std::size_t arrived = 0;
+    std::uint64_t generation = 0;
+    std::vector<std::coroutine_handle<>> waiters;
+  };
+
+ public:
+  Barrier(Simulation& sim, std::size_t parties)
+      : st_(std::make_shared<State>(State{&sim, parties, 0, 0, {}})) {
+    DUFS_CHECK(parties > 0);
+  }
+
+  auto Arrive() {
+    struct Awaiter {
+      std::shared_ptr<State> st;
+      bool await_ready() {
+        if (st->arrived + 1 == st->parties) {
+          // Last arriver releases everyone and does not suspend.
+          st->arrived = 0;
+          ++st->generation;
+          for (auto h : st->waiters) st->sim->ScheduleHandle(0, h);
+          st->waiters.clear();
+          return true;
+        }
+        return false;
+      }
+      void await_suspend(std::coroutine_handle<> h) {
+        ++st->arrived;
+        st->waiters.push_back(h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{st_};
+  }
+
+  std::size_t parties() const { return st_->parties; }
+
+ private:
+  std::shared_ptr<State> st_;
+};
+
+}  // namespace dufs::sim

@@ -1,0 +1,235 @@
+// Lazily-started coroutine task for the simulator.
+//
+//   sim::Task<Result<Foo>> DoThing(Ctx& c) { co_await c.sim->Delay(10); ... }
+//
+// * `co_await someTask(...)` starts the child and resumes the parent when it
+//   finishes (symmetric transfer, no event-queue round trip).
+// * `sim.Spawn(std::move(task))` detaches: the frame starts immediately and
+//   self-destroys at completion; Simulation::Shutdown() reclaims any frame
+//   still suspended at teardown.
+// * Exceptions propagate across co_await; an exception escaping a detached
+//   task aborts (simulation actors must handle their own errors).
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <optional>
+#include <utility>
+
+#include "common/log.h"
+#include "sim/simulation.h"
+
+namespace dufs::sim {
+
+namespace internal {
+
+struct TaskPromiseBase {
+  Simulation* sim = Simulation::Current();
+  std::coroutine_handle<> continuation;
+  bool detached = false;
+  std::exception_ptr exception;
+
+  std::suspend_always initial_suspend() noexcept { return {}; }
+
+  void unhandled_exception() {
+    if (detached) {
+      DUFS_LOG(Error) << "exception escaped detached sim task";
+      std::terminate();
+    }
+    exception = std::current_exception();
+  }
+};
+
+template <typename Promise>
+struct TaskFinalAwaiter {
+  bool await_ready() const noexcept { return false; }
+  std::coroutine_handle<> await_suspend(
+      std::coroutine_handle<Promise> h) noexcept {
+    auto& p = h.promise();
+    if (p.detached) {
+      Simulation* sim = p.sim;
+      if (sim != nullptr) sim->UnregisterDetached(h.address());
+      h.destroy();
+      return std::noop_coroutine();
+    }
+    if (p.continuation) return p.continuation;
+    return std::noop_coroutine();
+  }
+  void await_resume() const noexcept {}
+};
+
+}  // namespace internal
+
+template <typename T>
+class [[nodiscard]] Task {
+ public:
+  struct promise_type : internal::TaskPromiseBase {
+    std::optional<T> value;
+
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    internal::TaskFinalAwaiter<promise_type> final_suspend() noexcept {
+      return {};
+    }
+    template <typename U>
+    void return_value(U&& v) {
+      value.emplace(std::forward<U>(v));
+    }
+  };
+
+  using handle_type = std::coroutine_handle<promise_type>;
+
+  Task() = default;
+  explicit Task(handle_type h) : h_(h) {}
+  Task(Task&& other) noexcept : h_(std::exchange(other.h_, nullptr)) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      Destroy();
+      h_ = std::exchange(other.h_, nullptr);
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { Destroy(); }
+
+  bool valid() const { return h_ != nullptr; }
+
+  // Transfers frame ownership (Simulation::Spawn uses this).
+  handle_type Release() { return std::exchange(h_, nullptr); }
+
+  auto operator co_await() && {
+    struct Awaiter {
+      handle_type h;
+      bool await_ready() const noexcept { return false; }
+      std::coroutine_handle<> await_suspend(std::coroutine_handle<> cont) {
+        h.promise().continuation = cont;
+        return h;  // start the child now
+      }
+      T await_resume() {
+        auto& p = h.promise();
+        if (p.exception) std::rethrow_exception(p.exception);
+        DUFS_CHECK(p.value.has_value());
+        return std::move(*p.value);
+      }
+    };
+    DUFS_CHECK(h_ != nullptr);
+    return Awaiter{h_};
+  }
+
+ private:
+  void Destroy() {
+    if (h_) {
+      h_.destroy();
+      h_ = nullptr;
+    }
+  }
+
+  handle_type h_;
+};
+
+template <>
+class [[nodiscard]] Task<void> {
+ public:
+  struct promise_type : internal::TaskPromiseBase {
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    internal::TaskFinalAwaiter<promise_type> final_suspend() noexcept {
+      return {};
+    }
+    void return_void() {}
+  };
+
+  using handle_type = std::coroutine_handle<promise_type>;
+
+  Task() = default;
+  explicit Task(handle_type h) : h_(h) {}
+  Task(Task&& other) noexcept : h_(std::exchange(other.h_, nullptr)) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      Destroy();
+      h_ = std::exchange(other.h_, nullptr);
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { Destroy(); }
+
+  bool valid() const { return h_ != nullptr; }
+  handle_type Release() { return std::exchange(h_, nullptr); }
+
+  auto operator co_await() && {
+    struct Awaiter {
+      handle_type h;
+      bool await_ready() const noexcept { return false; }
+      std::coroutine_handle<> await_suspend(std::coroutine_handle<> cont) {
+        h.promise().continuation = cont;
+        return h;
+      }
+      void await_resume() {
+        auto& p = h.promise();
+        if (p.exception) std::rethrow_exception(p.exception);
+      }
+    };
+    DUFS_CHECK(h_ != nullptr);
+    return Awaiter{h_};
+  }
+
+ private:
+  void Destroy() {
+    if (h_) {
+      h_.destroy();
+      h_ = nullptr;
+    }
+  }
+
+  handle_type h_;
+};
+
+inline void Simulation::Spawn(Task<void> task) {
+  auto h = task.Release();
+  DUFS_CHECK(h != nullptr);
+  h.promise().detached = true;
+  h.promise().sim = this;
+  RegisterDetached(h.address());
+  CurrentSimulationScope scope(this);
+  h.resume();  // run until first suspension (or completion, which frees it)
+}
+
+// Test/bench helper: spawn `task`, run the simulation until it completes
+// (stopping the event loop right after), and return its result.
+template <typename T>
+T RunTask(Simulation& sim, Task<T> task) {
+  std::optional<T> out;
+  {
+    CurrentSimulationScope scope(&sim);
+    sim.Spawn([](Simulation& s, Task<T> t, std::optional<T>& o) -> Task<void> {
+      o.emplace(co_await std::move(t));
+      s.RequestStop();
+    }(sim, std::move(task), out));
+  }
+  sim.Run();
+  sim.ClearStop();
+  DUFS_CHECK(out.has_value());
+  return std::move(*out);
+}
+
+inline void RunTask(Simulation& sim, Task<void> task) {
+  bool done = false;
+  {
+    CurrentSimulationScope scope(&sim);
+    sim.Spawn([](Simulation& s, Task<void> t, bool& d) -> Task<void> {
+      co_await std::move(t);
+      d = true;
+      s.RequestStop();
+    }(sim, std::move(task), done));
+  }
+  sim.Run();
+  sim.ClearStop();
+  DUFS_CHECK(done);
+}
+
+}  // namespace dufs::sim

@@ -1,0 +1,28 @@
+// Simulated time. All simulation timestamps are nanoseconds in an int64.
+#pragma once
+
+#include <cstdint>
+
+namespace dufs::sim {
+
+using SimTime = std::int64_t;   // absolute, ns since simulation start
+using Duration = std::int64_t;  // relative, ns
+
+inline constexpr Duration kNanosecond = 1;
+inline constexpr Duration kMicrosecond = 1'000;
+inline constexpr Duration kMillisecond = 1'000'000;
+inline constexpr Duration kSecond = 1'000'000'000;
+
+inline constexpr SimTime kSimTimeMax = INT64_MAX;
+
+constexpr Duration Us(double us) {
+  return static_cast<Duration>(us * static_cast<double>(kMicrosecond));
+}
+constexpr Duration Ms(double ms) {
+  return static_cast<Duration>(ms * static_cast<double>(kMillisecond));
+}
+constexpr Duration Sec(double s) {
+  return static_cast<Duration>(s * static_cast<double>(kSecond));
+}
+
+}  // namespace dufs::sim

@@ -1,0 +1,55 @@
+// The filesystem SPI — what FUSE calls `struct fuse_operations` (paper
+// §IV-C). Every back-end (MemFs, LustreSim client, PvfsSim client) and DUFS
+// itself implement this interface; the FuseMount dispatcher sits on top and
+// adds fd management plus the FUSE per-op overhead.
+//
+// All operations are coroutines because most implementations cross the
+// simulated network.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/task.h"
+#include "vfs/types.h"
+
+namespace dufs::vfs {
+
+class FileSystem {
+ public:
+  virtual ~FileSystem() = default;
+
+  virtual std::string name() const = 0;
+
+  // --- namespace / metadata ----------------------------------------------
+  virtual sim::Task<Result<FileAttr>> GetAttr(std::string path) = 0;
+  virtual sim::Task<Status> Mkdir(std::string path, Mode mode) = 0;
+  virtual sim::Task<Status> Rmdir(std::string path) = 0;
+  virtual sim::Task<Result<FileAttr>> Create(std::string path, Mode mode) = 0;
+  virtual sim::Task<Status> Unlink(std::string path) = 0;
+  virtual sim::Task<Result<std::vector<DirEntry>>> ReadDir(
+      std::string path) = 0;
+  virtual sim::Task<Status> Rename(std::string from, std::string to) = 0;
+  virtual sim::Task<Status> Chmod(std::string path, Mode mode) = 0;
+  virtual sim::Task<Status> Utimens(std::string path, std::int64_t atime,
+                                    std::int64_t mtime) = 0;
+  virtual sim::Task<Status> Truncate(std::string path, std::uint64_t size) = 0;
+  virtual sim::Task<Status> Symlink(std::string target,
+                                    std::string link_path) = 0;
+  virtual sim::Task<Result<std::string>> ReadLink(std::string path) = 0;
+  virtual sim::Task<Status> Access(std::string path, Mode mode) = 0;
+
+  // --- data ---------------------------------------------------------------
+  virtual sim::Task<Result<FileHandle>> Open(std::string path,
+                                             std::uint32_t flags) = 0;
+  virtual sim::Task<Status> Release(FileHandle handle) = 0;
+  virtual sim::Task<Result<Bytes>> Read(FileHandle handle, std::uint64_t offset,
+                                        std::uint64_t length) = 0;
+  virtual sim::Task<Result<std::uint64_t>> Write(FileHandle handle,
+                                                 std::uint64_t offset,
+                                                 Bytes data) = 0;
+
+  virtual sim::Task<Result<FsStats>> StatFs() = 0;
+};
+
+}  // namespace dufs::vfs

@@ -1,0 +1,137 @@
+#include "vfs/fuse_mount.h"
+
+namespace dufs::vfs {
+
+FuseMount::FuseMount(net::Node& client_node, FileSystem& fs, FuseConfig config)
+    : node_(client_node), fs_(fs), config_(config) {}
+
+sim::Task<void> FuseMount::Overhead() {
+  ++ops_dispatched_;
+  co_await node_.Compute(config_.per_op_overhead);
+}
+
+sim::Task<Result<FileAttr>> FuseMount::Stat(std::string path) {
+  co_await Overhead();
+  co_return co_await fs_.GetAttr(NormalizePath(path));
+}
+
+sim::Task<Status> FuseMount::Mkdir(std::string path, Mode mode) {
+  co_await Overhead();
+  co_return co_await fs_.Mkdir(NormalizePath(path), mode);
+}
+
+sim::Task<Status> FuseMount::Rmdir(std::string path) {
+  co_await Overhead();
+  co_return co_await fs_.Rmdir(NormalizePath(path));
+}
+
+sim::Task<Result<int>> FuseMount::Creat(std::string path, Mode mode) {
+  co_await Overhead();
+  const std::string norm = NormalizePath(path);
+  auto created = co_await fs_.Create(norm, mode);
+  if (!created.ok()) co_return created.status();
+  auto handle = co_await fs_.Open(norm, kRead | kWrite);
+  if (!handle.ok()) co_return handle.status();
+  const int fd = next_fd_++;
+  fds_.emplace(fd, *handle);
+  co_return fd;
+}
+
+sim::Task<Status> FuseMount::Mknod(std::string path, Mode mode) {
+  co_await Overhead();
+  co_return (co_await fs_.Create(NormalizePath(path), mode)).status();
+}
+
+sim::Task<Result<int>> FuseMount::Open(std::string path, std::uint32_t flags) {
+  co_await Overhead();
+  auto handle = co_await fs_.Open(NormalizePath(path), flags);
+  if (!handle.ok()) co_return handle.status();
+  const int fd = next_fd_++;
+  fds_.emplace(fd, *handle);
+  co_return fd;
+}
+
+sim::Task<Status> FuseMount::Close(int fd) {
+  co_await Overhead();
+  auto it = fds_.find(fd);
+  if (it == fds_.end()) co_return Status(StatusCode::kInvalidArgument, "EBADF");
+  const FileHandle handle = it->second;
+  fds_.erase(it);
+  co_return co_await fs_.Release(handle);
+}
+
+sim::Task<Result<Bytes>> FuseMount::Read(int fd, std::uint64_t offset,
+                                         std::uint64_t length) {
+  co_await Overhead();
+  auto it = fds_.find(fd);
+  if (it == fds_.end()) co_return Status(StatusCode::kInvalidArgument, "EBADF");
+  co_return co_await fs_.Read(it->second, offset, length);
+}
+
+sim::Task<Result<std::uint64_t>> FuseMount::Write(int fd, std::uint64_t offset,
+                                                  Bytes data) {
+  co_await Overhead();
+  auto it = fds_.find(fd);
+  if (it == fds_.end()) co_return Status(StatusCode::kInvalidArgument, "EBADF");
+  co_return co_await fs_.Write(it->second, offset, std::move(data));
+}
+
+sim::Task<Status> FuseMount::Unlink(std::string path) {
+  co_await Overhead();
+  co_return co_await fs_.Unlink(NormalizePath(path));
+}
+
+sim::Task<Result<std::vector<DirEntry>>> FuseMount::ReadDir(std::string path) {
+  co_await Overhead();
+  co_return co_await fs_.ReadDir(NormalizePath(path));
+}
+
+sim::Task<Status> FuseMount::Rename(std::string from, std::string to) {
+  co_await Overhead();
+  co_return co_await fs_.Rename(NormalizePath(from), NormalizePath(to));
+}
+
+sim::Task<Status> FuseMount::Chmod(std::string path, Mode mode) {
+  co_await Overhead();
+  co_return co_await fs_.Chmod(NormalizePath(path), mode);
+}
+
+sim::Task<Status> FuseMount::Truncate(std::string path, std::uint64_t size) {
+  co_await Overhead();
+  co_return co_await fs_.Truncate(NormalizePath(path), size);
+}
+
+sim::Task<Status> FuseMount::Access(std::string path, Mode mode) {
+  co_await Overhead();
+  co_return co_await fs_.Access(NormalizePath(path), mode);
+}
+
+sim::Task<Status> FuseMount::Symlink(std::string target,
+                                     std::string link_path) {
+  co_await Overhead();
+  co_return co_await fs_.Symlink(std::move(target), NormalizePath(link_path));
+}
+
+sim::Task<Result<std::string>> FuseMount::ReadLink(std::string path) {
+  co_await Overhead();
+  co_return co_await fs_.ReadLink(NormalizePath(path));
+}
+
+sim::Task<Result<FsStats>> FuseMount::StatFs() {
+  co_await Overhead();
+  co_return co_await fs_.StatFs();
+}
+
+sim::Task<Status> FuseMount::Utimens(std::string path, std::int64_t atime,
+                                     std::int64_t mtime) {
+  co_await Overhead();
+  co_return co_await fs_.Utimens(NormalizePath(path), atime, mtime);
+}
+
+std::size_t FuseMount::EstimateMemoryBytes() const {
+  // Fixed process overhead (FUSE channel buffers, mount state) + fd table.
+  constexpr std::size_t kFixed = 2 * 1024 * 1024;
+  return kFixed + fds_.size() * 64;
+}
+
+}  // namespace dufs::vfs

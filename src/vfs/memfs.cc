@@ -1,0 +1,310 @@
+#include "vfs/memfs.h"
+
+#include <algorithm>
+
+namespace dufs::vfs {
+
+MemFs::MemFs(sim::Simulation& sim, std::string name, Config config)
+    : sim_(sim), name_(std::move(name)), config_(config),
+      root_(std::make_shared<Node>()) {
+  root_->attr.type = FileType::kDirectory;
+  root_->attr.mode = kDefaultDirMode;
+  root_->attr.inode = 1;
+  root_->attr.nlink = 2;
+}
+
+sim::Task<void> MemFs::Latency() {
+  if (config_.op_latency > 0) co_await sim_.Delay(config_.op_latency);
+}
+
+std::shared_ptr<MemFs::Node> MemFs::Lookup(std::string_view path) const {
+  auto cur = root_;
+  for (const auto& part : SplitPath(path)) {
+    if (!cur->attr.IsDir()) return nullptr;
+    auto it = cur->children.find(part);
+    if (it == cur->children.end()) return nullptr;
+    cur = it->second;
+  }
+  return cur;
+}
+
+Result<std::shared_ptr<MemFs::Node>> MemFs::LookupOr(
+    std::string_view path) const {
+  auto node = Lookup(path);
+  if (!node) return Status(StatusCode::kNotFound, std::string(path));
+  return node;
+}
+
+Result<std::shared_ptr<MemFs::Node>> MemFs::ParentOf(
+    std::string_view path) const {
+  if (path == "/" || path.empty()) {
+    return Status(StatusCode::kInvalidArgument, "no parent");
+  }
+  auto parent = Lookup(DirName(path));
+  if (!parent) return Status(StatusCode::kNotFound, DirName(path));
+  if (!parent->attr.IsDir()) return Status(StatusCode::kNotADirectory);
+  return parent;
+}
+
+FileAttr MemFs::NewAttr(FileType type, Mode mode) {
+  FileAttr attr;
+  attr.type = type;
+  attr.mode = mode;
+  attr.inode = next_inode_++;
+  attr.nlink = type == FileType::kDirectory ? 2 : 1;
+  attr.ctime = attr.mtime = attr.atime = sim_.now();
+  return attr;
+}
+
+sim::Task<Result<FileAttr>> MemFs::GetAttr(std::string path) {
+  co_await Latency();
+  auto node = LookupOr(path);
+  if (!node.ok()) co_return node.status();
+  FileAttr attr = (*node)->attr;
+  attr.size = (*node)->attr.IsRegular() ? (*node)->data.size() : 0;
+  co_return attr;
+}
+
+sim::Task<Status> MemFs::Mkdir(std::string path, Mode mode) {
+  co_await Latency();
+  auto parent = ParentOf(path);
+  if (!parent.ok()) co_return parent.status();
+  const std::string child(BaseName(path));
+  if ((*parent)->children.count(child) > 0) {
+    co_return Status(StatusCode::kAlreadyExists, path);
+  }
+  auto node = std::make_shared<Node>();
+  node->attr = NewAttr(FileType::kDirectory, mode);
+  (*parent)->children.emplace(child, std::move(node));
+  (*parent)->attr.mtime = sim_.now();
+  ++(*parent)->attr.nlink;
+  ++file_count_;
+  co_return Status::Ok();
+}
+
+sim::Task<Status> MemFs::Rmdir(std::string path) {
+  co_await Latency();
+  auto node = LookupOr(path);
+  if (!node.ok()) co_return node.status();
+  if (!(*node)->attr.IsDir()) co_return Status(StatusCode::kNotADirectory);
+  if (!(*node)->children.empty()) co_return Status(StatusCode::kNotEmpty);
+  auto parent = ParentOf(path);
+  if (!parent.ok()) co_return parent.status();
+  (*parent)->children.erase(std::string(BaseName(path)));
+  (*parent)->attr.mtime = sim_.now();
+  --(*parent)->attr.nlink;
+  --file_count_;
+  co_return Status::Ok();
+}
+
+sim::Task<Result<FileAttr>> MemFs::Create(std::string path, Mode mode) {
+  co_await Latency();
+  auto parent = ParentOf(path);
+  if (!parent.ok()) co_return parent.status();
+  const std::string child(BaseName(path));
+  if ((*parent)->children.count(child) > 0) {
+    co_return Status(StatusCode::kAlreadyExists, path);
+  }
+  auto node = std::make_shared<Node>();
+  node->attr = NewAttr(FileType::kRegular, mode);
+  const FileAttr attr = node->attr;
+  (*parent)->children.emplace(child, std::move(node));
+  (*parent)->attr.mtime = sim_.now();
+  ++file_count_;
+  co_return attr;
+}
+
+sim::Task<Status> MemFs::Unlink(std::string path) {
+  co_await Latency();
+  auto node = LookupOr(path);
+  if (!node.ok()) co_return node.status();
+  if ((*node)->attr.IsDir()) co_return Status(StatusCode::kIsADirectory);
+  auto parent = ParentOf(path);
+  if (!parent.ok()) co_return parent.status();
+  (*parent)->children.erase(std::string(BaseName(path)));
+  (*parent)->attr.mtime = sim_.now();
+  --file_count_;
+  co_return Status::Ok();
+}
+
+sim::Task<Result<std::vector<DirEntry>>> MemFs::ReadDir(std::string path) {
+  co_await Latency();
+  auto node = LookupOr(path);
+  if (!node.ok()) co_return node.status();
+  if (!(*node)->attr.IsDir()) co_return Status(StatusCode::kNotADirectory);
+  std::vector<DirEntry> entries;
+  entries.reserve((*node)->children.size());
+  for (const auto& [name, child] : (*node)->children) {
+    entries.push_back({name, child->attr.type});
+  }
+  co_return entries;
+}
+
+sim::Task<Status> MemFs::Rename(std::string from, std::string to) {
+  co_await Latency();
+  auto node = LookupOr(from);
+  if (!node.ok()) co_return node.status();
+  if (IsWithin(from, to) && from != to) {
+    co_return Status(StatusCode::kInvalidArgument, "rename into own subtree");
+  }
+  auto to_parent = ParentOf(to);
+  if (!to_parent.ok()) co_return to_parent.status();
+  if (auto existing = Lookup(to)) {
+    // POSIX: replace a file or an *empty* directory of the same kind.
+    if (existing->attr.IsDir() != (*node)->attr.IsDir()) {
+      co_return Status(existing->attr.IsDir() ? StatusCode::kIsADirectory
+                                              : StatusCode::kNotADirectory);
+    }
+    if (existing->attr.IsDir() && !existing->children.empty()) {
+      co_return Status(StatusCode::kNotEmpty, to);
+    }
+    (*to_parent)->children.erase(std::string(BaseName(to)));
+    --file_count_;
+  }
+  auto from_parent = ParentOf(from);
+  if (!from_parent.ok()) co_return from_parent.status();
+  auto moved = *node;
+  (*from_parent)->children.erase(std::string(BaseName(from)));
+  (*to_parent)->children.emplace(std::string(BaseName(to)), std::move(moved));
+  (*from_parent)->attr.mtime = sim_.now();
+  (*to_parent)->attr.mtime = sim_.now();
+  co_return Status::Ok();
+}
+
+sim::Task<Status> MemFs::Chmod(std::string path, Mode mode) {
+  co_await Latency();
+  auto node = LookupOr(path);
+  if (!node.ok()) co_return node.status();
+  (*node)->attr.mode = mode;
+  (*node)->attr.ctime = sim_.now();
+  co_return Status::Ok();
+}
+
+sim::Task<Status> MemFs::Utimens(std::string path, std::int64_t atime,
+                                 std::int64_t mtime) {
+  co_await Latency();
+  auto node = LookupOr(path);
+  if (!node.ok()) co_return node.status();
+  (*node)->attr.atime = atime;
+  (*node)->attr.mtime = mtime;
+  co_return Status::Ok();
+}
+
+sim::Task<Status> MemFs::Truncate(std::string path, std::uint64_t size) {
+  co_await Latency();
+  auto node = LookupOr(path);
+  if (!node.ok()) co_return node.status();
+  if (!(*node)->attr.IsRegular()) co_return Status(StatusCode::kIsADirectory);
+  (*node)->data.resize(size, 0);
+  (*node)->attr.mtime = sim_.now();
+  co_return Status::Ok();
+}
+
+sim::Task<Status> MemFs::Symlink(std::string target, std::string link_path) {
+  co_await Latency();
+  auto parent = ParentOf(link_path);
+  if (!parent.ok()) co_return parent.status();
+  const std::string child(BaseName(link_path));
+  if ((*parent)->children.count(child) > 0) {
+    co_return Status(StatusCode::kAlreadyExists, link_path);
+  }
+  auto node = std::make_shared<Node>();
+  node->attr = NewAttr(FileType::kSymlink, 0777);
+  node->target = std::move(target);
+  (*parent)->children.emplace(child, std::move(node));
+  ++file_count_;
+  co_return Status::Ok();
+}
+
+sim::Task<Result<std::string>> MemFs::ReadLink(std::string path) {
+  co_await Latency();
+  auto node = LookupOr(path);
+  if (!node.ok()) co_return node.status();
+  if ((*node)->attr.type != FileType::kSymlink) {
+    co_return Status(StatusCode::kInvalidArgument, "not a symlink");
+  }
+  co_return (*node)->target;
+}
+
+sim::Task<Status> MemFs::Access(std::string path, Mode mode) {
+  co_await Latency();
+  auto node = LookupOr(path);
+  if (!node.ok()) co_return node.status();
+  // Simplified permission model: requested bits must be present in any of
+  // user/group/other.
+  const Mode perms = (*node)->attr.mode;
+  const Mode have = (perms | (perms >> 3) | (perms >> 6)) & 07;
+  if ((mode & have) != mode) co_return Status(StatusCode::kPermissionDenied);
+  co_return Status::Ok();
+}
+
+sim::Task<Result<FileHandle>> MemFs::Open(std::string path,
+                                          std::uint32_t flags) {
+  co_await Latency();
+  auto node = Lookup(path);
+  if (!node && (flags & kCreate)) {
+    auto created = co_await Create(path, kDefaultFileMode);
+    if (!created.ok()) co_return created.status();
+    node = Lookup(path);
+  }
+  if (!node) co_return Status(StatusCode::kNotFound, path);
+  if (node->attr.IsDir()) co_return Status(StatusCode::kIsADirectory);
+  if (flags & kTruncate) {
+    node->data.clear();
+    node->attr.mtime = sim_.now();
+  }
+  const FileHandle handle = next_handle_++;
+  handles_.emplace(handle, std::move(node));
+  co_return handle;
+}
+
+sim::Task<Status> MemFs::Release(FileHandle handle) {
+  co_await Latency();
+  if (handles_.erase(handle) == 0) {
+    co_return Status(StatusCode::kInvalidArgument, "bad handle");
+  }
+  co_return Status::Ok();
+}
+
+sim::Task<Result<Bytes>> MemFs::Read(FileHandle handle, std::uint64_t offset,
+                                     std::uint64_t length) {
+  co_await Latency();
+  auto it = handles_.find(handle);
+  if (it == handles_.end()) {
+    co_return Status(StatusCode::kInvalidArgument, "bad handle");
+  }
+  const Bytes& data = it->second->data;
+  if (offset >= data.size()) co_return Bytes{};
+  const std::uint64_t end = std::min<std::uint64_t>(offset + length,
+                                                    data.size());
+  it->second->attr.atime = sim_.now();
+  co_return Bytes(data.begin() + static_cast<std::ptrdiff_t>(offset),
+                  data.begin() + static_cast<std::ptrdiff_t>(end));
+}
+
+sim::Task<Result<std::uint64_t>> MemFs::Write(FileHandle handle,
+                                              std::uint64_t offset,
+                                              Bytes data) {
+  co_await Latency();
+  auto it = handles_.find(handle);
+  if (it == handles_.end()) {
+    co_return Status(StatusCode::kInvalidArgument, "bad handle");
+  }
+  Bytes& dest = it->second->data;
+  if (dest.size() < offset + data.size()) dest.resize(offset + data.size(), 0);
+  std::copy(data.begin(), data.end(),
+            dest.begin() + static_cast<std::ptrdiff_t>(offset));
+  it->second->attr.mtime = sim_.now();
+  co_return static_cast<std::uint64_t>(data.size());
+}
+
+sim::Task<Result<FsStats>> MemFs::StatFs() {
+  co_await Latency();
+  FsStats stats;
+  stats.total_bytes = 1ull << 40;
+  stats.free_bytes = 1ull << 39;
+  stats.files = file_count_;
+  co_return stats;
+}
+
+}  // namespace dufs::vfs

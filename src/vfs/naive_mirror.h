@@ -1,0 +1,66 @@
+// The strawman the paper argues against (Fig. 1): multiple metadata replicas
+// updated by each client independently, with NO coordination service.
+//
+// Metadata mutations are applied to every back-end one after another; two
+// clients doing this concurrently can apply their operations in different
+// orders on different back-ends, leaving the replicas inconsistent.
+// `examples/consistency_demo` and the integration tests reproduce exactly
+// the mkdir-vs-rename race of Fig. 1 and show DUFS (ZooKeeper-coordinated)
+// does not diverge while this filesystem does.
+#pragma once
+
+#include <vector>
+
+#include "vfs/filesystem.h"
+#include "vfs/path.h"
+
+namespace dufs::vfs {
+
+class NaiveMirrorFs : public FileSystem {
+ public:
+  explicit NaiveMirrorFs(std::vector<FileSystem*> backends)
+      : backends_(std::move(backends)) {}
+
+  std::string name() const override { return "naive-mirror"; }
+
+  sim::Task<Result<FileAttr>> GetAttr(std::string path) override;
+  sim::Task<Status> Mkdir(std::string path, Mode mode) override;
+  sim::Task<Status> Rmdir(std::string path) override;
+  sim::Task<Result<FileAttr>> Create(std::string path, Mode mode) override;
+  sim::Task<Status> Unlink(std::string path) override;
+  sim::Task<Result<std::vector<DirEntry>>> ReadDir(std::string path) override;
+  sim::Task<Status> Rename(std::string from, std::string to) override;
+  sim::Task<Status> Chmod(std::string path, Mode mode) override;
+  sim::Task<Status> Utimens(std::string path, std::int64_t atime,
+                            std::int64_t mtime) override;
+  sim::Task<Status> Truncate(std::string path, std::uint64_t size) override;
+  sim::Task<Status> Symlink(std::string target,
+                            std::string link_path) override;
+  sim::Task<Result<std::string>> ReadLink(std::string path) override;
+  sim::Task<Status> Access(std::string path, Mode mode) override;
+  sim::Task<Result<FileHandle>> Open(std::string path,
+                                     std::uint32_t flags) override;
+  sim::Task<Status> Release(FileHandle handle) override;
+  sim::Task<Result<Bytes>> Read(FileHandle handle, std::uint64_t offset,
+                                std::uint64_t length) override;
+  sim::Task<Result<std::uint64_t>> Write(FileHandle handle,
+                                         std::uint64_t offset,
+                                         Bytes data) override;
+  sim::Task<Result<FsStats>> StatFs() override;
+
+ private:
+  // Applies `op` to each backend in order and returns the first failure.
+  template <typename Fn>
+  sim::Task<Status> Fanout(Fn op) {
+    Status last = Status::Ok();
+    for (FileSystem* fs : backends_) {
+      Status st = co_await op(*fs);
+      if (!st.ok()) last = st;
+    }
+    co_return last;
+  }
+
+  std::vector<FileSystem*> backends_;
+};
+
+}  // namespace dufs::vfs

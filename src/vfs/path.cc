@@ -1,0 +1,79 @@
+#include "vfs/path.h"
+
+namespace dufs::vfs {
+
+std::vector<std::string> SplitPath(std::string_view path) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (start < path.size()) {
+    while (start < path.size() && path[start] == '/') ++start;
+    std::size_t end = start;
+    while (end < path.size() && path[end] != '/') ++end;
+    if (end > start) parts.emplace_back(path.substr(start, end - start));
+    start = end;
+  }
+  return parts;
+}
+
+std::string JoinPath(std::string_view parent, std::string_view child) {
+  if (parent.empty() || parent == "/") return "/" + std::string(child);
+  std::string out(parent);
+  out.push_back('/');
+  out.append(child);
+  return out;
+}
+
+std::string NormalizePath(std::string_view path) {
+  std::vector<std::string> stack;
+  for (auto& part : SplitPath(path)) {
+    if (part == ".") continue;
+    if (part == "..") {
+      if (!stack.empty()) stack.pop_back();
+      continue;  // clamp at root
+    }
+    stack.push_back(std::move(part));
+  }
+  if (stack.empty()) return "/";
+  std::string out;
+  for (const auto& part : stack) {
+    out.push_back('/');
+    out.append(part);
+  }
+  return out;
+}
+
+Status ValidateVirtualPath(std::string_view path) {
+  if (path.empty() || path[0] != '/') {
+    return Status(StatusCode::kInvalidArgument, "path must be absolute");
+  }
+  if (path.size() > 1 && path.back() == '/') {
+    return Status(StatusCode::kInvalidArgument, "trailing slash");
+  }
+  if (NormalizePath(path) != path) {
+    return Status(StatusCode::kInvalidArgument, "path not normalized");
+  }
+  return Status::Ok();
+}
+
+std::string DirName(std::string_view path) {
+  if (path.size() <= 1) return "/";
+  const auto pos = path.rfind('/');
+  if (pos == 0) return "/";
+  return std::string(path.substr(0, pos));
+}
+
+std::string_view BaseName(std::string_view path) {
+  const auto pos = path.rfind('/');
+  if (pos == std::string_view::npos) return path;
+  return path.substr(pos + 1);
+}
+
+bool IsWithin(std::string_view ancestor, std::string_view path) {
+  if (ancestor == path) return true;
+  if (ancestor == "/") return !path.empty() && path[0] == '/';
+  return path.size() > ancestor.size() &&
+         path.substr(0, ancestor.size()) == ancestor &&
+         path[ancestor.size()] == '/';
+}
+
+}  // namespace dufs::vfs

@@ -1,0 +1,69 @@
+// POSIX-ish filesystem types shared by every filesystem implementation
+// (MemFs, LustreSim, PvfsSim, DUFS).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dufs::vfs {
+
+enum class FileType : std::uint8_t {
+  kRegular = 0,
+  kDirectory = 1,
+  kSymlink = 2,
+};
+
+// Permission bits (lower 12 bits of st_mode).
+using Mode = std::uint32_t;
+inline constexpr Mode kDefaultFileMode = 0644;
+inline constexpr Mode kDefaultDirMode = 0755;
+
+struct FileAttr {
+  FileType type = FileType::kRegular;
+  Mode mode = kDefaultFileMode;
+  std::uint64_t size = 0;
+  std::uint64_t inode = 0;
+  std::uint32_t nlink = 1;
+  std::int64_t ctime = 0;  // ns
+  std::int64_t mtime = 0;  // ns
+  std::int64_t atime = 0;  // ns
+
+  bool IsDir() const { return type == FileType::kDirectory; }
+  bool IsRegular() const { return type == FileType::kRegular; }
+};
+
+struct DirEntry {
+  std::string name;
+  FileType type = FileType::kRegular;
+
+  friend bool operator==(const DirEntry&, const DirEntry&) = default;
+};
+
+struct FsStats {
+  std::uint64_t total_bytes = 0;
+  std::uint64_t free_bytes = 0;
+  std::uint64_t files = 0;
+};
+
+// Open flags (subset).
+enum OpenFlags : std::uint32_t {
+  kRead = 1u << 0,
+  kWrite = 1u << 1,
+  kCreate = 1u << 2,
+  kTruncate = 1u << 3,
+};
+
+using FileHandle = std::uint64_t;
+inline constexpr FileHandle kInvalidHandle = 0;
+
+using Bytes = std::vector<std::uint8_t>;
+
+inline Bytes ToBytes(std::string_view s) { return Bytes(s.begin(), s.end()); }
+inline std::string FromBytes(const Bytes& b) {
+  return std::string(b.begin(), b.end());
+}
+
+}  // namespace dufs::vfs

@@ -1,0 +1,322 @@
+#include "zk/database.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/log.h"
+
+namespace dufs::zk {
+
+Database::Database() : tree_(std::make_unique<DataTree>()) {}
+
+OpResult Database::Read(const Op& op) const {
+  OpResult res;
+  switch (op.type) {
+    case OpType::kGetData: {
+      auto node = tree_->Find(op.path);
+      if (!node.ok()) {
+        res.code = node.code();
+        return res;
+      }
+      res.data = (*node)->data;
+      res.stat = (*node)->stat;
+      return res;
+    }
+    case OpType::kExists: {
+      auto stat = tree_->Stat(op.path);
+      if (!stat.ok()) {
+        res.code = stat.code();
+        return res;
+      }
+      res.stat = *stat;
+      return res;
+    }
+    case OpType::kGetChildren: {
+      auto children = tree_->GetChildren(op.path);
+      if (!children.ok()) {
+        res.code = children.code();
+        return res;
+      }
+      res.children = std::move(*children);
+      auto stat = tree_->Stat(op.path);
+      if (stat.ok()) res.stat = *stat;
+      return res;
+    }
+    case OpType::kSync:
+      return res;  // ordering is handled by the server pipeline
+    default:
+      res.code = StatusCode::kInvalidArgument;
+      return res;
+  }
+}
+
+OpResult Database::ApplyOne(const Op& op, SessionId session, Zxid zxid,
+                            std::int64_t now_ns,
+                            std::vector<AppliedTxn::Trigger>& out) {
+  OpResult res;
+  switch (op.type) {
+    case OpType::kCreate: {
+      auto created = tree_->Create(op.path, op.data, op.mode,
+                                   IsEphemeral(op.mode) ? session : 0, zxid,
+                                   now_ns);
+      if (!created.ok()) {
+        res.code = created.code();
+        return res;
+      }
+      res.created_path = std::move(*created);
+      out.push_back({WatchEventType::kNodeCreated, res.created_path});
+      if (res.created_path != "/") {
+        out.push_back(
+            {WatchEventType::kNodeChildrenChanged,
+             ParentPath(res.created_path)});
+      }
+      return res;
+    }
+    case OpType::kDelete: {
+      auto st = tree_->Delete(op.path, op.version, zxid);
+      if (!st.ok()) {
+        res.code = st.code();
+        return res;
+      }
+      out.push_back({WatchEventType::kNodeDeleted, op.path});
+      out.push_back(
+          {WatchEventType::kNodeChildrenChanged, ParentPath(op.path)});
+      return res;
+    }
+    case OpType::kSetData: {
+      auto stat = tree_->SetData(op.path, op.data, op.version, zxid, now_ns);
+      if (!stat.ok()) {
+        res.code = stat.code();
+        return res;
+      }
+      res.stat = *stat;
+      out.push_back({WatchEventType::kNodeDataChanged, op.path});
+      return res;
+    }
+    case OpType::kCheckVersion: {
+      auto stat = tree_->Stat(op.path);
+      if (!stat.ok()) {
+        res.code = stat.code();
+        return res;
+      }
+      if (op.version != kAnyVersion && stat->version != op.version) {
+        res.code = StatusCode::kBadVersion;
+      }
+      return res;
+    }
+    default:
+      res.code = StatusCode::kInvalidArgument;
+      return res;
+  }
+}
+
+AppliedTxn Database::ApplyMulti(const Txn& txn, Zxid zxid,
+                                std::int64_t now_ns) {
+  AppliedTxn applied;
+
+  // Phase 1 — validate against the tree plus an overlay of the multi's own
+  // effects, so the whole batch is atomic: either all ops apply or none do.
+  struct Overlay {
+    // Paths explicitly created (value true) or deleted (false) so far.
+    std::map<std::string, bool, std::less<>> exists;
+    std::map<std::string, std::int32_t, std::less<>> version_bump;
+    std::map<std::string, int, std::less<>> child_delta;
+  } ov;
+
+  auto exists_now = [&](std::string_view path) -> bool {
+    auto it = ov.exists.find(path);
+    if (it != ov.exists.end()) return it->second;
+    return tree_->Exists(path);
+  };
+  auto version_now = [&](std::string_view path) -> std::int32_t {
+    auto stat = tree_->Stat(path);
+    std::int32_t v = stat.ok() ? stat->version : 0;
+    auto it = ov.version_bump.find(path);
+    if (it != ov.version_bump.end()) v += it->second;
+    return v;
+  };
+  auto children_now = [&](std::string_view path) -> int {
+    auto stat = tree_->Stat(path);
+    int n = stat.ok() ? stat->num_children : 0;
+    auto it = ov.child_delta.find(path);
+    if (it != ov.child_delta.end()) n += it->second;
+    return n;
+  };
+
+  StatusCode failure = StatusCode::kOk;
+  for (const auto& op : txn.multi_ops) {
+    StatusCode code = StatusCode::kOk;
+    switch (op.type) {
+      case OpType::kCreate: {
+        if (IsSequential(op.mode)) {
+          code = StatusCode::kInvalidArgument;  // unsupported inside multi
+          break;
+        }
+        if (auto st = ValidatePath(op.path); !st.ok()) {
+          code = st.code();
+          break;
+        }
+        if (op.path == "/" || exists_now(op.path)) {
+          code = StatusCode::kAlreadyExists;
+          break;
+        }
+        const std::string parent = ParentPath(op.path);
+        if (!exists_now(parent)) {
+          code = StatusCode::kNotFound;
+          break;
+        }
+        ov.exists[op.path] = true;
+        ++ov.child_delta[parent];
+        break;
+      }
+      case OpType::kDelete: {
+        if (auto st = ValidatePath(op.path); !st.ok() || op.path == "/") {
+          code = st.ok() ? StatusCode::kInvalidArgument : st.code();
+          break;
+        }
+        if (!exists_now(op.path)) {
+          code = StatusCode::kNotFound;
+          break;
+        }
+        if (children_now(op.path) > 0) {
+          code = StatusCode::kNotEmpty;
+          break;
+        }
+        if (op.version != kAnyVersion && version_now(op.path) != op.version) {
+          code = StatusCode::kBadVersion;
+          break;
+        }
+        ov.exists[op.path] = false;
+        --ov.child_delta[ParentPath(op.path)];
+        break;
+      }
+      case OpType::kSetData: {
+        if (!exists_now(op.path)) {
+          code = StatusCode::kNotFound;
+          break;
+        }
+        if (op.version != kAnyVersion && version_now(op.path) != op.version) {
+          code = StatusCode::kBadVersion;
+          break;
+        }
+        ++ov.version_bump[op.path];
+        break;
+      }
+      case OpType::kCheckVersion: {
+        if (!exists_now(op.path)) {
+          code = StatusCode::kNotFound;
+          break;
+        }
+        if (op.version != kAnyVersion && version_now(op.path) != op.version) {
+          code = StatusCode::kBadVersion;
+          break;
+        }
+        break;
+      }
+      default:
+        code = StatusCode::kInvalidArgument;
+    }
+    OpResult r;
+    r.code = code;
+    applied.multi_results.push_back(std::move(r));
+    if (code != StatusCode::kOk && failure == StatusCode::kOk) failure = code;
+  }
+
+  if (failure != StatusCode::kOk) {
+    applied.result.code = failure;
+    return applied;
+  }
+
+  // Phase 2 — apply for real; validation guarantees success.
+  applied.multi_results.clear();
+  for (const auto& op : txn.multi_ops) {
+    OpResult r = ApplyOne(op, txn.session, zxid, now_ns, applied.triggers);
+    DUFS_CHECK(r.ok());
+    applied.multi_results.push_back(std::move(r));
+  }
+  return applied;
+}
+
+AppliedTxn Database::Apply(const Txn& txn, Zxid zxid, std::int64_t now_ns) {
+  // Replicas must stamp identical times: prefer the leader-assigned stamp.
+  if (txn.time != 0) now_ns = txn.time;
+  DUFS_CHECK(zxid > last_applied_);
+  last_applied_ = zxid;
+
+  AppliedTxn applied;
+  switch (txn.op.type) {
+    case OpType::kMulti:
+      applied = ApplyMulti(txn, zxid, now_ns);
+      break;
+    case OpType::kSync:
+      break;  // ordering no-op: forces the session server to catch up
+    case OpType::kCreateSession:
+      sessions_.insert(txn.session);
+      break;
+    case OpType::kCloseSession: {
+      // Deterministic ephemeral cleanup on every replica. Ephemerals cannot
+      // have children, so plain deletes always succeed.
+      auto ephemerals = tree_->EphemeralsOf(txn.session);
+      // Delete deepest-first so parents empty out before their own delete.
+      std::sort(ephemerals.begin(), ephemerals.end(),
+                [](const std::string& a, const std::string& b) {
+                  return a.size() > b.size();
+                });
+      for (const auto& path : ephemerals) {
+        auto st = tree_->Delete(path, kAnyVersion, zxid);
+        if (st.ok()) {
+          applied.triggers.push_back({WatchEventType::kNodeDeleted, path});
+          applied.triggers.push_back(
+              {WatchEventType::kNodeChildrenChanged, ParentPath(path)});
+        }
+      }
+      sessions_.erase(txn.session);
+      break;
+    }
+    default:
+      applied.result =
+          ApplyOne(txn.op, txn.session, zxid, now_ns, applied.triggers);
+  }
+  return applied;
+}
+
+std::vector<std::uint8_t> Database::Snapshot() const {
+  wire::BufferWriter w;
+  w.WriteI64(last_applied_);
+  w.WriteVarint(sessions_.size());
+  for (SessionId s : sessions_) w.WriteU64(s);
+  tree_->Serialize(w);
+  return w.Take();
+}
+
+Result<std::unique_ptr<Database>> Database::Restore(
+    const std::vector<std::uint8_t>& snapshot) {
+  wire::BufferReader r(snapshot);
+  auto db = std::make_unique<Database>();
+  auto last = r.ReadI64();
+  DUFS_RETURN_IF_ERROR(last);
+  db->last_applied_ = *last;
+  auto n_sessions = r.ReadVarint();
+  DUFS_RETURN_IF_ERROR(n_sessions);
+  for (std::uint64_t i = 0; i < *n_sessions; ++i) {
+    auto s = r.ReadU64();
+    DUFS_RETURN_IF_ERROR(s);
+    db->sessions_.insert(*s);
+  }
+  auto tree = DataTree::Deserialize(r);
+  DUFS_RETURN_IF_ERROR(tree);
+  db->tree_ = std::move(*tree);
+  return db;
+}
+
+std::uint64_t Database::Fingerprint() const {
+  std::uint64_t h = tree_->Fingerprint();
+  h ^= 0x9e3779b97f4a7c15ull * static_cast<std::uint64_t>(last_applied_);
+  return h;
+}
+
+std::size_t Database::EstimateMemoryBytes() const {
+  return tree_->EstimateMemoryBytes() + sessions_.size() * 64;
+}
+
+}  // namespace dufs::zk

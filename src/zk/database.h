@@ -1,0 +1,64 @@
+// The replicated state machine: DataTree + session table + txn application.
+//
+// Every replica owns one Database and applies committed Txns in zxid order.
+// Apply() is deterministic — identical inputs leave every replica with an
+// identical Fingerprint() — and returns the OpResults plus the watch
+// triggers the owning server should fan out.
+#pragma once
+
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "zk/proto.h"
+#include "zk/znode.h"
+
+namespace dufs::zk {
+
+struct AppliedTxn {
+  OpResult result;                    // standalone op (or aggregate for multi)
+  std::vector<OpResult> multi_results;
+
+  struct Trigger {
+    WatchEventType type;
+    std::string path;
+  };
+  std::vector<Trigger> triggers;
+};
+
+class Database {
+ public:
+  Database();
+
+  // --- replicated writes --------------------------------------------------
+  AppliedTxn Apply(const Txn& txn, Zxid zxid, std::int64_t now_ns);
+  Zxid last_applied() const { return last_applied_; }
+
+  // --- local reads ----------------------------------------------------
+  OpResult Read(const Op& op) const;
+
+  bool SessionExists(SessionId id) const { return sessions_.count(id) > 0; }
+  std::size_t session_count() const { return sessions_.size(); }
+
+  DataTree& tree() { return *tree_; }
+  const DataTree& tree() const { return *tree_; }
+
+  // --- snapshots ---------------------------------------------------------
+  std::vector<std::uint8_t> Snapshot() const;
+  static Result<std::unique_ptr<Database>> Restore(
+      const std::vector<std::uint8_t>& snapshot);
+
+  std::uint64_t Fingerprint() const;
+  std::size_t EstimateMemoryBytes() const;
+
+ private:
+  OpResult ApplyOne(const Op& op, SessionId session, Zxid zxid,
+                    std::int64_t now_ns, std::vector<AppliedTxn::Trigger>& out);
+  AppliedTxn ApplyMulti(const Txn& txn, Zxid zxid, std::int64_t now_ns);
+
+  std::unique_ptr<DataTree> tree_;
+  std::unordered_set<SessionId> sessions_;
+  Zxid last_applied_ = 0;
+};
+
+}  // namespace dufs::zk

@@ -1,0 +1,218 @@
+#include "zk/proto.h"
+
+namespace dufs::zk {
+
+void Op::Encode(wire::BufferWriter& w) const {
+  w.WriteU8(static_cast<std::uint8_t>(type));
+  w.WriteString(path);
+  w.WriteBytes(data);
+  w.WriteU8(static_cast<std::uint8_t>(mode));
+  w.WriteU32(static_cast<std::uint32_t>(version));
+  w.WriteBool(watch);
+}
+
+Result<Op> Op::Decode(wire::BufferReader& r) {
+  Op op;
+  auto type = r.ReadU8();
+  DUFS_RETURN_IF_ERROR(type);
+  op.type = static_cast<OpType>(*type);
+  auto path = r.ReadString();
+  DUFS_RETURN_IF_ERROR(path);
+  op.path = std::move(*path);
+  auto data = r.ReadBytes();
+  DUFS_RETURN_IF_ERROR(data);
+  op.data = std::move(*data);
+  auto mode = r.ReadU8();
+  DUFS_RETURN_IF_ERROR(mode);
+  op.mode = static_cast<CreateMode>(*mode);
+  auto version = r.ReadU32();
+  DUFS_RETURN_IF_ERROR(version);
+  op.version = static_cast<std::int32_t>(*version);
+  auto watch = r.ReadBool();
+  DUFS_RETURN_IF_ERROR(watch);
+  op.watch = *watch;
+  return op;
+}
+
+Op Op::Create(std::string path, std::vector<std::uint8_t> data,
+              CreateMode mode) {
+  Op op;
+  op.type = OpType::kCreate;
+  op.path = std::move(path);
+  op.data = std::move(data);
+  op.mode = mode;
+  return op;
+}
+
+Op Op::Delete(std::string path, std::int32_t version) {
+  Op op;
+  op.type = OpType::kDelete;
+  op.path = std::move(path);
+  op.version = version;
+  return op;
+}
+
+Op Op::SetData(std::string path, std::vector<std::uint8_t> data,
+               std::int32_t version) {
+  Op op;
+  op.type = OpType::kSetData;
+  op.path = std::move(path);
+  op.data = std::move(data);
+  op.version = version;
+  return op;
+}
+
+Op Op::CheckVersion(std::string path, std::int32_t version) {
+  Op op;
+  op.type = OpType::kCheckVersion;
+  op.path = std::move(path);
+  op.version = version;
+  return op;
+}
+
+void Txn::Encode(wire::BufferWriter& w) const {
+  w.WriteU64(session);
+  w.WriteI64(time);
+  op.Encode(w);
+  w.WriteVarint(multi_ops.size());
+  for (const auto& o : multi_ops) o.Encode(w);
+}
+
+Result<Txn> Txn::Decode(wire::BufferReader& r) {
+  Txn txn;
+  auto session = r.ReadU64();
+  DUFS_RETURN_IF_ERROR(session);
+  txn.session = *session;
+  auto time = r.ReadI64();
+  DUFS_RETURN_IF_ERROR(time);
+  txn.time = *time;
+  auto op = Op::Decode(r);
+  DUFS_RETURN_IF_ERROR(op);
+  txn.op = std::move(*op);
+  auto n = r.ReadVarint();
+  DUFS_RETURN_IF_ERROR(n);
+  for (std::uint64_t i = 0; i < *n; ++i) {
+    auto sub = Op::Decode(r);
+    DUFS_RETURN_IF_ERROR(sub);
+    txn.multi_ops.push_back(std::move(*sub));
+  }
+  return txn;
+}
+
+std::size_t Txn::EncodedSize() const {
+  wire::BufferWriter w;
+  Encode(w);
+  return w.size();
+}
+
+void OpResult::Encode(wire::BufferWriter& w) const {
+  w.WriteU8(static_cast<std::uint8_t>(code));
+  w.WriteString(created_path);
+  stat.Encode(w);
+  w.WriteBytes(data);
+  w.WriteVarint(children.size());
+  for (const auto& c : children) w.WriteString(c);
+}
+
+Result<OpResult> OpResult::Decode(wire::BufferReader& r) {
+  OpResult res;
+  auto code = r.ReadU8();
+  DUFS_RETURN_IF_ERROR(code);
+  res.code = static_cast<StatusCode>(*code);
+  auto created = r.ReadString();
+  DUFS_RETURN_IF_ERROR(created);
+  res.created_path = std::move(*created);
+  auto stat = ZnodeStat::Decode(r);
+  DUFS_RETURN_IF_ERROR(stat);
+  res.stat = *stat;
+  auto data = r.ReadBytes();
+  DUFS_RETURN_IF_ERROR(data);
+  res.data = std::move(*data);
+  auto n = r.ReadVarint();
+  DUFS_RETURN_IF_ERROR(n);
+  for (std::uint64_t i = 0; i < *n; ++i) {
+    auto child = r.ReadString();
+    DUFS_RETURN_IF_ERROR(child);
+    res.children.push_back(std::move(*child));
+  }
+  return res;
+}
+
+std::vector<std::uint8_t> ClientRequest::Encode() const {
+  wire::BufferWriter w;
+  w.WriteU64(session);
+  op.Encode(w);
+  w.WriteVarint(multi_ops.size());
+  for (const auto& o : multi_ops) o.Encode(w);
+  return w.Take();
+}
+
+Result<ClientRequest> ClientRequest::Decode(
+    const std::vector<std::uint8_t>& bytes) {
+  wire::BufferReader r(bytes);
+  ClientRequest req;
+  auto session = r.ReadU64();
+  DUFS_RETURN_IF_ERROR(session);
+  req.session = *session;
+  auto op = Op::Decode(r);
+  DUFS_RETURN_IF_ERROR(op);
+  req.op = std::move(*op);
+  auto n = r.ReadVarint();
+  DUFS_RETURN_IF_ERROR(n);
+  for (std::uint64_t i = 0; i < *n; ++i) {
+    auto sub = Op::Decode(r);
+    DUFS_RETURN_IF_ERROR(sub);
+    req.multi_ops.push_back(std::move(*sub));
+  }
+  return req;
+}
+
+std::vector<std::uint8_t> ClientResponse::Encode() const {
+  wire::BufferWriter w;
+  result.Encode(w);
+  w.WriteVarint(multi_results.size());
+  for (const auto& r : multi_results) r.Encode(w);
+  return w.Take();
+}
+
+Result<ClientResponse> ClientResponse::Decode(
+    const std::vector<std::uint8_t>& bytes) {
+  wire::BufferReader r(bytes);
+  ClientResponse resp;
+  auto result = OpResult::Decode(r);
+  DUFS_RETURN_IF_ERROR(result);
+  resp.result = std::move(*result);
+  auto n = r.ReadVarint();
+  DUFS_RETURN_IF_ERROR(n);
+  for (std::uint64_t i = 0; i < *n; ++i) {
+    auto sub = OpResult::Decode(r);
+    DUFS_RETURN_IF_ERROR(sub);
+    resp.multi_results.push_back(std::move(*sub));
+  }
+  return resp;
+}
+
+std::vector<std::uint8_t> WatchEvent::Encode() const {
+  wire::BufferWriter w;
+  w.WriteU8(static_cast<std::uint8_t>(type));
+  w.WriteString(path);
+  w.WriteU64(session);
+  return w.Take();
+}
+
+Result<WatchEvent> WatchEvent::Decode(const std::vector<std::uint8_t>& bytes) {
+  wire::BufferReader r(bytes);
+  WatchEvent ev;
+  auto type = r.ReadU8();
+  DUFS_RETURN_IF_ERROR(type);
+  ev.type = static_cast<WatchEventType>(*type);
+  auto path = r.ReadString();
+  DUFS_RETURN_IF_ERROR(path);
+  ev.path = std::move(*path);
+  auto session = r.ReadU64();
+  DUFS_RETURN_IF_ERROR(session);
+  ev.session = *session;
+  return ev;
+}
+
+}  // namespace dufs::zk

@@ -1,0 +1,139 @@
+// Wire protocol of the coordination service: client operations, transaction
+// records (the replicated log entries), and operation results.
+//
+// Reads (GetData/Exists/GetChildren/Sync) are served by any server from its
+// local replica. Writes (Create/Delete/SetData/Multi/session lifecycle) are
+// turned into Txn records, sequenced by the leader, and applied by every
+// replica in zxid order (see zab.h).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "wire/buffer.h"
+#include "zk/znode.h"
+
+namespace dufs::zk {
+
+// RPC method ids (shared RpcEndpoint method space: zk owns 100-119).
+namespace method {
+inline constexpr std::uint16_t kConnect = 100;      // client -> server
+inline constexpr std::uint16_t kRequest = 101;      // client -> server
+inline constexpr std::uint16_t kForward = 110;      // follower -> leader
+inline constexpr std::uint16_t kPropose = 111;      // leader -> follower
+inline constexpr std::uint16_t kAckProposal = 112;  // follower -> leader
+inline constexpr std::uint16_t kCommit = 113;       // leader -> all (one-way)
+inline constexpr std::uint16_t kElectionVote = 114; // peer -> peer (one-way)
+inline constexpr std::uint16_t kFollowerInfo = 115; // follower -> leader
+inline constexpr std::uint16_t kPing = 116;         // leader -> follower
+inline constexpr std::uint16_t kWatchEvent = 117;   // server -> client
+inline constexpr std::uint16_t kSessionPing = 118;  // client -> server (one-way)
+}  // namespace method
+
+enum class OpType : std::uint8_t {
+  // Reads (never replicated).
+  kGetData = 0,
+  kExists = 1,
+  kGetChildren = 2,
+  kSync = 3,
+  // Writes (replicated as Txns).
+  kCreate = 10,
+  kDelete = 11,
+  kSetData = 12,
+  kMulti = 13,
+  kCreateSession = 14,
+  kCloseSession = 15,
+  // Multi-only guard op.
+  kCheckVersion = 16,
+};
+
+inline bool IsWrite(OpType t) { return static_cast<int>(t) >= 10; }
+
+// One operation — used both for standalone requests and inside a Multi.
+struct Op {
+  OpType type = OpType::kGetData;
+  std::string path;
+  std::vector<std::uint8_t> data;
+  CreateMode mode = CreateMode::kPersistent;
+  std::int32_t version = kAnyVersion;
+  bool watch = false;  // reads only
+
+  void Encode(wire::BufferWriter& w) const;
+  static Result<Op> Decode(wire::BufferReader& r);
+
+  // Convenience constructors.
+  static Op Create(std::string path, std::vector<std::uint8_t> data,
+                   CreateMode mode = CreateMode::kPersistent);
+  static Op Delete(std::string path, std::int32_t version = kAnyVersion);
+  static Op SetData(std::string path, std::vector<std::uint8_t> data,
+                    std::int32_t version = kAnyVersion);
+  static Op CheckVersion(std::string path, std::int32_t version);
+};
+
+// A replicated transaction: the client's write plus its session stamp and
+// the leader-assigned wall time (so ctime/mtime are identical on every
+// replica, exactly like ZooKeeper's TxnHeader time).
+struct Txn {
+  SessionId session = 0;
+  std::int64_t time = 0;     // leader clock at sequencing time (sim ns)
+  Op op;                     // kCreate/kDelete/kSetData/kCreateSession/...
+  std::vector<Op> multi_ops; // when op.type == kMulti
+
+  void Encode(wire::BufferWriter& w) const;
+  static Result<Txn> Decode(wire::BufferReader& r);
+  std::size_t EncodedSize() const;
+};
+
+// Result of applying one Op.
+struct OpResult {
+  StatusCode code = StatusCode::kOk;
+  std::string created_path;          // kCreate
+  ZnodeStat stat;                    // kExists/kSetData/kGetData
+  std::vector<std::uint8_t> data;    // kGetData
+  std::vector<std::string> children; // kGetChildren
+
+  bool ok() const { return code == StatusCode::kOk; }
+  Status ToStatus() const { return Status(code); }
+
+  void Encode(wire::BufferWriter& w) const;
+  static Result<OpResult> Decode(wire::BufferReader& r);
+};
+
+// Client-facing request/response frames (method::kRequest).
+struct ClientRequest {
+  SessionId session = 0;
+  Op op;
+  std::vector<Op> multi_ops;
+
+  std::vector<std::uint8_t> Encode() const;
+  static Result<ClientRequest> Decode(const std::vector<std::uint8_t>& bytes);
+};
+
+struct ClientResponse {
+  OpResult result;                  // result of `op` (or first failed multi op)
+  std::vector<OpResult> multi_results;
+
+  std::vector<std::uint8_t> Encode() const;
+  static Result<ClientResponse> Decode(const std::vector<std::uint8_t>& bytes);
+};
+
+// Watch event pushed to clients (method::kWatchEvent).
+enum class WatchEventType : std::uint8_t {
+  kNodeCreated = 0,
+  kNodeDeleted = 1,
+  kNodeDataChanged = 2,
+  kNodeChildrenChanged = 3,
+};
+
+struct WatchEvent {
+  WatchEventType type = WatchEventType::kNodeDataChanged;
+  std::string path;
+  SessionId session = 0;
+
+  std::vector<std::uint8_t> Encode() const;
+  static Result<WatchEvent> Decode(const std::vector<std::uint8_t>& bytes);
+};
+
+}  // namespace dufs::zk

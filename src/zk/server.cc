@@ -1,0 +1,837 @@
+#include "zk/server.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace dufs::zk {
+namespace {
+
+// Internal peer-message codecs.
+struct ProposeMsg {
+  Zxid zxid;
+  std::int64_t epoch;
+  Txn txn;
+
+  net::Payload Encode() const {
+    wire::BufferWriter w;
+    w.WriteI64(zxid);
+    w.WriteI64(epoch);
+    txn.Encode(w);
+    return w.Take();
+  }
+  static Result<ProposeMsg> Decode(const net::Payload& bytes) {
+    wire::BufferReader r(bytes);
+    ProposeMsg m;
+    auto zxid = r.ReadI64();
+    DUFS_RETURN_IF_ERROR(zxid);
+    m.zxid = *zxid;
+    auto epoch = r.ReadI64();
+    DUFS_RETURN_IF_ERROR(epoch);
+    m.epoch = *epoch;
+    auto txn = Txn::Decode(r);
+    DUFS_RETURN_IF_ERROR(txn);
+    m.txn = std::move(*txn);
+    return m;
+  }
+};
+
+net::Payload EncodeZxid(Zxid zxid) {
+  wire::BufferWriter w;
+  w.WriteI64(zxid);
+  return w.Take();
+}
+
+Result<Zxid> DecodeZxid(const net::Payload& bytes) {
+  wire::BufferReader r(bytes);
+  return r.ReadI64();
+}
+
+struct ForwardResponse {
+  Zxid zxid = 0;
+  ClientResponse response;
+
+  net::Payload Encode() const {
+    wire::BufferWriter w;
+    w.WriteI64(zxid);
+    w.WriteBytes(response.Encode());
+    return w.Take();
+  }
+  static Result<ForwardResponse> Decode(const net::Payload& bytes) {
+    wire::BufferReader r(bytes);
+    ForwardResponse f;
+    auto zxid = r.ReadI64();
+    DUFS_RETURN_IF_ERROR(zxid);
+    f.zxid = *zxid;
+    auto blob = r.ReadBytes();
+    DUFS_RETURN_IF_ERROR(blob);
+    auto resp = ClientResponse::Decode(*blob);
+    DUFS_RETURN_IF_ERROR(resp);
+    f.response = std::move(*resp);
+    return f;
+  }
+};
+
+struct VoteMsg {
+  std::int64_t round;
+  std::int64_t epoch;
+  Zxid zxid;
+  std::uint64_t candidate;
+  std::uint64_t from;
+
+  net::Payload Encode() const {
+    wire::BufferWriter w;
+    w.WriteI64(round);
+    w.WriteI64(epoch);
+    w.WriteI64(zxid);
+    w.WriteU64(candidate);
+    w.WriteU64(from);
+    return w.Take();
+  }
+  static Result<VoteMsg> Decode(const net::Payload& bytes) {
+    wire::BufferReader r(bytes);
+    VoteMsg m;
+    auto round = r.ReadI64();
+    DUFS_RETURN_IF_ERROR(round);
+    m.round = *round;
+    auto epoch = r.ReadI64();
+    DUFS_RETURN_IF_ERROR(epoch);
+    m.epoch = *epoch;
+    auto zxid = r.ReadI64();
+    DUFS_RETURN_IF_ERROR(zxid);
+    m.zxid = *zxid;
+    auto cand = r.ReadU64();
+    DUFS_RETURN_IF_ERROR(cand);
+    m.candidate = *cand;
+    auto from = r.ReadU64();
+    DUFS_RETURN_IF_ERROR(from);
+    m.from = *from;
+    return m;
+  }
+};
+
+ClientResponse UnavailableResponse() {
+  ClientResponse resp;
+  resp.result.code = StatusCode::kUnavailable;
+  return resp;
+}
+
+}  // namespace
+
+ZkServer::ZkServer(net::RpcEndpoint& endpoint, ZkEnsembleConfig config,
+                   std::size_t my_index)
+    : endpoint_(endpoint),
+      config_(std::move(config)),
+      my_index_(my_index),
+      db_(std::make_unique<Database>()) {
+  DUFS_CHECK(my_index_ < config_.servers.size());
+  DUFS_CHECK(config_.servers[my_index_] == endpoint_.self());
+}
+
+void ZkServer::Start() {
+  DUFS_CHECK(!started_);
+  started_ = true;
+  auto bind = [this](auto method_fn) {
+    return [this, method_fn](net::NodeId from,
+                             net::Payload req) -> sim::Task<net::RpcResult> {
+      return (this->*method_fn)(from, std::move(req));
+    };
+  };
+  endpoint_.RegisterHandler(method::kRequest, bind(&ZkServer::HandleRequest));
+  endpoint_.RegisterHandler(method::kForward, bind(&ZkServer::HandleForward));
+  endpoint_.RegisterHandler(method::kPropose, bind(&ZkServer::HandlePropose));
+  endpoint_.RegisterHandler(method::kAckProposal, bind(&ZkServer::HandleAck));
+  endpoint_.RegisterHandler(method::kCommit, bind(&ZkServer::HandleCommit));
+  endpoint_.RegisterHandler(method::kFollowerInfo,
+                            bind(&ZkServer::HandleFollowerInfo));
+  endpoint_.RegisterHandler(method::kPing, bind(&ZkServer::HandlePing));
+  endpoint_.RegisterHandler(method::kElectionVote,
+                            bind(&ZkServer::HandleElectionVote));
+  endpoint_.RegisterHandler(method::kSessionPing,
+                            bind(&ZkServer::HandleSessionPing));
+
+  read_pipeline_ = std::make_unique<sim::Resource>(endpoint_.sim(), 1);
+  write_pipeline_ = std::make_unique<sim::Resource>(endpoint_.sim(), 1);
+  journal_mb_ = std::make_unique<sim::Mailbox<JournalEntry>>(endpoint_.sim());
+
+  sim::CurrentSimulationScope scope(&endpoint_.sim());
+  endpoint_.sim().Spawn(JournalLoop());
+  if (config_.session_timeout > 0) {
+    endpoint_.sim().Spawn(SessionExpiryLoop());
+  }
+
+  if (my_index_ == 0) {
+    role_ = Role::kLeading;
+    leader_index_ = 0;
+    if (config_.enable_failure_detection) {
+      endpoint_.sim().Spawn(LeaderPingLoop(epoch_));
+    }
+  } else {
+    role_ = Role::kFollowing;
+    leader_index_ = 0;
+    last_ping_ = endpoint_.sim().now();
+    if (config_.enable_failure_detection) {
+      endpoint_.sim().Spawn(FollowerWatchdog());
+    }
+  }
+}
+
+Status ZkServer::RestoreSnapshot(const std::vector<std::uint8_t>& snap) {
+  auto db = Database::Restore(snap);
+  DUFS_RETURN_IF_ERROR(db);
+  db_ = std::move(*db);
+  return Status::Ok();
+}
+
+void ZkServer::OnRestart() {
+  // Volatile replication state is gone; the Database reflects the journal
+  // replay (RestoreSnapshot). Rejoin by looking for the current leader.
+  proposals_.clear();
+  pending_txns_.clear();
+  committed_not_applied_.clear();
+  apply_waiters_.clear();
+  result_wanted_.clear();
+  local_results_.clear();
+  last_committed_ = db_->last_applied();
+  // The in-memory log may disagree with the restored snapshot; drop it and
+  // serve any pre-restore sync requests with a full snapshot instead.
+  committed_log_.clear();
+  log_truncated_upto_ = db_->last_applied();
+  // Never reuse zxids from a previous life.
+  epoch_ = std::max<std::int64_t>(epoch_, (db_->last_applied() >> 40) + 1);
+  zxid_counter_ = 0;
+  sim::CurrentSimulationScope scope(&endpoint_.sim());
+  if (config_.enable_failure_detection) {
+    role_ = Role::kLooking;
+    StartElection();
+    endpoint_.sim().Spawn(FollowerWatchdog());
+  } else {
+    // Static-leader mode: resync from server 0.
+    role_ = Role::kFollowing;
+    leader_index_ = 0;
+    if (my_index_ == 0) {
+      role_ = Role::kLeading;
+    } else {
+      endpoint_.sim().Spawn(SyncWithLeader(0));
+    }
+  }
+}
+
+// --------------------------------------------------------------- reads ----
+
+sim::Task<net::RpcResult> ZkServer::HandleRequest(net::NodeId from,
+                                                  net::Payload req_bytes) {
+  auto req = ClientRequest::Decode(req_bytes);
+  if (!req.ok()) co_return req.status();
+  if (req->session != 0) {
+    session_activity_[req->session] = endpoint_.sim().now();
+    if (req->op.type == OpType::kCloseSession) {
+      session_activity_.erase(req->session);
+    }
+  }
+
+  if (IsWrite(req->op.type) || req->op.type == OpType::kSync) {
+    Txn txn;
+    txn.session = req->session;
+    txn.op = std::move(req->op);
+    txn.multi_ops = std::move(req->multi_ops);
+    auto resp = co_await SubmitWrite(std::move(txn));
+    if (!resp.ok()) co_return UnavailableResponse().Encode();
+    co_return resp->Encode();
+  }
+
+  // Local read through the serialized read pipeline.
+  {
+    auto guard = co_await read_pipeline_->Acquire();
+    co_await endpoint_.sim().Delay(config_.perf.read_cpu);
+  }
+  ClientResponse resp;
+  resp.result = db_->Read(req->op);
+  if (req->op.watch) RegisterWatch(req->op, req->session, from);
+  ++reads_served_;
+  co_return resp.Encode();
+}
+
+void ZkServer::RegisterWatch(const Op& op, SessionId session,
+                             net::NodeId client) {
+  switch (op.type) {
+    case OpType::kGetData:
+    case OpType::kExists:
+      data_watches_[op.path][{session, client}] = true;
+      break;
+    case OpType::kGetChildren:
+      child_watches_[op.path][{session, client}] = true;
+      break;
+    default:
+      break;
+  }
+}
+
+void ZkServer::FireTriggers(const std::vector<AppliedTxn::Trigger>& triggers) {
+  for (const auto& trig : triggers) {
+    auto& watch_map = trig.type == WatchEventType::kNodeChildrenChanged
+                          ? child_watches_
+                          : data_watches_;
+    auto it = watch_map.find(trig.path);
+    if (it == watch_map.end()) continue;
+    WatchSet watchers = std::move(it->second);
+    watch_map.erase(it);  // one-shot, like ZooKeeper
+    for (const auto& [key, unused] : watchers) {
+      WatchEvent ev;
+      ev.type = trig.type;
+      ev.path = trig.path;
+      ev.session = key.first;
+      endpoint_.Notify(key.second, method::kWatchEvent, ev.Encode());
+    }
+  }
+}
+
+// -------------------------------------------------------------- writes ----
+
+sim::Task<Result<ClientResponse>> ZkServer::SubmitWrite(Txn txn) {
+  Zxid zxid = 0;
+  auto resp = co_await SubmitWriteTracked(std::move(txn), zxid);
+  co_return resp;
+}
+
+sim::Task<Result<ClientResponse>> ZkServer::SubmitWriteTracked(Txn txn,
+                                                               Zxid& zxid) {
+  if (role_ == Role::kLeading) {
+    {
+      // The leader's single request-processor thread: serialization +
+      // per-follower replication work. This stage is the write-throughput
+      // limiter and the reason Fig. 7's write curves fall as servers are
+      // added.
+      auto guard = co_await write_pipeline_->Acquire();
+      const auto peers =
+          static_cast<sim::Duration>(config_.servers.size() - 1);
+      co_await endpoint_.sim().Delay(config_.perf.write_cpu +
+                                     peers * config_.perf.per_peer_cpu);
+    }
+    zxid = ProposeAsLeader(std::move(txn));
+    result_wanted_.insert(zxid);
+    const bool applied = co_await WaitApplied(zxid);
+    if (!applied) {
+      result_wanted_.erase(zxid);
+      co_return Status(StatusCode::kUnavailable, "commit timed out");
+    }
+    auto it = local_results_.find(zxid);
+    if (it == local_results_.end()) {
+      co_return Status(StatusCode::kInternal, "missing local result");
+    }
+    ClientResponse resp = std::move(it->second);
+    local_results_.erase(it);
+    co_return resp;
+  }
+
+  // Follower: forward to the leader, then wait until the local replica has
+  // applied the txn so this session observes its own write.
+  wire::BufferWriter w;
+  txn.Encode(w);
+  auto result = co_await endpoint_.Call(server_node(leader_index_),
+                                        method::kForward, w.Take(),
+                                        /*timeout=*/sim::Sec(2));
+  if (!result.ok()) co_return result.status();
+  auto fwd = ForwardResponse::Decode(*result);
+  if (!fwd.ok()) co_return fwd.status();
+  zxid = fwd->zxid;
+  (void)co_await WaitApplied(fwd->zxid);
+  co_return std::move(fwd->response);
+}
+
+sim::Task<net::RpcResult> ZkServer::HandleForward(net::NodeId /*from*/,
+                                                  net::Payload req) {
+  wire::BufferReader r(req);
+  auto txn = Txn::Decode(r);
+  if (!txn.ok()) co_return txn.status();
+  if (role_ != Role::kLeading) {
+    // Stale leadership information at the forwarder; let it time out and
+    // retry after discovering the new leader.
+    co_return Status(StatusCode::kUnavailable, "not the leader");
+  }
+  Zxid zxid = 0;
+  auto resp = co_await SubmitWriteTracked(std::move(*txn), zxid);
+  if (!resp.ok()) co_return resp.status();
+  ForwardResponse fwd;
+  fwd.zxid = zxid;
+  fwd.response = std::move(*resp);
+  co_return fwd.Encode();
+}
+
+Zxid ZkServer::ProposeAsLeader(Txn txn) {
+  DUFS_CHECK(role_ == Role::kLeading);
+  const Zxid zxid = MakeZxid();
+  txn.time = endpoint_.sim().now();  // replica-identical ctime/mtime stamps
+  const std::size_t txn_bytes = txn.EncodedSize();
+
+  ProposeMsg msg{zxid, epoch_, txn};
+  const auto payload = msg.Encode();
+  for (std::size_t i = 0; i < config_.servers.size(); ++i) {
+    if (i == my_index_) continue;
+    endpoint_.Notify(server_node(i), method::kPropose, payload);
+  }
+
+  pending_txns_.emplace(zxid, std::move(txn));
+  proposals_.emplace(zxid, Proposal{pending_txns_.at(zxid), {}, false});
+  MaybeScheduleRetransmit();
+
+  // Self-ack after the local journal write.
+  sim::CurrentSimulationScope scope(&endpoint_.sim());
+  endpoint_.sim().Spawn(
+      [](ZkServer& self, Zxid z, std::size_t bytes) -> sim::Task<void> {
+        co_await self.JournalAppend(z, bytes);
+        auto it = self.proposals_.find(z);
+        if (it == self.proposals_.end()) co_return;
+        it->second.acks.insert(self.endpoint_.self());
+        self.TryCommitInOrder();
+      }(*this, zxid, txn_bytes));
+  return zxid;
+}
+
+// Lost PROPOSE/ACK messages (partitions, crashes) must not wedge the commit
+// pipeline: while any proposal is outstanding, periodically re-broadcast
+// the head of the queue. The timer chain self-terminates when the queue
+// empties, so idle ensembles still drain the event loop.
+void ZkServer::MaybeScheduleRetransmit() {
+  if (retransmit_scheduled_ || proposals_.empty()) return;
+  retransmit_scheduled_ = true;
+  endpoint_.sim().ScheduleFn(sim::Ms(400), [this] {
+    retransmit_scheduled_ = false;
+    if (role_ != Role::kLeading || !endpoint_.node().up()) return;
+    std::size_t sent = 0;
+    for (const auto& [zxid, proposal] : proposals_) {
+      ProposeMsg msg{zxid, epoch_, proposal.txn};
+      const auto payload = msg.Encode();
+      for (std::size_t i = 0; i < config_.servers.size(); ++i) {
+        if (i == my_index_) continue;
+        if (proposal.acks.count(server_node(i)) > 0) continue;
+        endpoint_.Notify(server_node(i), method::kPropose, payload);
+      }
+      if (++sent >= 16) break;  // head of the queue commits first anyway
+    }
+    MaybeScheduleRetransmit();
+  });
+}
+
+sim::Task<net::RpcResult> ZkServer::HandlePropose(net::NodeId from,
+                                                  net::Payload req) {
+  auto msg = ProposeMsg::Decode(req);
+  if (!msg.ok()) co_return msg.status();
+  if (msg->epoch < epoch_) co_return Status(StatusCode::kConflict, "stale");
+  if (msg->epoch > epoch_) epoch_ = msg->epoch;
+
+  // Retransmit handling: if we already journaled this zxid (or applied
+  // it), just re-ack — the original ACK may have been lost.
+  if (msg->zxid <= db_->last_applied() ||
+      pending_txns_.count(msg->zxid) > 0) {
+    endpoint_.Notify(from, method::kAckProposal, EncodeZxid(msg->zxid));
+    co_return net::Payload{};
+  }
+  const std::size_t bytes = req.size();
+  pending_txns_.emplace(msg->zxid, std::move(msg->txn));
+  co_await endpoint_.node().Compute(config_.perf.follower_txn_cpu);
+  co_await JournalAppend(msg->zxid, bytes);
+  endpoint_.Notify(from, method::kAckProposal, EncodeZxid(msg->zxid));
+  co_return net::Payload{};
+}
+
+sim::Task<net::RpcResult> ZkServer::HandleAck(net::NodeId from,
+                                              net::Payload req) {
+  auto zxid = DecodeZxid(req);
+  if (!zxid.ok()) co_return zxid.status();
+  auto it = proposals_.find(*zxid);
+  if (it != proposals_.end()) {
+    it->second.acks.insert(from);
+    TryCommitInOrder();
+  }
+  co_return net::Payload{};
+}
+
+void ZkServer::TryCommitInOrder() {
+  // Commit strictly in zxid order: the head proposal must reach quorum
+  // before anything behind it commits.
+  while (!proposals_.empty()) {
+    auto it = proposals_.begin();
+    // +1: the leader's own durability is counted by its self-ack entry, so
+    // quorum() includes it naturally.
+    if (it->second.acks.size() < quorum()) break;
+    const Zxid zxid = it->first;
+    proposals_.erase(it);
+    last_committed_ = zxid;
+    ++writes_committed_;
+    BroadcastCommit(zxid);
+    committed_not_applied_.insert(zxid);
+    ApplyCommitted();
+  }
+}
+
+void ZkServer::AppendCommittedLog(Zxid zxid, Txn txn) {
+  committed_log_.emplace_back(zxid, std::move(txn));
+  if (committed_log_.size() > config_.max_log_entries) {
+    log_truncated_upto_ = committed_log_.front().first;
+    committed_log_.pop_front();  // older followers resync via snapshot
+  }
+}
+
+void ZkServer::BroadcastCommit(Zxid zxid) {
+  const auto payload = EncodeZxid(zxid);
+  for (std::size_t i = 0; i < config_.servers.size(); ++i) {
+    if (i == my_index_) continue;
+    endpoint_.Notify(server_node(i), method::kCommit, payload);
+  }
+}
+
+sim::Task<net::RpcResult> ZkServer::HandleCommit(net::NodeId /*from*/,
+                                                 net::Payload req) {
+  auto zxid = DecodeZxid(req);
+  if (!zxid.ok()) co_return zxid.status();
+  if (*zxid > last_committed_) last_committed_ = *zxid;
+  committed_not_applied_.insert(*zxid);
+  co_await endpoint_.node().Compute(config_.perf.apply_cpu);
+  ApplyCommitted();
+  co_return net::Payload{};
+}
+
+void ZkServer::ApplyCommitted() {
+  while (!committed_not_applied_.empty()) {
+    const Zxid zxid = *committed_not_applied_.begin();
+    if (zxid <= db_->last_applied()) {
+      committed_not_applied_.erase(committed_not_applied_.begin());
+      continue;  // already covered by a snapshot sync
+    }
+    auto it = pending_txns_.find(zxid);
+    if (it == pending_txns_.end()) break;  // proposal not yet received
+    AppliedTxn applied =
+        db_->Apply(it->second, zxid, endpoint_.sim().now());
+    FireTriggers(applied.triggers);
+    // Every replica retains the committed tail: any of them may be elected
+    // leader later and must be able to sync lagging followers.
+    AppendCommittedLog(zxid, std::move(it->second));
+    if (result_wanted_.count(zxid) > 0) {
+      ClientResponse resp;
+      resp.result = std::move(applied.result);
+      resp.multi_results = std::move(applied.multi_results);
+      local_results_[zxid] = std::move(resp);
+      result_wanted_.erase(zxid);
+    }
+    pending_txns_.erase(it);
+    committed_not_applied_.erase(committed_not_applied_.begin());
+  }
+  CompleteApplyWaiters();
+}
+
+sim::Task<bool> ZkServer::WaitApplied(Zxid zxid) {
+  if (db_->last_applied() >= zxid) co_return true;
+  auto [future, promise] = sim::MakeFuture<bool>(endpoint_.sim());
+  apply_waiters_[zxid].push_back(promise);
+  // Give-up timer: a leader change can abandon the proposal; never strand
+  // the waiter (the client will see kUnavailable and retry).
+  endpoint_.sim().ScheduleFn(sim::Sec(3), [promise]() mutable {
+    promise.Set(false);
+  });
+  co_return co_await std::move(future);
+}
+
+void ZkServer::CompleteApplyWaiters() {
+  const Zxid applied = db_->last_applied();
+  while (!apply_waiters_.empty() && apply_waiters_.begin()->first <= applied) {
+    for (auto& promise : apply_waiters_.begin()->second) promise.Set(true);
+    apply_waiters_.erase(apply_waiters_.begin());
+  }
+}
+
+// ------------------------------------------------------------- journal ----
+
+sim::Task<void> ZkServer::JournalAppend(Zxid zxid, std::size_t bytes) {
+  auto [future, promise] = sim::MakeFuture<bool>(endpoint_.sim());
+  journal_mb_->Send(JournalEntry{zxid, bytes, promise});
+  co_await std::move(future);
+}
+
+sim::Task<void> ZkServer::JournalLoop() {
+  for (;;) {
+    auto first = co_await journal_mb_->Recv();
+    if (!first.has_value()) co_return;
+    std::vector<JournalEntry> batch;
+    batch.push_back(std::move(*first));
+    while (journal_mb_->size() > 0 &&
+           batch.size() < config_.perf.max_journal_batch) {
+      auto more = co_await journal_mb_->Recv();
+      if (!more.has_value()) break;
+      batch.push_back(std::move(*more));
+    }
+    std::size_t total = 0;
+    for (const auto& e : batch) total += e.bytes;
+    co_await endpoint_.node().DiskWrite(total);  // one group-commit fsync
+    for (auto& e : batch) e.done.Set(true);
+  }
+}
+
+// ------------------------------------------- failure detection & votes ----
+
+sim::Task<void> ZkServer::LeaderPingLoop(std::int64_t epoch_at_start) {
+  while (role_ == Role::kLeading && epoch_ == epoch_at_start) {
+    VoteMsg ping{election_round_, epoch_, last_committed_, my_index_,
+                 my_index_};
+    for (std::size_t i = 0; i < config_.servers.size(); ++i) {
+      if (i == my_index_) continue;
+      endpoint_.Notify(server_node(i), method::kPing, ping.Encode());
+    }
+    co_await endpoint_.sim().Delay(config_.ping_interval);
+  }
+}
+
+sim::Task<net::RpcResult> ZkServer::HandlePing(net::NodeId /*from*/,
+                                               net::Payload req) {
+  auto msg = VoteMsg::Decode(req);
+  if (!msg.ok()) co_return msg.status();
+  if (msg->epoch < epoch_) co_return net::Payload{};  // stale leader
+  if (role_ == Role::kLeading) {
+    if (msg->epoch > epoch_ ||
+        (msg->epoch == epoch_ && msg->candidate != my_index_)) {
+      // A newer leader exists (we were partitioned away and deposed):
+      // step down and fall through to follow it.
+      DUFS_LOG(Info) << "server " << my_index_ << " deposed by epoch "
+                     << msg->epoch;
+      role_ = Role::kFollowing;
+    } else {
+      co_return net::Payload{};
+    }
+  }
+  const bool new_leader = leader_index_ != msg->candidate;
+  const bool was_looking = role_ == Role::kLooking;
+  epoch_ = msg->epoch;
+  leader_index_ = msg->candidate;
+  last_ping_ = endpoint_.sim().now();
+  role_ = Role::kFollowing;
+  // Catch up whenever behind (covers sync attempts that failed during a
+  // partition): the ping carries the leader's last committed zxid.
+  const bool behind = msg->zxid > db_->last_applied();
+  if ((was_looking || new_leader || behind) && !syncing_) {
+    syncing_ = true;
+    sim::CurrentSimulationScope scope(&endpoint_.sim());
+    endpoint_.sim().Spawn(SyncWithLeader(leader_index_));
+  }
+  co_return net::Payload{};
+}
+
+sim::Task<net::RpcResult> ZkServer::HandleSessionPing(net::NodeId /*from*/,
+                                                      net::Payload req) {
+  wire::BufferReader r(req);
+  auto session = r.ReadU64();
+  if (!session.ok()) co_return session.status();
+  session_activity_[*session] = endpoint_.sim().now();
+  co_return net::Payload{};
+}
+
+// Expires silent sessions attached to this server with a replicated
+// CloseSession (which deletes the session's ephemerals on every replica).
+sim::Task<void> ZkServer::SessionExpiryLoop() {
+  const std::uint64_t incarnation = endpoint_.node().incarnation();
+  for (;;) {
+    co_await endpoint_.sim().Delay(config_.session_timeout / 2);
+    if (endpoint_.node().incarnation() != incarnation) co_return;
+    if (!endpoint_.node().up()) continue;
+    const sim::SimTime now = endpoint_.sim().now();
+    std::vector<SessionId> expired;
+    for (const auto& [session, last] : session_activity_) {
+      if (now - last > config_.session_timeout &&
+          db_->SessionExists(session)) {
+        expired.push_back(session);
+      }
+    }
+    for (SessionId session : expired) {
+      session_activity_.erase(session);
+      Txn txn;
+      txn.session = session;
+      txn.op.type = OpType::kCloseSession;
+      DUFS_LOG(Info) << "expiring session " << session;
+      (void)co_await SubmitWrite(std::move(txn));
+    }
+  }
+}
+
+sim::Task<void> ZkServer::FollowerWatchdog() {
+  const std::uint64_t incarnation = endpoint_.node().incarnation();
+  for (;;) {
+    co_await endpoint_.sim().Delay(config_.election_timeout / 2);
+    if (endpoint_.node().incarnation() != incarnation) co_return;
+    if (!endpoint_.node().up()) continue;
+    if (role_ == Role::kLeading) continue;
+    if (role_ == Role::kFollowing &&
+        endpoint_.sim().now() - last_ping_ <= config_.election_timeout) {
+      continue;
+    }
+    if (role_ == Role::kFollowing) StartElection();
+    // kLooking: keep re-broadcasting votes until the ensemble converges.
+    if (role_ == Role::kLooking) {
+      ++election_round_;
+      votes_received_.clear();
+      my_vote_ = Vote{epoch_, db_->last_applied(), my_index_};
+      VoteMsg msg{election_round_, my_vote_.epoch, my_vote_.zxid,
+                  my_vote_.candidate, my_index_};
+      for (std::size_t i = 0; i < config_.servers.size(); ++i) {
+        if (i == my_index_) continue;
+        endpoint_.Notify(server_node(i), method::kElectionVote, msg.Encode());
+      }
+      MaybeDecideElection();
+    }
+  }
+}
+
+void ZkServer::StartElection() {
+  role_ = Role::kLooking;
+  ++election_round_;
+  votes_received_.clear();
+  my_vote_ = Vote{epoch_, db_->last_applied(), my_index_};
+  VoteMsg msg{election_round_, my_vote_.epoch, my_vote_.zxid,
+              my_vote_.candidate, my_index_};
+  for (std::size_t i = 0; i < config_.servers.size(); ++i) {
+    if (i == my_index_) continue;
+    endpoint_.Notify(server_node(i), method::kElectionVote, msg.Encode());
+  }
+  MaybeDecideElection();
+}
+
+sim::Task<net::RpcResult> ZkServer::HandleElectionVote(net::NodeId from,
+                                                       net::Payload req) {
+  auto msg = VoteMsg::Decode(req);
+  if (!msg.ok()) co_return msg.status();
+
+  if (role_ != Role::kLooking) {
+    // Tell the looking peer who leads now.
+    VoteMsg reply{msg->round, epoch_, db_->last_applied(), leader_index_,
+                  my_index_};
+    endpoint_.Notify(from, method::kElectionVote, reply.Encode());
+    co_return net::Payload{};
+  }
+
+  Vote vote{msg->epoch, msg->zxid, msg->candidate};
+  votes_received_[static_cast<std::size_t>(msg->from)] = vote;
+  if (vote > my_vote_) {
+    my_vote_ = vote;
+    VoteMsg rebroadcast{election_round_, my_vote_.epoch, my_vote_.zxid,
+                        my_vote_.candidate, my_index_};
+    for (std::size_t i = 0; i < config_.servers.size(); ++i) {
+      if (i == my_index_) continue;
+      endpoint_.Notify(server_node(i), method::kElectionVote,
+                       rebroadcast.Encode());
+    }
+  }
+  MaybeDecideElection();
+  co_return net::Payload{};
+}
+
+void ZkServer::MaybeDecideElection() {
+  if (role_ != Role::kLooking) return;
+  std::map<std::size_t, std::size_t> tally;
+  ++tally[my_vote_.candidate];
+  for (const auto& [from, vote] : votes_received_) ++tally[vote.candidate];
+  for (const auto& [candidate, count] : tally) {
+    if (count < quorum()) continue;
+    if (candidate == my_index_) {
+      sim::CurrentSimulationScope scope(&endpoint_.sim());
+      endpoint_.sim().Spawn(BecomeLeader());
+    } else {
+      role_ = Role::kFollowing;
+      leader_index_ = candidate;
+      last_ping_ = endpoint_.sim().now();
+      sim::CurrentSimulationScope scope(&endpoint_.sim());
+      endpoint_.sim().Spawn(SyncWithLeader(candidate));
+    }
+    return;
+  }
+}
+
+sim::Task<void> ZkServer::BecomeLeader() {
+  role_ = Role::kLeading;
+  leader_index_ = my_index_;
+  epoch_ = std::max<std::int64_t>(epoch_, db_->last_applied() >> 40) + 1;
+  zxid_counter_ = 0;
+  // Abandon proposals from the previous epoch: their clients time out and
+  // retry. Committed history is preserved.
+  proposals_.clear();
+  DUFS_LOG(Info) << "server " << my_index_ << " leading epoch " << epoch_;
+  if (config_.enable_failure_detection) {
+    sim::CurrentSimulationScope scope(&endpoint_.sim());
+    endpoint_.sim().Spawn(LeaderPingLoop(epoch_));
+  }
+  co_return;
+}
+
+sim::Task<void> ZkServer::SyncWithLeader(std::size_t leader_idx) {
+  struct ClearFlag {
+    ZkServer* self;
+    ~ClearFlag() { self->syncing_ = false; }
+  } clear{this};
+  syncing_ = true;
+  auto result = co_await endpoint_.Call(
+      server_node(leader_idx), method::kFollowerInfo,
+      EncodeZxid(db_->last_applied()), /*timeout=*/sim::Sec(1));
+  if (!result.ok()) co_return;  // the watchdog retries
+  wire::BufferReader r(*result);
+  auto epoch = r.ReadI64();
+  if (!epoch.ok()) co_return;
+  auto is_snapshot = r.ReadBool();
+  if (!is_snapshot.ok()) co_return;
+  if (*is_snapshot) {
+    auto blob = r.ReadBytes();
+    if (!blob.ok()) co_return;
+    co_await endpoint_.node().DiskWrite(blob->size());
+    auto db = Database::Restore(*blob);
+    if (!db.ok()) co_return;
+    db_ = std::move(*db);
+    epoch_ = std::max(epoch_, *epoch);
+    last_committed_ = std::max(last_committed_, db_->last_applied());
+    CompleteApplyWaiters();
+    co_return;
+  }
+  auto count = r.ReadVarint();
+  if (!count.ok()) co_return;
+  if (*count > 0) co_await endpoint_.node().DiskWrite(result->size());
+  for (std::uint64_t i = 0; i < *count; ++i) {
+    auto zxid = r.ReadI64();
+    if (!zxid.ok()) co_return;
+    auto txn = Txn::Decode(r);
+    if (!txn.ok()) co_return;
+    if (*zxid <= db_->last_applied()) continue;
+    AppliedTxn applied = db_->Apply(*txn, *zxid, endpoint_.sim().now());
+    FireTriggers(applied.triggers);
+    AppendCommittedLog(*zxid, std::move(*txn));
+  }
+  epoch_ = std::max(epoch_, *epoch);
+  if (db_->last_applied() > last_committed_) {
+    last_committed_ = db_->last_applied();
+  }
+  CompleteApplyWaiters();
+}
+
+sim::Task<net::RpcResult> ZkServer::HandleFollowerInfo(net::NodeId /*from*/,
+                                                       net::Payload req) {
+  auto since = DecodeZxid(req);
+  if (!since.ok()) co_return since.status();
+  if (role_ != Role::kLeading) {
+    co_return Status(StatusCode::kUnavailable, "not the leader");
+  }
+  wire::BufferWriter w;
+  w.WriteI64(epoch_);
+  // If the follower predates the retained log tail, ship a full snapshot
+  // instead of a diff.
+  const bool need_snapshot = *since < log_truncated_upto_;
+  w.WriteBool(need_snapshot);
+  if (need_snapshot) {
+    w.WriteBytes(db_->Snapshot());
+    co_return w.Take();
+  }
+  std::vector<const std::pair<Zxid, Txn>*> missing;
+  for (const auto& entry : committed_log_) {
+    if (entry.first > *since) missing.push_back(&entry);
+  }
+  w.WriteVarint(missing.size());
+  for (const auto* entry : missing) {
+    w.WriteI64(entry->first);
+    entry->second.Encode(w);
+  }
+  co_return w.Take();
+}
+
+}  // namespace dufs::zk

@@ -1,0 +1,213 @@
+// Coordination-service server: ZAB-style leader-based quorum replication
+// over the simulated cluster.
+//
+// Write path (paper §II-C): client -> session server -> (forward to) leader
+// -> PROPOSE to all peers -> each peer journals (group commit) and ACKs ->
+// leader commits on quorum, in zxid order -> COMMIT broadcast -> every
+// replica applies to its Database in zxid order -> the origin server replies
+// once *it* has applied the txn (read-your-writes per session server).
+//
+// Read path: served from the local replica through a serialized read
+// pipeline — this is why read throughput scales with the ensemble size
+// while write throughput falls (Fig. 7).
+//
+// Fault tolerance: leader pings; on silence the followers run a
+// highest-zxid-wins election; the new leader syncs laggards from its
+// committed-log history. Majority loss makes writes time out (tested).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/rpc.h"
+#include "sim/future.h"
+#include "sim/sync.h"
+#include "zk/database.h"
+#include "zk/proto.h"
+
+namespace dufs::zk {
+
+// Service-time constants for one server (calibrated; see DESIGN.md §4).
+struct ZkPerfModel {
+  sim::Duration read_cpu = sim::Us(45);       // local read, serialized
+  sim::Duration write_cpu = sim::Us(50);      // leader request processing
+  sim::Duration per_peer_cpu = sim::Us(26);   // leader cost per follower/txn
+  sim::Duration follower_txn_cpu = sim::Us(20);
+  sim::Duration apply_cpu = sim::Us(8);
+  std::size_t max_journal_batch = 64;
+};
+
+struct ZkEnsembleConfig {
+  std::vector<net::NodeId> servers;
+  ZkPerfModel perf;
+  bool enable_failure_detection = false;
+  sim::Duration ping_interval = sim::Ms(40);
+  sim::Duration election_timeout = sim::Ms(250);
+  // Committed-log entries retained for follower catch-up; older gaps are
+  // healed with a full snapshot transfer.
+  std::size_t max_log_entries = 100'000;
+  // Session expiry: 0 disables. When set, the server a session is attached
+  // to expires it (replicated CloseSession -> ephemeral cleanup) after this
+  // long without a request or heartbeat.
+  sim::Duration session_timeout = 0;
+};
+
+class ZkServer {
+ public:
+  enum class Role { kLooking, kFollowing, kLeading };
+
+  ZkServer(net::RpcEndpoint& endpoint, ZkEnsembleConfig config,
+           std::size_t my_index);
+
+  // Registers RPC handlers and spawns the pipelines. Server 0 boots as the
+  // epoch-1 leader (a fixed initial quorum, like a fresh ensemble start).
+  void Start();
+
+  // Crash/restart support: reinitializes volatile state from the last
+  // snapshot + committed log is NOT retained (disk state is the journal);
+  // our restart model restores from the snapshot taken at crash time, which
+  // models journal replay.
+  std::vector<std::uint8_t> TakeSnapshot() const { return db_->Snapshot(); }
+  Status RestoreSnapshot(const std::vector<std::uint8_t>& snap);
+  void OnRestart();  // rejoin the ensemble after net::Node::Restart()
+
+  Role role() const { return role_; }
+  bool is_leader() const { return role_ == Role::kLeading; }
+  std::size_t leader_index() const { return leader_index_; }
+  std::int64_t epoch() const { return epoch_; }
+  Zxid last_committed() const { return last_committed_; }
+  Database& db() { return *db_; }
+  const Database& db() const { return *db_; }
+  net::NodeId node_id() const { return endpoint_.self(); }
+
+  std::uint64_t reads_served() const { return reads_served_; }
+  std::uint64_t writes_committed() const { return writes_committed_; }
+
+ private:
+  struct Proposal {
+    Txn txn;
+    std::set<net::NodeId> acks;  // deduplicated (retransmits re-ack)
+    bool committed = false;
+  };
+
+  std::size_t quorum() const { return config_.servers.size() / 2 + 1; }
+  net::NodeId server_node(std::size_t idx) const {
+    return config_.servers[idx];
+  }
+  Zxid MakeZxid() { return (epoch_ << 40) | static_cast<Zxid>(++zxid_counter_); }
+
+  // RPC handlers.
+  sim::Task<net::RpcResult> HandleRequest(net::NodeId from, net::Payload req);
+  sim::Task<net::RpcResult> HandleForward(net::NodeId from, net::Payload req);
+  sim::Task<net::RpcResult> HandlePropose(net::NodeId from, net::Payload req);
+  sim::Task<net::RpcResult> HandleAck(net::NodeId from, net::Payload req);
+  sim::Task<net::RpcResult> HandleCommit(net::NodeId from, net::Payload req);
+  sim::Task<net::RpcResult> HandleFollowerInfo(net::NodeId from,
+                                               net::Payload req);
+  sim::Task<net::RpcResult> HandlePing(net::NodeId from, net::Payload req);
+  sim::Task<net::RpcResult> HandleSessionPing(net::NodeId from,
+                                              net::Payload req);
+  sim::Task<void> SessionExpiryLoop();
+  sim::Task<net::RpcResult> HandleElectionVote(net::NodeId from,
+                                               net::Payload req);
+
+  // Write-path helpers.
+  sim::Task<Result<ClientResponse>> SubmitWrite(Txn txn);
+  sim::Task<Result<ClientResponse>> SubmitWriteTracked(Txn txn, Zxid& zxid);
+  Zxid ProposeAsLeader(Txn txn);  // returns the assigned zxid
+  void TryCommitInOrder();
+  void MaybeScheduleRetransmit();
+  void AppendCommittedLog(Zxid zxid, Txn txn);
+  void BroadcastCommit(Zxid zxid);
+  void ApplyCommitted();
+  sim::Task<bool> WaitApplied(Zxid zxid);  // false on give-up timeout
+  void CompleteApplyWaiters();
+
+  // Journal (group commit) pipeline.
+  struct JournalEntry {
+    Zxid zxid;
+    std::size_t bytes;
+    sim::Promise<bool> done;
+  };
+  sim::Task<void> JournalLoop();
+  sim::Task<void> JournalAppend(Zxid zxid, std::size_t bytes);
+
+  // Watches.
+  void RegisterWatch(const Op& op, SessionId session, net::NodeId client);
+  void FireTriggers(const std::vector<AppliedTxn::Trigger>& triggers);
+
+  // Failure detection & election.
+  sim::Task<void> LeaderPingLoop(std::int64_t epoch_at_start);
+  sim::Task<void> FollowerWatchdog();
+  void StartElection();
+  void MaybeDecideElection();
+  sim::Task<void> BecomeLeader();
+  sim::Task<void> SyncWithLeader(std::size_t leader_idx);
+
+  net::RpcEndpoint& endpoint_;
+  ZkEnsembleConfig config_;
+  std::size_t my_index_;
+  std::unique_ptr<Database> db_;
+
+  Role role_ = Role::kFollowing;
+  std::size_t leader_index_ = 0;
+  std::int64_t epoch_ = 1;
+  std::uint64_t zxid_counter_ = 0;
+
+  // Leader state.
+  std::map<Zxid, Proposal> proposals_;
+  Zxid last_committed_ = 0;
+  // Tail of the committed history (the on-disk log model) for syncing
+  // lagging followers; bounded by config_.max_log_entries.
+  std::deque<std::pair<Zxid, Txn>> committed_log_;
+  Zxid log_truncated_upto_ = 0;  // highest zxid dropped from the tail
+
+  // Replica state.
+  std::map<Zxid, Txn> pending_txns_;   // proposed, not yet committed
+  std::set<Zxid> committed_not_applied_;
+  std::map<Zxid, std::vector<sim::Promise<bool>>> apply_waiters_;
+  // Apply results cached for requests that originated at this server.
+  std::set<Zxid> result_wanted_;
+  std::map<Zxid, ClientResponse> local_results_;
+
+  // Pipelines.
+  std::unique_ptr<sim::Resource> read_pipeline_;
+  std::unique_ptr<sim::Resource> write_pipeline_;
+  std::unique_ptr<sim::Mailbox<JournalEntry>> journal_mb_;
+
+  // Watches: path -> (session, client node).
+  using WatchSet = std::map<std::pair<SessionId, net::NodeId>, bool>;
+  std::unordered_map<std::string, WatchSet> data_watches_;
+  std::unordered_map<std::string, WatchSet> child_watches_;
+
+  // Election state.
+  struct Vote {
+    std::int64_t epoch = 0;
+    Zxid zxid = 0;
+    std::size_t candidate = 0;
+    bool operator>(const Vote& o) const {
+      if (zxid != o.zxid) return zxid > o.zxid;
+      return candidate > o.candidate;
+    }
+  };
+  Vote my_vote_;
+  std::map<std::size_t, Vote> votes_received_;
+  std::int64_t election_round_ = 0;
+  sim::SimTime last_ping_ = 0;
+  bool started_ = false;
+  bool syncing_ = false;
+  bool retransmit_scheduled_ = false;
+  // Sessions attached to this server -> last activity time.
+  std::unordered_map<SessionId, sim::SimTime> session_activity_;
+
+  std::uint64_t reads_served_ = 0;
+  std::uint64_t writes_committed_ = 0;
+};
+
+}  // namespace dufs::zk

@@ -1,0 +1,54 @@
+#include "common/hex.h"
+
+#include <gtest/gtest.h>
+
+namespace dufs {
+namespace {
+
+TEST(HexTest, BytesRoundTrip) {
+  std::vector<std::uint8_t> bytes = {0x00, 0x01, 0xab, 0xff, 0x7f};
+  const std::string hex = BytesToHex(bytes);
+  EXPECT_EQ(hex, "0001abff7f");
+  auto back = HexToBytes(hex);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, bytes);
+}
+
+TEST(HexTest, UppercaseAccepted) {
+  auto bytes = HexToBytes("ABCDEF");
+  ASSERT_TRUE(bytes.has_value());
+  EXPECT_EQ(BytesToHex(*bytes), "abcdef");
+}
+
+TEST(HexTest, RejectsOddLength) { EXPECT_FALSE(HexToBytes("abc").has_value()); }
+
+TEST(HexTest, RejectsNonHex) { EXPECT_FALSE(HexToBytes("zz").has_value()); }
+
+TEST(HexTest, EmptyIsValid) {
+  auto bytes = HexToBytes("");
+  ASSERT_TRUE(bytes.has_value());
+  EXPECT_TRUE(bytes->empty());
+}
+
+TEST(HexTest, U64RoundTrip) {
+  for (std::uint64_t v :
+       {0ull, 1ull, 0x0123456789abcdefull, ~0ull, 0x8000000000000000ull}) {
+    const std::string hex = U64ToHex(v);
+    EXPECT_EQ(hex.size(), 16u);
+    auto back = HexToU64(hex);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, v);
+  }
+}
+
+TEST(HexTest, U64IsMsbFirst) {
+  EXPECT_EQ(U64ToHex(0x0123456789abcdefull), "0123456789abcdef");
+}
+
+TEST(HexTest, U64RejectsWrongLength) {
+  EXPECT_FALSE(HexToU64("123").has_value());
+  EXPECT_FALSE(HexToU64("00000000000000000").has_value());
+}
+
+}  // namespace
+}  // namespace dufs

@@ -1,0 +1,66 @@
+#include "common/md5.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace dufs {
+namespace {
+
+std::string HexOf(std::string_view input) { return Md5::Hash(input).ToHex(); }
+
+// RFC 1321 appendix A.5 test suite.
+TEST(Md5Test, Rfc1321Vectors) {
+  EXPECT_EQ(HexOf(""), "d41d8cd98f00b204e9800998ecf8427e");
+  EXPECT_EQ(HexOf("a"), "0cc175b9c0f1b6a831c399e269772661");
+  EXPECT_EQ(HexOf("abc"), "900150983cd24fb0d6963f7d28e17f72");
+  EXPECT_EQ(HexOf("message digest"), "f96b697d7cb7938d525a2f31aaf161d0");
+  EXPECT_EQ(HexOf("abcdefghijklmnopqrstuvwxyz"),
+            "c3fcd3d76192e4007dfb496cca67e13b");
+  EXPECT_EQ(
+      HexOf("ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789"),
+      "d174ab98d277d9f5a5611c2c9f419d9f");
+  EXPECT_EQ(HexOf("1234567890123456789012345678901234567890123456789012345678"
+                  "9012345678901234567890"),
+            "57edf4a22be3c955ac49da2e2107b67a");
+}
+
+TEST(Md5Test, IncrementalMatchesOneShot) {
+  const std::string data(1000, 'x');
+  for (std::size_t chunk : {1u, 3u, 63u, 64u, 65u, 100u, 999u}) {
+    Md5 md5;
+    for (std::size_t off = 0; off < data.size(); off += chunk) {
+      md5.Update(data.substr(off, chunk));
+    }
+    EXPECT_EQ(md5.Finish(), Md5::Hash(data)) << "chunk=" << chunk;
+  }
+}
+
+TEST(Md5Test, BlockBoundaryLengths) {
+  // Lengths around the 64-byte block and 56-byte padding boundaries.
+  for (std::size_t len : {55u, 56u, 57u, 63u, 64u, 65u, 119u, 120u, 128u}) {
+    std::string data(len, 'q');
+    Md5 a;
+    a.Update(data);
+    Md5 b;
+    for (char c : data) b.Update(&c, 1);
+    EXPECT_EQ(a.Finish(), b.Finish()) << "len=" << len;
+  }
+}
+
+TEST(Md5Test, DigestWordAccessors) {
+  // d41d8cd98f00b204 e9800998ecf8427e (empty input); bytes are LE within
+  // each accessor.
+  const Md5Digest d = Md5::Hash("");
+  EXPECT_EQ(d.ToHex().substr(0, 16), "d41d8cd98f00b204");
+  // Low64 assembles bytes[0..7] little-endian -> 0x04b2008fd98c1dd4.
+  EXPECT_EQ(d.Low64(), 0x04b2008fd98c1dd4ull);
+  EXPECT_EQ(d.High64(), 0x7e42f8ec980980e9ull);
+}
+
+TEST(Md5Test, DistinctInputsDistinctDigests) {
+  EXPECT_NE(Md5::Hash("fid-0001"), Md5::Hash("fid-0002"));
+}
+
+}  // namespace
+}  // namespace dufs

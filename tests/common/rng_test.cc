@@ -1,0 +1,84 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+namespace dufs {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.NextU64() == b.NextU64());
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, NextBelowInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.NextBelow(17), 17u);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, NextInRangeInclusive) {
+  Rng rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.NextInRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, ExponentialMeanApproximately) {
+  Rng rng(11);
+  double sum = 0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) sum += rng.NextExponential(100.0);
+  const double mean = sum / kN;
+  EXPECT_NEAR(mean, 100.0, 2.0);
+}
+
+TEST(RngTest, ExponentialZeroMean) {
+  Rng rng(11);
+  EXPECT_EQ(rng.NextExponential(0.0), 0.0);
+}
+
+TEST(RngTest, ForkIsIndependent) {
+  Rng parent(5);
+  Rng child = parent.Fork();
+  // The child stream must not replay the parent stream.
+  Rng parent2(5);
+  (void)parent2.NextU64();  // advance like Fork did
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (child.NextU64() == parent2.NextU64());
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, UniformityCoarse) {
+  Rng rng(13);
+  int buckets[8] = {0};
+  constexpr int kN = 80000;
+  for (int i = 0; i < kN; ++i) ++buckets[rng.NextBelow(8)];
+  for (int b = 0; b < 8; ++b) {
+    EXPECT_NEAR(buckets[b], kN / 8, kN / 8 / 10) << "bucket " << b;
+  }
+}
+
+}  // namespace
+}  // namespace dufs

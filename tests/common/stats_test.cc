@@ -1,0 +1,108 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace dufs {
+namespace {
+
+TEST(RunningStatTest, Empty) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStatTest, BasicMoments) {
+  RunningStat s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStatTest, MergeMatchesCombinedStream) {
+  Rng rng(3);
+  RunningStat all, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.NextDouble() * 100;
+    all.Add(x);
+    (i % 2 ? a : b).Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-6);
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(RunningStatTest, MergeIntoEmpty) {
+  RunningStat a, b;
+  b.Add(5.0);
+  b.Add(7.0);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 6.0);
+}
+
+TEST(LatencyHistogramTest, EmptyPercentiles) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.Percentile(50), 0);
+  EXPECT_EQ(h.count(), 0u);
+}
+
+TEST(LatencyHistogramTest, SingleSample) {
+  LatencyHistogram h;
+  h.Add(1'000'000);
+  EXPECT_EQ(h.count(), 1u);
+  // Bucketed value must be within ~25% of the true sample.
+  EXPECT_NEAR(static_cast<double>(h.Percentile(50)), 1e6, 0.25e6);
+  EXPECT_EQ(h.MaxSample(), 1'000'000);
+}
+
+TEST(LatencyHistogramTest, PercentileOrdering) {
+  LatencyHistogram h;
+  Rng rng(17);
+  for (int i = 0; i < 100000; ++i) {
+    h.Add(static_cast<std::int64_t>(rng.NextBelow(1'000'000)));
+  }
+  const auto p50 = h.Percentile(50);
+  const auto p90 = h.Percentile(90);
+  const auto p99 = h.Percentile(99);
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  EXPECT_LE(p99, h.MaxSample());
+  // Uniform distribution: p50 should land near 500k within bucket error.
+  EXPECT_NEAR(static_cast<double>(p50), 5e5, 1.5e5);
+}
+
+TEST(LatencyHistogramTest, NegativeClampsToZero) {
+  LatencyHistogram h;
+  h.Add(-5);
+  EXPECT_EQ(h.Percentile(100), 0);
+}
+
+TEST(LatencyHistogramTest, MergeAddsCounts) {
+  LatencyHistogram a, b;
+  a.Add(100);
+  b.Add(200);
+  b.Add(300);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.MaxSample(), 300);
+}
+
+TEST(FormatNanosTest, AdaptiveUnits) {
+  EXPECT_EQ(FormatNanos(12), "12ns");
+  EXPECT_EQ(FormatNanos(1'500), "1.50us");
+  EXPECT_EQ(FormatNanos(2'310'000), "2.31ms");
+  EXPECT_EQ(FormatNanos(3'000'000'000), "3.00s");
+}
+
+}  // namespace
+}  // namespace dufs

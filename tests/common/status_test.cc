@@ -1,0 +1,85 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace dufs {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, CodeAndMessage) {
+  Status s(StatusCode::kNotFound, "no such path /a/b");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.ToString(), "NOT_FOUND: no such path /a/b");
+}
+
+TEST(StatusTest, EqualityComparesCodeOnly) {
+  EXPECT_EQ(Status(StatusCode::kBusy, "a"), Status(StatusCode::kBusy, "b"));
+  EXPECT_FALSE(Status(StatusCode::kBusy) == Status(StatusCode::kIoError));
+}
+
+TEST(StatusTest, EveryCodeHasAName) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kInternal); ++c) {
+    EXPECT_NE(StatusCodeName(static_cast<StatusCode>(c)), "UNKNOWN");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.status().code(), StatusCode::kOk);
+}
+
+TEST(ResultTest, HoldsStatus) {
+  Result<int> r = Status(StatusCode::kTimeout, "rpc");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.code(), StatusCode::kTimeout);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, ImplicitFromCode) {
+  Result<std::string> r = StatusCode::kNotFound;
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r = std::string("payload");
+  std::string s = std::move(r).value();
+  EXPECT_EQ(s, "payload");
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> r = std::string("abc");
+  EXPECT_EQ(r->size(), 3u);
+}
+
+Status FailIfNegative(int x) {
+  if (x < 0) return Status(StatusCode::kInvalidArgument);
+  return Status::Ok();
+}
+
+Result<int> DoubleIfPositive(int x) {
+  DUFS_RETURN_IF_ERROR(FailIfNegative(x));
+  return 2 * x;
+}
+
+TEST(ResultTest, ReturnIfErrorMacro) {
+  EXPECT_EQ(*DoubleIfPositive(4), 8);
+}
+
+TEST(ResultTest, ReturnIfErrorPropagates) {
+  auto r = DoubleIfPositive(-1);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace dufs

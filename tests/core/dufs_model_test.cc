@@ -1,0 +1,223 @@
+// Model-based property test: a random soup of filesystem operations is
+// applied simultaneously to DUFS (full stack: FUSE -> ZooKeeper ensemble ->
+// back-ends) and to a plain MemFs oracle. After every operation the two
+// must return the same status class, and at the end the visible trees must
+// be identical. Parameterized over seeds and back-end kinds.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "common/rng.h"
+#include "mdtest/testbed.h"
+#include "sim/task.h"
+#include "testutil/co_assert.h"
+#include "vfs/memfs.h"
+
+namespace dufs::core {
+namespace {
+
+using mdtest::BackendKind;
+using mdtest::Testbed;
+using mdtest::TestbedConfig;
+
+enum class OpKind {
+  kMkdir,
+  kRmdir,
+  kCreate,
+  kUnlink,
+  kRename,
+  kStat,
+  kReadDir,
+  kChmod,
+  kWriteRead,
+};
+
+struct SoupParam {
+  std::uint64_t seed;
+  BackendKind backend;
+};
+
+class DufsModelTest : public ::testing::TestWithParam<SoupParam> {};
+
+// Normalizes statuses into comparable classes (message text differs).
+StatusCode ClassOf(const Status& s) { return s.code(); }
+
+sim::Task<void> RunSoup(Testbed& tb, vfs::MemFs& oracle, Rng& rng,
+                        int ops, int* mismatches) {
+  auto& dufs = *tb.client(0).dufs;
+
+  // A small closed world of paths keeps collisions frequent.
+  std::vector<std::string> names = {"a", "b", "c", "d", "e"};
+  auto random_path = [&](int max_depth) {
+    std::string path;
+    const int depth = 1 + static_cast<int>(rng.NextBelow(
+                              static_cast<std::uint64_t>(max_depth)));
+    for (int i = 0; i < depth; ++i) {
+      path += "/" + names[rng.NextBelow(names.size())];
+    }
+    return path;
+  };
+
+  for (int i = 0; i < ops; ++i) {
+    const auto kind = static_cast<OpKind>(rng.NextBelow(9));
+    const std::string path = random_path(3);
+    Status got = Status::Ok(), want = Status::Ok();
+    switch (kind) {
+      case OpKind::kMkdir: {
+        got = co_await dufs.Mkdir(path, 0755);
+        want = co_await oracle.Mkdir(path, 0755);
+        break;
+      }
+      case OpKind::kRmdir: {
+        got = co_await dufs.Rmdir(path);
+        want = co_await oracle.Rmdir(path);
+        break;
+      }
+      case OpKind::kCreate: {
+        got = (co_await dufs.Create(path, 0644)).status();
+        want = (co_await oracle.Create(path, 0644)).status();
+        break;
+      }
+      case OpKind::kUnlink: {
+        got = co_await dufs.Unlink(path);
+        want = co_await oracle.Unlink(path);
+        break;
+      }
+      case OpKind::kRename: {
+        const std::string to = random_path(3);
+        got = co_await dufs.Rename(path, to);
+        want = co_await oracle.Rename(path, to);
+        // MemFs replaces an existing directory target if empty; DUFS
+        // refuses directory-onto-file etc. identically, but directory
+        // renames onto existing dirs may differ in edge semantics:
+        // tolerate only identical classes.
+        break;
+      }
+      case OpKind::kStat: {
+        auto a = co_await dufs.GetAttr(path);
+        auto b = co_await oracle.GetAttr(path);
+        got = a.status();
+        want = b.status();
+        if (a.ok() && b.ok()) {
+          EXPECT_EQ(a->type, b->type) << path;
+          if (a->IsRegular()) {
+            EXPECT_EQ(a->size, b->size) << path;
+          }
+        }
+        break;
+      }
+      case OpKind::kReadDir: {
+        auto a = co_await dufs.ReadDir(path);
+        auto b = co_await oracle.ReadDir(path);
+        got = a.status();
+        want = b.status();
+        if (a.ok() && b.ok()) {
+          EXPECT_EQ(a->size(), b->size()) << path;
+        }
+        break;
+      }
+      case OpKind::kChmod: {
+        const vfs::Mode mode = 0400 + (rng.NextBelow(8) << 3);
+        got = co_await dufs.Chmod(path, mode);
+        want = co_await oracle.Chmod(path, mode);
+        break;
+      }
+      case OpKind::kWriteRead: {
+        auto a = co_await dufs.Open(path, vfs::kWrite | vfs::kRead);
+        auto b = co_await oracle.Open(path, vfs::kWrite | vfs::kRead);
+        got = a.status();
+        want = b.status();
+        if (a.ok() && b.ok()) {
+          const std::string blob = "blob-" + std::to_string(i);
+          (void)co_await dufs.Write(*a, 0, vfs::ToBytes(blob));
+          (void)co_await oracle.Write(*b, 0, vfs::ToBytes(blob));
+          auto da = co_await dufs.Read(*a, 0, 64);
+          auto db = co_await oracle.Read(*b, 0, 64);
+          EXPECT_EQ(vfs::FromBytes(*da), vfs::FromBytes(*db)) << path;
+        }
+        if (a.ok()) (void)co_await dufs.Release(*a);
+        if (b.ok()) (void)co_await oracle.Release(*b);
+        break;
+      }
+    }
+    if (ClassOf(got) != ClassOf(want)) {
+      ++*mismatches;
+      ADD_FAILURE() << "op " << i << " kind " << static_cast<int>(kind)
+                    << " path " << path << ": dufs=" << got
+                    << " oracle=" << want;
+    }
+  }
+}
+
+// Recursively compares the visible namespace.
+sim::Task<void> CompareTrees(core::DufsClient& dufs, vfs::MemFs& oracle,
+                             std::string path) {
+  auto a = co_await dufs.ReadDir(path);
+  auto b = co_await oracle.ReadDir(path);
+  CO_ASSERT_TRUE(a.ok());
+  CO_ASSERT_TRUE(b.ok());
+  auto names = [](const std::vector<vfs::DirEntry>& entries) {
+    std::map<std::string, vfs::FileType> out;
+    for (const auto& e : entries) out.emplace(e.name, e.type);
+    return out;
+  };
+  const auto na = names(*a);
+  const auto nb = names(*b);
+  EXPECT_EQ(na.size(), nb.size()) << path;
+  for (const auto& [name, type] : na) {
+    auto it = nb.find(name);
+    CO_ASSERT_TRUE(it != nb.end());
+    EXPECT_EQ(type, it->second) << path << "/" << name;
+    if (type == vfs::FileType::kDirectory) {
+      // Hoisted into a named local: GCC 12 mis-lifetimes ?: temporaries
+      // passed as coroutine arguments.
+      std::string child = path == "/" ? "/" + name : path + "/" + name;
+      co_await CompareTrees(dufs, oracle, std::move(child));
+    }
+  }
+}
+
+TEST_P(DufsModelTest, RandomOpSoupMatchesOracle) {
+  const auto& param = GetParam();
+  TestbedConfig config;
+  config.seed = param.seed;
+  config.zk_servers = 3;
+  config.client_nodes = 2;
+  config.backend = param.backend;
+  config.backend_instances = 2;
+  Testbed tb(config);
+  tb.MountAll();
+  vfs::MemFs oracle(tb.sim(), "oracle");
+
+  Rng rng(param.seed * 7919 + 13);
+  int mismatches = 0;
+  sim::RunTask(tb.sim(),
+               RunSoup(tb, oracle, rng, /*ops=*/250, &mismatches));
+  EXPECT_EQ(mismatches, 0);
+  sim::RunTask(tb.sim(), CompareTrees(*tb.client(0).dufs, oracle, "/"));
+  // A second client must see the identical final tree.
+  sim::RunTask(tb.sim(), CompareTrees(*tb.client(1).dufs, oracle, "/"));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Soups, DufsModelTest,
+    ::testing::Values(SoupParam{1, BackendKind::kMemFs},
+                      SoupParam{2, BackendKind::kMemFs},
+                      SoupParam{3, BackendKind::kMemFs},
+                      SoupParam{4, BackendKind::kMemFs},
+                      SoupParam{5, BackendKind::kLustre},
+                      SoupParam{6, BackendKind::kLustre},
+                      SoupParam{7, BackendKind::kPvfs},
+                      SoupParam{8, BackendKind::kMemFs}),
+    [](const auto& info) {
+      const char* kind =
+          info.param.backend == BackendKind::kMemFs
+              ? "memfs"
+              : info.param.backend == BackendKind::kLustre ? "lustre"
+                                                           : "pvfs";
+      return std::string(kind) + "_seed" + std::to_string(info.param.seed);
+    });
+
+}  // namespace
+}  // namespace dufs::core

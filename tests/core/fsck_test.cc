@@ -1,0 +1,205 @@
+// fsck + rebalancer: the operational tooling around DUFS's split-brain
+// failure modes (metadata in the coordination service, data on back-ends).
+#include "core/fsck.h"
+
+#include <gtest/gtest.h>
+
+#include "core/rebalancer.h"
+#include "mdtest/testbed.h"
+#include "sim/task.h"
+#include "testutil/co_assert.h"
+
+namespace dufs::core {
+namespace {
+
+using mdtest::BackendKind;
+using mdtest::Testbed;
+using mdtest::TestbedConfig;
+
+struct FsckFixture {
+  Testbed tb;
+  explicit FsckFixture(std::size_t backends = 2)
+      : tb([backends] {
+          TestbedConfig config;
+          config.zk_servers = 3;
+          config.client_nodes = 2;
+          config.backend = BackendKind::kMemFs;
+          config.backend_instances = backends;
+          return config;
+        }()) {
+    tb.MountAll();
+  }
+
+  DufsFsck MakeFsck() {
+    std::vector<vfs::FileSystem*> backends;
+    for (auto& m : tb.client(0).backend_mounts) backends.push_back(m.get());
+    return DufsFsck(*tb.client(0).dufs, *tb.client(0).zk,
+                    std::move(backends));
+  }
+};
+
+TEST(FsckTest, CleanVolumeReportsClean) {
+  FsckFixture f;
+  sim::RunTask(f.tb.sim(), [](FsckFixture& fx) -> sim::Task<void> {
+    auto& fs = *fx.tb.client(0).dufs;
+    CO_ASSERT_OK(co_await fs.Mkdir("/d", 0755));
+    CO_ASSERT_TRUE((co_await fs.Create("/d/f1", 0644)).ok());
+    CO_ASSERT_TRUE((co_await fs.Create("/f2", 0644)).ok());
+    CO_ASSERT_OK(co_await fs.Symlink("/d/f1", "/link"));
+
+    auto fsck = fx.MakeFsck();
+    auto report = co_await fsck.Check();
+    CO_ASSERT_TRUE(report.ok());
+    EXPECT_TRUE(report->clean());
+    EXPECT_EQ(report->files, 2u);
+    EXPECT_EQ(report->symlinks, 1u);
+    EXPECT_EQ(report->physical_files, 2u);
+    EXPECT_GE(report->directories, 2u);  // "/" + /d
+  }(f));
+}
+
+TEST(FsckTest, DetectsDanglingZnode) {
+  FsckFixture f;
+  sim::RunTask(f.tb.sim(), [](FsckFixture& fx) -> sim::Task<void> {
+    auto& fs = *fx.tb.client(0).dufs;
+    CO_ASSERT_TRUE((co_await fs.Create("/doomed", 0644)).ok());
+    // Simulate a lost physical file: remove it behind DUFS's back.
+    auto attr = co_await fs.GetAttr("/doomed");
+    CO_ASSERT_TRUE(attr.ok());
+    // Find which backend holds it by scanning both.
+    bool removed = false;
+    for (auto& mount : fx.tb.client(0).backend_mounts) {
+      auto stats = co_await mount->StatFs();
+      (void)stats;
+    }
+    // Direct approach: ask the placement.
+    auto& dufs = *fx.tb.client(0).dufs;
+    (void)dufs;
+    // The file's FID is (client_id, 1): first create from client 0.
+    const Fid fid{fx.tb.client(0).dufs->client_id(), 1};
+    const auto backend = fx.tb.client(0).dufs->placement().Place(fid);
+    CO_ASSERT_OK(co_await fx.tb.client(0).backend_mounts[backend]->Unlink(
+        PhysicalPathForFid(fid)));
+    removed = true;
+    CO_ASSERT_TRUE(removed);
+
+    auto fsck = fx.MakeFsck();
+    auto report = co_await fsck.Check();
+    CO_ASSERT_TRUE(report.ok());
+    CO_ASSERT_EQ(report->dangling.size(), 1u);
+    EXPECT_EQ(report->dangling[0], "/doomed");
+    EXPECT_TRUE(report->orphans.empty());
+
+    // Repair drops the dangling znode; the name becomes reusable.
+    auto repaired = co_await fsck.Repair();
+    CO_ASSERT_TRUE(repaired.ok());
+    EXPECT_EQ((co_await fs.GetAttr("/doomed")).code(),
+              StatusCode::kNotFound);
+    CO_ASSERT_TRUE((co_await fs.Create("/doomed", 0644)).ok());
+    auto after = co_await fsck.Check();
+    CO_ASSERT_TRUE(after.ok());
+    EXPECT_TRUE(after->clean());
+  }(f));
+}
+
+TEST(FsckTest, DetectsOrphanedPhysicalFile) {
+  FsckFixture f;
+  sim::RunTask(f.tb.sim(), [](FsckFixture& fx) -> sim::Task<void> {
+    auto& fs = *fx.tb.client(0).dufs;
+    CO_ASSERT_TRUE((co_await fs.Create("/kept", 0644)).ok());
+    // Fabricate an orphan: a physical file with a FID no znode references.
+    const Fid ghost{0xdead, 0xbeef};
+    const auto backend = fx.tb.client(0).dufs->placement().Place(ghost);
+    auto& mount = *fx.tb.client(0).backend_mounts[backend];
+    CO_ASSERT_TRUE(
+        (co_await mount.Create(PhysicalPathForFid(ghost), 0644)).ok());
+
+    auto fsck = fx.MakeFsck();
+    auto report = co_await fsck.Check();
+    CO_ASSERT_TRUE(report.ok());
+    CO_ASSERT_EQ(report->orphans.size(), 1u);
+    EXPECT_EQ(report->orphans[0].second, PhysicalPathForFid(ghost));
+    EXPECT_TRUE(report->dangling.empty());
+
+    auto repaired = co_await fsck.Repair();
+    CO_ASSERT_TRUE(repaired.ok());
+    EXPECT_EQ((co_await mount.GetAttr(PhysicalPathForFid(ghost))).code(),
+              StatusCode::kNotFound);
+    // The referenced file survived the repair.
+    EXPECT_TRUE((co_await fs.GetAttr("/kept")).ok());
+    auto after = co_await fsck.Check();
+    EXPECT_TRUE(after->clean());
+  }(f));
+}
+
+TEST(RebalancerTest, MovesOnlyAffectedFilesAndPreservesData) {
+  FsckFixture f(/*backends=*/3);
+  sim::RunTask(f.tb.sim(), [](FsckFixture& fx) -> sim::Task<void> {
+    auto& fs = *fx.tb.client(0).dufs;
+    constexpr int kFiles = 60;
+    for (int i = 0; i < kFiles; ++i) {
+      const std::string path = "/f" + std::to_string(i);
+      CO_ASSERT_TRUE((co_await fs.Create(path, 0644)).ok());
+      auto h = co_await fs.Open(path, vfs::kWrite);
+      CO_ASSERT_TRUE(h.ok());
+      (void)co_await fs.Write(*h, 0, vfs::ToBytes("payload-" +
+                                                  std::to_string(i)));
+      (void)co_await fs.Release(*h);
+    }
+
+    // Grow the pool model 3 -> ... here: relocate under a different policy
+    // (mod-3 -> consistent hashing over the same 3 back-ends).
+    Md5ModNPlacement old_policy(3);
+    ConsistentHashPlacement new_policy(3);
+    std::vector<vfs::FileSystem*> backends;
+    for (auto& m : fx.tb.client(0).backend_mounts) backends.push_back(m.get());
+    Rebalancer rebalancer(*fx.tb.client(0).zk, backends, old_policy,
+                          new_policy);
+    auto stats = co_await rebalancer.Run();
+    CO_ASSERT_TRUE(stats.ok());
+    EXPECT_EQ(stats->files_scanned, static_cast<std::uint64_t>(kFiles));
+    EXPECT_GT(stats->files_moved, 0u);
+    EXPECT_LT(stats->files_moved, static_cast<std::uint64_t>(kFiles));
+    EXPECT_EQ(stats->errors, 0u);
+
+    // After swapping the live policy, every file reads back intact.
+    // (Swap by re-running placement inside DufsClient is config-time; here
+    // we verify physical placement agrees with the new policy.)
+    for (int i = 0; i < kFiles; ++i) {
+      const Fid fid{fx.tb.client(0).dufs->client_id(),
+                    static_cast<std::uint64_t>(i + 1)};
+      const auto where = new_policy.Place(fid);
+      auto attr =
+          co_await backends[where]->GetAttr(PhysicalPathForFid(fid));
+      EXPECT_TRUE(attr.ok()) << i;
+      auto h = co_await backends[where]->Open(PhysicalPathForFid(fid),
+                                              vfs::kRead);
+      CO_ASSERT_TRUE(h.ok());
+      auto data = co_await backends[where]->Read(*h, 0, 64);
+      EXPECT_EQ(vfs::FromBytes(*data), "payload-" + std::to_string(i)) << i;
+      (void)co_await backends[where]->Release(*h);
+    }
+  }(f));
+}
+
+TEST(RebalancerTest, NoopWhenPoliciesAgree) {
+  FsckFixture f;
+  sim::RunTask(f.tb.sim(), [](FsckFixture& fx) -> sim::Task<void> {
+    auto& fs = *fx.tb.client(0).dufs;
+    for (int i = 0; i < 10; ++i) {
+      CO_ASSERT_TRUE(
+          (co_await fs.Create("/n" + std::to_string(i), 0644)).ok());
+    }
+    Md5ModNPlacement policy_a(2), policy_b(2);
+    std::vector<vfs::FileSystem*> backends;
+    for (auto& m : fx.tb.client(0).backend_mounts) backends.push_back(m.get());
+    Rebalancer rebalancer(*fx.tb.client(0).zk, backends, policy_a, policy_b);
+    auto stats = co_await rebalancer.Run();
+    CO_ASSERT_TRUE(stats.ok());
+    EXPECT_EQ(stats->files_moved, 0u);
+    EXPECT_EQ(stats->files_scanned, 10u);
+  }(f));
+}
+
+}  // namespace
+}  // namespace dufs::core

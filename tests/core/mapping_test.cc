@@ -1,0 +1,123 @@
+#include "core/mapping.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dufs::core {
+namespace {
+
+std::vector<Fid> MakeFids(std::size_t count) {
+  std::vector<Fid> fids;
+  fids.reserve(count);
+  for (std::size_t c = 1; c <= 4; ++c) {
+    for (std::size_t i = 0; i < count / 4; ++i) {
+      fids.push_back(Fid{c, i});
+    }
+  }
+  return fids;
+}
+
+class PlacementParamTest
+    : public ::testing::TestWithParam<std::tuple<std::string, std::size_t>> {};
+
+// Property (paper §IV-F): the mapping must spread FIDs fairly across all N
+// back-ends — within 15% of perfect balance for 40k FIDs.
+TEST_P(PlacementParamTest, LoadBalanceIsFair) {
+  const auto& [name, n] = GetParam();
+  auto policy = MakePlacement(name, n);
+  ASSERT_EQ(policy->backend_count(), n);
+  std::vector<std::size_t> buckets(n, 0);
+  const auto fids = MakeFids(40000);
+  for (const auto& fid : fids) {
+    const auto b = policy->Place(fid);
+    ASSERT_LT(b, n);
+    ++buckets[b];
+  }
+  const double expect = static_cast<double>(fids.size()) / static_cast<double>(n);
+  // mod-N is near-perfect; the vnode ring trades some balance for bounded
+  // relocation, so it gets a wider band.
+  const double tolerance = (name == "md5-mod-n" ? 0.15 : 0.30) * expect;
+  for (std::size_t b = 0; b < n; ++b) {
+    EXPECT_NEAR(static_cast<double>(buckets[b]), expect, tolerance)
+        << name << " backend " << b << "/" << n;
+  }
+}
+
+// Property: placement is a pure function of the FID (clients never need to
+// coordinate placement decisions).
+TEST_P(PlacementParamTest, Deterministic) {
+  const auto& [name, n] = GetParam();
+  auto a = MakePlacement(name, n);
+  auto b = MakePlacement(name, n);
+  for (const auto& fid : MakeFids(1000)) {
+    EXPECT_EQ(a->Place(fid), b->Place(fid));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, PlacementParamTest,
+    ::testing::Combine(::testing::Values("md5-mod-n", "consistent-hash"),
+                       ::testing::Values(std::size_t{2}, std::size_t{3},
+                                         std::size_t{4}, std::size_t{8},
+                                         std::size_t{16})),
+    [](const auto& info) {
+      return std::get<0>(info.param) == "md5-mod-n"
+                 ? "md5_" + std::to_string(std::get<1>(info.param))
+                 : "chash_" + std::to_string(std::get<1>(info.param));
+    });
+
+double RelocatedFraction(PlacementPolicy& policy, std::size_t from,
+                         std::size_t to) {
+  const auto fids = MakeFids(20000);
+  policy.SetBackendCount(from);
+  std::vector<std::uint32_t> before;
+  before.reserve(fids.size());
+  for (const auto& fid : fids) before.push_back(policy.Place(fid));
+  policy.SetBackendCount(to);
+  std::size_t moved = 0;
+  for (std::size_t i = 0; i < fids.size(); ++i) {
+    if (policy.Place(fids[i]) != before[i]) ++moved;
+  }
+  return static_cast<double>(moved) / static_cast<double>(fids.size());
+}
+
+// The paper's §VII motivation for consistent hashing: adding a back-end to
+// mod-N remaps nearly everything; the ring moves only ~1/(N+1).
+TEST(PlacementTest, ModNRelocatesAlmostEverything) {
+  Md5ModNPlacement policy(4);
+  const double moved = RelocatedFraction(policy, 4, 5);
+  EXPECT_GT(moved, 0.7);
+}
+
+TEST(PlacementTest, ConsistentHashRelocatesBounded) {
+  ConsistentHashPlacement policy(4);
+  const double moved = RelocatedFraction(policy, 4, 5);
+  // Ideal is 1/5 = 0.2; allow vnode variance.
+  EXPECT_LT(moved, 0.3);
+  EXPECT_GT(moved, 0.1);
+}
+
+TEST(PlacementTest, ConsistentHashRemovalOnlyMovesVictims) {
+  ConsistentHashPlacement policy(4);
+  const auto fids = MakeFids(20000);
+  std::vector<std::uint32_t> before;
+  for (const auto& fid : fids) before.push_back(policy.Place(fid));
+  policy.SetBackendCount(3);  // backend 3 drains
+  for (std::size_t i = 0; i < fids.size(); ++i) {
+    if (before[i] != 3) {
+      EXPECT_EQ(policy.Place(fids[i]), before[i]);
+    } else {
+      EXPECT_LT(policy.Place(fids[i]), 3u);
+    }
+  }
+}
+
+TEST(PlacementTest, FactoryDefaultsToModN) {
+  EXPECT_EQ(MakePlacement("md5-mod-n", 2)->name(), "md5-mod-n");
+  EXPECT_EQ(MakePlacement("consistent-hash", 2)->name(), "consistent-hash");
+  EXPECT_EQ(MakePlacement("unknown", 2)->name(), "md5-mod-n");
+}
+
+}  // namespace
+}  // namespace dufs::core

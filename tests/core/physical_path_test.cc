@@ -1,0 +1,92 @@
+#include "core/physical_path.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "common/rng.h"
+
+namespace dufs::core {
+namespace {
+
+TEST(PhysicalPathTest, MatchesPaperLayout) {
+  // Paper Fig. 4 (adapted to 128-bit FIDs and a pre-creatable skeleton):
+  // trailing hex chars become the directory levels, the leading chars the
+  // file name.
+  const Fid fid = *Fid::FromHex("0123456789abcdef0123456789abcdef");
+  EXPECT_EQ(PhysicalPathForFid(fid), "/f/e/d/0123456789abcdef0123456789abc");
+}
+
+TEST(PhysicalPathTest, DirsArePrefixes) {
+  const Fid fid{0xdeadbeefcafef00dull, 42};
+  const auto dirs = PhysicalDirsForFid(fid);
+  ASSERT_EQ(dirs.size(), 3u);
+  const auto path = PhysicalPathForFid(fid);
+  for (const auto& dir : dirs) {
+    EXPECT_EQ(path.substr(0, dir.size()), dir);
+  }
+  EXPECT_LT(dirs[0].size(), dirs[1].size());
+  EXPECT_LT(dirs[1].size(), dirs[2].size());
+}
+
+TEST(PhysicalPathTest, RoundTrip) {
+  Rng rng(77);
+  for (int i = 0; i < 500; ++i) {
+    const Fid fid{rng.NextU64(), rng.NextU64()};
+    auto back = FidFromPhysicalPath(PhysicalPathForFid(fid));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, fid);
+  }
+}
+
+TEST(PhysicalPathTest, RejectsMalformedPaths) {
+  EXPECT_FALSE(FidFromPhysicalPath("").has_value());
+  EXPECT_FALSE(FidFromPhysicalPath("/f/e/d").has_value());
+  EXPECT_FALSE(FidFromPhysicalPath("/z/z/z/zzzzzzzzzzzzzzzzzzzzzzzzzzzzz")
+                   .has_value());
+  EXPECT_FALSE(
+      FidFromPhysicalPath("f/e/d/0123456789abcdef0123456789abc").has_value());
+}
+
+TEST(PhysicalPathTest, InjectiveOnDistinctFids) {
+  // Distinct FIDs must land on distinct physical paths (no overwrites).
+  std::unordered_set<std::string> seen;
+  for (std::uint64_t c = 1; c <= 4; ++c) {
+    for (std::uint64_t i = 0; i < 1000; ++i) {
+      EXPECT_TRUE(seen.insert(PhysicalPathForFid(Fid{c, i})).second);
+    }
+  }
+}
+
+TEST(PhysicalPathTest, SequentialFidsSpreadDirectories) {
+  // The trailing-char layout must avoid piling sequential creates from one
+  // client into one directory (paper §IV-G: "avoid congestion due to file
+  // creation at a single directory level").
+  std::unordered_set<std::string> leaf_dirs;
+  for (std::uint64_t i = 0; i < 4096; ++i) {
+    leaf_dirs.insert(PhysicalDirsForFid(Fid{7, i})[2]);
+  }
+  EXPECT_EQ(leaf_dirs.size(), 4096u);  // all 16^3 leaves hit
+}
+
+TEST(PhysicalPathTest, SkeletonCoversAllDirs) {
+  const auto skeleton = StaticPhysicalSkeleton();
+  EXPECT_EQ(skeleton.size(), 16u + 256u + 4096u);
+  std::unordered_set<std::string> dirs(skeleton.begin(), skeleton.end());
+  for (std::uint64_t i = 0; i < 300; ++i) {
+    for (const auto& dir : PhysicalDirsForFid(Fid{3, i * 977})) {
+      EXPECT_TRUE(dirs.count(dir) > 0) << dir;
+    }
+  }
+  // Parents appear before children (safe creation order).
+  std::unordered_set<std::string> seen{"/"};
+  for (const auto& dir : skeleton) {
+    const auto slash = dir.rfind('/');
+    const std::string parent = slash == 0 ? "/" : dir.substr(0, slash);
+    EXPECT_TRUE(seen.count(parent) > 0) << dir;
+    seen.insert(dir);
+  }
+}
+
+}  // namespace
+}  // namespace dufs::core

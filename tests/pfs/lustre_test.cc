@@ -1,0 +1,206 @@
+#include "pfs/lustre.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/task.h"
+#include "testutil/co_assert.h"
+
+namespace dufs::pfs {
+namespace {
+
+struct LustreFixture {
+  sim::Simulation sim;
+  net::Network net{sim};
+  LustreInstance lustre{net, "fs0", /*n_oss=*/2};
+  net::NodeId client_node = net.AddNode("client");
+  net::RpcEndpoint endpoint{net, client_node};
+  LustreClient client{endpoint, lustre};
+
+  void Run(sim::Task<void> task) { sim::RunTask(sim, std::move(task)); }
+};
+
+TEST(LustreTest, MkdirStatReaddir) {
+  LustreFixture f;
+  f.Run([](LustreClient& fs) -> sim::Task<void> {
+    CO_ASSERT_OK(co_await fs.Mkdir("/d", 0755));
+    CO_ASSERT_OK(co_await fs.Mkdir("/d/sub", 0700));
+    auto attr = co_await fs.GetAttr("/d");
+    CO_ASSERT_TRUE(attr.ok());
+    EXPECT_TRUE(attr->IsDir());
+    auto entries = co_await fs.ReadDir("/d");
+    CO_ASSERT_TRUE(entries.ok());
+    CO_ASSERT_EQ(entries->size(), 1u);
+    EXPECT_EQ((*entries)[0].name, "sub");
+  }(f.client));
+}
+
+TEST(LustreTest, MkdirErrors) {
+  LustreFixture f;
+  f.Run([](LustreClient& fs) -> sim::Task<void> {
+    EXPECT_EQ((co_await fs.Mkdir("/a/b", 0755)).code(),
+              StatusCode::kNotFound);
+    CO_ASSERT_OK(co_await fs.Mkdir("/a", 0755));
+    EXPECT_EQ((co_await fs.Mkdir("/a", 0755)).code(),
+              StatusCode::kAlreadyExists);
+  }(f.client));
+}
+
+TEST(LustreTest, CreateWriteReadThroughOss) {
+  LustreFixture f;
+  f.Run([](LustreClient& fs) -> sim::Task<void> {
+    auto created = co_await fs.Create("/file", 0644);
+    CO_ASSERT_TRUE(created.ok());
+    auto handle = co_await fs.Open("/file", vfs::kWrite);
+    CO_ASSERT_TRUE(handle.ok());
+    auto wrote = co_await fs.Write(*handle, 0, vfs::ToBytes("lustre data"));
+    CO_ASSERT_TRUE(wrote.ok());
+    EXPECT_EQ(*wrote, 11u);
+    auto data = co_await fs.Read(*handle, 7, 4);
+    CO_ASSERT_TRUE(data.ok());
+    EXPECT_EQ(vfs::FromBytes(*data), "data");
+    CO_ASSERT_OK(co_await fs.Release(*handle));
+    // Size comes from the OSS glimpse.
+    auto attr = co_await fs.GetAttr("/file");
+    CO_ASSERT_TRUE(attr.ok());
+    EXPECT_EQ(attr->size, 11u);
+  }(f.client));
+}
+
+TEST(LustreTest, ObjectsSpreadAcrossOss) {
+  LustreFixture f;
+  f.Run([](LustreFixture& fx) -> sim::Task<void> {
+    for (int i = 0; i < 8; ++i) {
+      auto created = co_await fx.client.Create("/f" + std::to_string(i), 0644);
+      CO_ASSERT_TRUE(created.ok());
+      auto h = co_await fx.client.Open("/f" + std::to_string(i), vfs::kWrite);
+      CO_ASSERT_TRUE(h.ok());
+      (void)co_await fx.client.Write(*h, 0, vfs::ToBytes("x"));
+      (void)co_await fx.client.Release(*h);
+    }
+  }(f));
+  // Round-robin allocation: both OSS nodes hold objects. (Object stores are
+  // internal; verify via the OSS nodes having received traffic.)
+  EXPECT_GT(f.net.node(f.lustre.oss_nodes()[0]).messages_received, 0u);
+  EXPECT_GT(f.net.node(f.lustre.oss_nodes()[1]).messages_received, 0u);
+}
+
+TEST(LustreTest, UnlinkDestroysObject) {
+  LustreFixture f;
+  f.Run([](LustreClient& fs) -> sim::Task<void> {
+    (void)co_await fs.Create("/gone", 0644);
+    CO_ASSERT_OK(co_await fs.Unlink("/gone"));
+    EXPECT_EQ((co_await fs.GetAttr("/gone")).code(), StatusCode::kNotFound);
+    EXPECT_EQ((co_await fs.Unlink("/gone")).code(), StatusCode::kNotFound);
+  }(f.client));
+}
+
+TEST(LustreTest, RenameMovesSubtree) {
+  LustreFixture f;
+  f.Run([](LustreClient& fs) -> sim::Task<void> {
+    CO_ASSERT_OK(co_await fs.Mkdir("/a", 0755));
+    CO_ASSERT_OK(co_await fs.Mkdir("/a/b", 0755));
+    (void)co_await fs.Create("/a/b/f", 0644);
+    CO_ASSERT_OK(co_await fs.Rename("/a", "/z"));
+    EXPECT_TRUE((co_await fs.GetAttr("/z/b/f")).ok());
+    EXPECT_EQ((co_await fs.GetAttr("/a")).code(), StatusCode::kNotFound);
+  }(f.client));
+}
+
+TEST(LustreTest, RmdirSemantics) {
+  LustreFixture f;
+  f.Run([](LustreClient& fs) -> sim::Task<void> {
+    CO_ASSERT_OK(co_await fs.Mkdir("/d", 0755));
+    CO_ASSERT_OK(co_await fs.Mkdir("/d/x", 0755));
+    EXPECT_EQ((co_await fs.Rmdir("/d")).code(), StatusCode::kNotEmpty);
+    CO_ASSERT_OK(co_await fs.Rmdir("/d/x"));
+    CO_ASSERT_OK(co_await fs.Rmdir("/d"));
+  }(f.client));
+}
+
+TEST(LustreTest, SymlinkAndReadlink) {
+  LustreFixture f;
+  f.Run([](LustreClient& fs) -> sim::Task<void> {
+    CO_ASSERT_OK(co_await fs.Symlink("/real", "/link"));
+    auto target = co_await fs.ReadLink("/link");
+    CO_ASSERT_TRUE(target.ok());
+    EXPECT_EQ(*target, "/real");
+  }(f.client));
+}
+
+TEST(LustreTest, ChmodAndUtimens) {
+  LustreFixture f;
+  f.Run([](LustreClient& fs) -> sim::Task<void> {
+    (void)co_await fs.Create("/f", 0644);
+    CO_ASSERT_OK(co_await fs.Chmod("/f", 0600));
+    auto attr = co_await fs.GetAttr("/f");
+    EXPECT_EQ(attr->mode, 0600u);
+    CO_ASSERT_OK(co_await fs.Utimens("/f", 123, 456));
+    attr = co_await fs.GetAttr("/f");
+    EXPECT_EQ(attr->atime, 123);
+    EXPECT_EQ(attr->mtime, 456);
+  }(f.client));
+}
+
+TEST(LustreTest, TruncateViaOss) {
+  LustreFixture f;
+  f.Run([](LustreClient& fs) -> sim::Task<void> {
+    (void)co_await fs.Create("/t", 0644);
+    CO_ASSERT_OK(co_await fs.Truncate("/t", 4096));
+    auto attr = co_await fs.GetAttr("/t");
+    EXPECT_EQ(attr->size, 4096u);
+  }(f.client));
+}
+
+TEST(LustreTest, OpenCreateFlag) {
+  LustreFixture f;
+  f.Run([](LustreClient& fs) -> sim::Task<void> {
+    auto handle = co_await fs.Open("/new", vfs::kWrite | vfs::kCreate);
+    CO_ASSERT_TRUE(handle.ok());
+    EXPECT_TRUE((co_await fs.GetAttr("/new")).ok());
+  }(f.client));
+}
+
+TEST(LustreTest, StatFsReportsFiles) {
+  LustreFixture f;
+  f.Run([](LustreClient& fs) -> sim::Task<void> {
+    (void)co_await fs.Mkdir("/d", 0755);
+    (void)co_await fs.Create("/d/f", 0644);
+    auto stats = co_await fs.StatFs();
+    CO_ASSERT_TRUE(stats.ok());
+    EXPECT_EQ(stats->files, 2u);
+  }(f.client));
+}
+
+// The paper's core claim about native Lustre: per-op latency grows with the
+// number of concurrent client processes (DLM overhead), so aggregate
+// mutation throughput *drops* at scale.
+TEST(LustreTest, ThroughputDegradesWithConcurrency) {
+  auto measure = [](int procs) {
+    LustreFixture f;
+    sim::RunTask(f.sim, [](LustreFixture& fx, int n) -> sim::Task<void> {
+      sim::Barrier done(fx.sim, static_cast<std::size_t>(n) + 1);
+      for (int p = 0; p < n; ++p) {
+        fx.sim.Spawn([](LustreFixture& fx2, int pid,
+                        sim::Barrier b) -> sim::Task<void> {
+          for (int i = 0; i < 20; ++i) {
+            (void)co_await fx2.client.Mkdir(
+                "/p" + std::to_string(pid) + "-" + std::to_string(i), 0755);
+          }
+          co_await b.Arrive();
+        }(fx, p, done));
+      }
+      co_await done.Arrive();
+    }(f, procs));
+    return static_cast<double>(procs) * 20 /
+           (static_cast<double>(f.sim.now()) / sim::kSecond);
+  };
+  // The paper's measured region: Lustre peaks near 64 procs and declines
+  // toward 256 (below ~32 procs the journal commit latency dominates and
+  // batching still improves throughput).
+  const double rate64 = measure(64);
+  const double rate256 = measure(256);
+  EXPECT_LT(rate256, rate64 * 0.8);
+}
+
+}  // namespace
+}  // namespace dufs::pfs

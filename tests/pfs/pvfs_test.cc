@@ -1,0 +1,200 @@
+#include "pfs/pvfs.h"
+
+#include <gtest/gtest.h>
+
+#include "pfs/lustre.h"
+#include "sim/task.h"
+#include "testutil/co_assert.h"
+
+namespace dufs::pfs {
+namespace {
+
+struct PvfsFixture {
+  sim::Simulation sim;
+  net::Network net{sim};
+  PvfsInstance pvfs{net, "pvfs0", /*n_servers=*/2};
+  net::NodeId client_node = net.AddNode("client");
+  net::RpcEndpoint endpoint{net, client_node};
+  PvfsClient client{endpoint, pvfs};
+
+  void Run(sim::Task<void> task) { sim::RunTask(sim, std::move(task)); }
+};
+
+TEST(PvfsTest, MkdirStatReaddir) {
+  PvfsFixture f;
+  f.Run([](PvfsClient& fs) -> sim::Task<void> {
+    CO_ASSERT_OK(co_await fs.Mkdir("/d", 0755));
+    CO_ASSERT_OK(co_await fs.Mkdir("/d/sub", 0700));
+    auto attr = co_await fs.GetAttr("/d");
+    CO_ASSERT_TRUE(attr.ok());
+    EXPECT_TRUE(attr->IsDir());
+    auto entries = co_await fs.ReadDir("/d");
+    CO_ASSERT_TRUE(entries.ok());
+    CO_ASSERT_EQ(entries->size(), 1u);
+    EXPECT_EQ((*entries)[0].name, "sub");
+    EXPECT_EQ((*entries)[0].type, vfs::FileType::kDirectory);
+  }(f.client));
+}
+
+TEST(PvfsTest, DeepPathResolution) {
+  PvfsFixture f;
+  f.Run([](PvfsClient& fs) -> sim::Task<void> {
+    std::string path;
+    for (int depth = 0; depth < 5; ++depth) {
+      path += "/L" + std::to_string(depth);
+      CO_ASSERT_OK(co_await fs.Mkdir(path, 0755));
+    }
+    auto attr = co_await fs.GetAttr(path);
+    CO_ASSERT_TRUE(attr.ok());
+    EXPECT_TRUE(attr->IsDir());
+    EXPECT_EQ((co_await fs.GetAttr("/L0/L1/ghost")).code(),
+              StatusCode::kNotFound);
+  }(f.client));
+}
+
+TEST(PvfsTest, CreateWriteRead) {
+  PvfsFixture f;
+  f.Run([](PvfsClient& fs) -> sim::Task<void> {
+    auto created = co_await fs.Create("/file", 0644);
+    CO_ASSERT_TRUE(created.ok());
+    auto handle = co_await fs.Open("/file", vfs::kWrite);
+    CO_ASSERT_TRUE(handle.ok());
+    auto wrote = co_await fs.Write(*handle, 0, vfs::ToBytes("pvfs bytes"));
+    CO_ASSERT_TRUE(wrote.ok());
+    auto data = co_await fs.Read(*handle, 5, 5);
+    CO_ASSERT_TRUE(data.ok());
+    EXPECT_EQ(vfs::FromBytes(*data), "bytes");
+    CO_ASSERT_OK(co_await fs.Release(*handle));
+    auto attr = co_await fs.GetAttr("/file");
+    CO_ASSERT_TRUE(attr.ok());
+    EXPECT_EQ(attr->size, 10u);
+  }(f.client));
+}
+
+TEST(PvfsTest, DuplicateCreateFails) {
+  PvfsFixture f;
+  f.Run([](PvfsClient& fs) -> sim::Task<void> {
+    CO_ASSERT_TRUE((co_await fs.Create("/dup", 0644)).ok());
+    EXPECT_EQ((co_await fs.Create("/dup", 0644)).code(),
+              StatusCode::kAlreadyExists);
+    // Duplicate mkdir rolls back the orphan object.
+    CO_ASSERT_OK(co_await fs.Mkdir("/dd", 0755));
+    EXPECT_EQ((co_await fs.Mkdir("/dd", 0755)).code(),
+              StatusCode::kAlreadyExists);
+  }(f.client));
+}
+
+TEST(PvfsTest, UnlinkRemovesEverywhere) {
+  PvfsFixture f;
+  f.Run([](PvfsClient& fs) -> sim::Task<void> {
+    (void)co_await fs.Create("/gone", 0644);
+    CO_ASSERT_OK(co_await fs.Unlink("/gone"));
+    EXPECT_EQ((co_await fs.GetAttr("/gone")).code(), StatusCode::kNotFound);
+  }(f.client));
+}
+
+TEST(PvfsTest, RmdirSemantics) {
+  PvfsFixture f;
+  f.Run([](PvfsClient& fs) -> sim::Task<void> {
+    CO_ASSERT_OK(co_await fs.Mkdir("/d", 0755));
+    CO_ASSERT_OK(co_await fs.Mkdir("/d/x", 0755));
+    EXPECT_EQ((co_await fs.Rmdir("/d")).code(), StatusCode::kNotEmpty);
+    CO_ASSERT_OK(co_await fs.Rmdir("/d/x"));
+    CO_ASSERT_OK(co_await fs.Rmdir("/d"));
+    EXPECT_EQ((co_await fs.Rmdir("/d")).code(), StatusCode::kNotFound);
+  }(f.client));
+}
+
+TEST(PvfsTest, RenameAcrossDirectories) {
+  PvfsFixture f;
+  f.Run([](PvfsClient& fs) -> sim::Task<void> {
+    CO_ASSERT_OK(co_await fs.Mkdir("/a", 0755));
+    CO_ASSERT_OK(co_await fs.Mkdir("/b", 0755));
+    (void)co_await fs.Create("/a/f", 0644);
+    CO_ASSERT_OK(co_await fs.Rename("/a/f", "/b/g"));
+    EXPECT_EQ((co_await fs.GetAttr("/a/f")).code(), StatusCode::kNotFound);
+    EXPECT_TRUE((co_await fs.GetAttr("/b/g")).ok());
+  }(f.client));
+}
+
+TEST(PvfsTest, SymlinkChmodUtimens) {
+  PvfsFixture f;
+  f.Run([](PvfsClient& fs) -> sim::Task<void> {
+    CO_ASSERT_OK(co_await fs.Symlink("/t", "/link"));
+    auto target = co_await fs.ReadLink("/link");
+    CO_ASSERT_TRUE(target.ok());
+    EXPECT_EQ(*target, "/t");
+
+    (void)co_await fs.Create("/f", 0644);
+    CO_ASSERT_OK(co_await fs.Chmod("/f", 0600));
+    CO_ASSERT_OK(co_await fs.Utimens("/f", 11, 22));
+    auto attr = co_await fs.GetAttr("/f");
+    EXPECT_EQ(attr->mode, 0600u);
+    EXPECT_EQ(attr->mtime, 22);
+  }(f.client));
+}
+
+TEST(PvfsTest, ObjectsDistributeAcrossServers) {
+  PvfsFixture f;
+  f.Run([](PvfsClient& fs) -> sim::Task<void> {
+    for (int i = 0; i < 10; ++i) {
+      CO_ASSERT_OK(co_await fs.Mkdir("/d" + std::to_string(i), 0755));
+    }
+  }(f.client));
+  EXPECT_GT(f.net.node(f.pvfs.server_nodes()[0]).messages_received, 0u);
+  EXPECT_GT(f.net.node(f.pvfs.server_nodes()[1]).messages_received, 0u);
+}
+
+// PVFS metadata mutations pay a synchronous disk write; Lustre group-commits
+// its journal. At equal concurrency PVFS must be far slower — this gap is
+// the backbone of Fig. 10.
+TEST(PvfsTest, MutationThroughputFarBelowLustre) {
+  auto measure_pvfs = [] {
+    PvfsFixture f;
+    sim::RunTask(f.sim, [](PvfsFixture& fx) -> sim::Task<void> {
+      sim::Barrier done(fx.sim, 33);
+      for (int p = 0; p < 32; ++p) {
+        fx.sim.Spawn([](PvfsFixture& fx2, int pid,
+                        sim::Barrier b) -> sim::Task<void> {
+          for (int i = 0; i < 5; ++i) {
+            (void)co_await fx2.client.Mkdir(
+                "/p" + std::to_string(pid) + "-" + std::to_string(i), 0755);
+          }
+          co_await b.Arrive();
+        }(fx, p, done));
+      }
+      co_await done.Arrive();
+    }(f));
+    return 32.0 * 5 / (static_cast<double>(f.sim.now()) / sim::kSecond);
+  };
+  auto measure_lustre = [] {
+    sim::Simulation sim;
+    net::Network net{sim};
+    LustreInstance lustre{net, "fs0", 2};
+    auto client_node = net.AddNode("client");
+    net::RpcEndpoint endpoint{net, client_node};
+    LustreClient client{endpoint, lustre};
+    sim::RunTask(sim, [](sim::Simulation& s, LustreClient& fs)
+                          -> sim::Task<void> {
+      sim::Barrier done(s, 33);
+      for (int p = 0; p < 32; ++p) {
+        s.Spawn([](LustreClient& fs2, int pid,
+                   sim::Barrier b) -> sim::Task<void> {
+          for (int i = 0; i < 5; ++i) {
+            (void)co_await fs2.Mkdir(
+                "/p" + std::to_string(pid) + "-" + std::to_string(i), 0755);
+          }
+          co_await b.Arrive();
+        }(fs, p, done));
+      }
+      co_await done.Arrive();
+    }(sim, client));
+    return 32.0 * 5 / (static_cast<double>(sim.now()) / sim::kSecond);
+  };
+  const double pvfs_rate = measure_pvfs();
+  const double lustre_rate = measure_lustre();
+  EXPECT_LT(pvfs_rate * 4, lustre_rate);
+}
+
+}  // namespace
+}  // namespace dufs::pfs

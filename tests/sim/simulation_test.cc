@@ -1,0 +1,211 @@
+#include "sim/simulation.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/future.h"
+#include "sim/task.h"
+
+namespace dufs::sim {
+namespace {
+
+TEST(SimulationTest, TimeStartsAtZero) {
+  Simulation sim;
+  EXPECT_EQ(sim.now(), 0);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(SimulationTest, ScheduledFnRunsAtRequestedTime) {
+  Simulation sim;
+  SimTime observed = -1;
+  sim.ScheduleFn(5 * kMillisecond, [&] { observed = sim.now(); });
+  sim.Run();
+  EXPECT_EQ(observed, 5 * kMillisecond);
+  EXPECT_EQ(sim.now(), 5 * kMillisecond);
+}
+
+TEST(SimulationTest, EventsFireInTimeOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.ScheduleFn(30, [&] { order.push_back(3); });
+  sim.ScheduleFn(10, [&] { order.push_back(1); });
+  sim.ScheduleFn(20, [&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SimulationTest, SameTimestampIsFifo) {
+  Simulation sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.ScheduleFn(7, [&order, i] { order.push_back(i); });
+  }
+  sim.Run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(SimulationTest, RunUntilStopsAtHorizon) {
+  Simulation sim;
+  int fired = 0;
+  sim.ScheduleFn(10, [&] { ++fired; });
+  sim.ScheduleFn(100, [&] { ++fired; });
+  sim.Run(/*until=*/50);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), 50);  // idles forward to the horizon
+  sim.Run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.now(), 100);
+}
+
+TEST(SimulationTest, RequestStopHaltsLoop) {
+  Simulation sim;
+  int fired = 0;
+  sim.ScheduleFn(1, [&] {
+    ++fired;
+    sim.RequestStop();
+  });
+  sim.ScheduleFn(2, [&] { ++fired; });
+  sim.Run();
+  EXPECT_EQ(fired, 1);
+  sim.ClearStop();
+  sim.Run();
+  EXPECT_EQ(fired, 2);
+}
+
+Task<void> WaitAndMark(Simulation& sim, Duration d, std::vector<SimTime>& out) {
+  co_await sim.Delay(d);
+  out.push_back(sim.now());
+}
+
+TEST(TaskTest, DelayAdvancesTime) {
+  Simulation sim;
+  std::vector<SimTime> marks;
+  RunTask(sim, WaitAndMark(sim, 42, marks));
+  ASSERT_EQ(marks.size(), 1u);
+  EXPECT_EQ(marks[0], 42);
+}
+
+Task<int> Add(Simulation& sim, int a, int b) {
+  co_await sim.Delay(1);
+  co_return a + b;
+}
+
+Task<int> Compose(Simulation& sim) {
+  const int x = co_await Add(sim, 1, 2);
+  const int y = co_await Add(sim, x, 10);
+  co_return y;
+}
+
+TEST(TaskTest, NestedAwaitReturnsValues) {
+  Simulation sim;
+  EXPECT_EQ(RunTask(sim, Compose(sim)), 13);
+  EXPECT_EQ(sim.now(), 2);  // two sequential 1ns delays
+}
+
+Task<void> Thrower(Simulation& sim) {
+  co_await sim.Delay(1);
+  throw std::runtime_error("boom");
+}
+
+Task<std::string> CatchChild(Simulation& sim) {
+  try {
+    co_await Thrower(sim);
+  } catch (const std::runtime_error& e) {
+    co_return std::string(e.what());
+  }
+  co_return std::string("no exception");
+}
+
+TEST(TaskTest, ExceptionPropagatesAcrossAwait) {
+  Simulation sim;
+  EXPECT_EQ(RunTask(sim, CatchChild(sim)), "boom");
+}
+
+TEST(TaskTest, SpawnedTasksRunConcurrently) {
+  Simulation sim;
+  std::vector<SimTime> marks;
+  {
+    CurrentSimulationScope scope(&sim);
+    sim.Spawn(WaitAndMark(sim, 30, marks));
+    sim.Spawn(WaitAndMark(sim, 10, marks));
+    sim.Spawn(WaitAndMark(sim, 20, marks));
+  }
+  sim.Run();
+  EXPECT_EQ(marks, (std::vector<SimTime>{10, 20, 30}));
+  EXPECT_EQ(sim.live_detached_tasks(), 0u);  // all frames self-destroyed
+}
+
+TEST(TaskTest, ShutdownReclaimsSuspendedFrames) {
+  Simulation sim;
+  std::vector<SimTime> marks;
+  {
+    CurrentSimulationScope scope(&sim);
+    sim.Spawn(WaitAndMark(sim, 1000, marks));
+  }
+  sim.Run(/*until=*/10);
+  EXPECT_EQ(sim.live_detached_tasks(), 1u);
+  sim.Shutdown();
+  EXPECT_EQ(sim.live_detached_tasks(), 0u);
+  EXPECT_TRUE(marks.empty());
+}
+
+TEST(FutureTest, AwaitAlreadyFulfilled) {
+  Simulation sim;
+  auto [future, promise] = MakeFuture<int>(sim);
+  EXPECT_TRUE(promise.Set(7));
+  EXPECT_FALSE(promise.Set(8));  // first write wins
+  auto task = [](Future<int> f) -> Task<int> { co_return co_await std::move(f); };
+  CurrentSimulationScope scope(&sim);
+  EXPECT_EQ(RunTask(sim, task(std::move(future))), 7);
+}
+
+Task<void> FulfillLater(Simulation& sim, Promise<int> p, Duration d, int v) {
+  co_await sim.Delay(d);
+  p.Set(v);
+}
+
+TEST(FutureTest, WaiterResumesOnSet) {
+  Simulation sim;
+  CurrentSimulationScope scope(&sim);
+  auto [future, promise] = MakeFuture<int>(sim);
+  sim.Spawn(FulfillLater(sim, promise, 50, 99));
+  auto consumer = [](Simulation& s, Future<int> f) -> Task<SimTime> {
+    const int v = co_await std::move(f);
+    EXPECT_EQ(v, 99);
+    co_return s.now();
+  };
+  EXPECT_EQ(RunTask(sim, consumer(sim, std::move(future))), 50);
+}
+
+TEST(FutureTest, RaceFirstWriterWins) {
+  Simulation sim;
+  CurrentSimulationScope scope(&sim);
+  auto [future, promise] = MakeFuture<int>(sim);
+  sim.Spawn(FulfillLater(sim, promise, 10, 1));
+  sim.Spawn(FulfillLater(sim, promise, 20, 2));  // loses the race
+  auto consumer = [](Future<int> f) -> Task<int> {
+    co_return co_await std::move(f);
+  };
+  EXPECT_EQ(RunTask(sim, consumer(std::move(future))), 1);
+}
+
+TEST(SimulationTest, DeterministicReplay) {
+  auto run_once = [] {
+    Simulation sim(1234);
+    CurrentSimulationScope scope(&sim);
+    std::vector<std::uint64_t> trace;
+    for (int i = 0; i < 5; ++i) {
+      sim.Spawn([](Simulation& s, std::vector<std::uint64_t>& t) -> Task<void> {
+        co_await s.Delay(static_cast<Duration>(s.rng().NextBelow(100)));
+        t.push_back(static_cast<std::uint64_t>(s.now()));
+      }(sim, trace));
+    }
+    sim.Run();
+    return trace;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace dufs::sim

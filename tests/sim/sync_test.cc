@@ -1,0 +1,208 @@
+#include "sim/sync.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/task.h"
+
+namespace dufs::sim {
+namespace {
+
+Task<void> UseResource(Simulation& sim, Resource& res, Duration hold,
+                       std::vector<std::pair<SimTime, SimTime>>& spans) {
+  auto guard = co_await res.Acquire();
+  const SimTime start = sim.now();
+  co_await sim.Delay(hold);
+  spans.emplace_back(start, sim.now());
+}
+
+TEST(ResourceTest, SerializesWhenCapacityOne) {
+  Simulation sim;
+  CurrentSimulationScope scope(&sim);
+  Resource res(sim, 1);
+  std::vector<std::pair<SimTime, SimTime>> spans;
+  for (int i = 0; i < 4; ++i) sim.Spawn(UseResource(sim, res, 10, spans));
+  sim.Run();
+  ASSERT_EQ(spans.size(), 4u);
+  // Non-overlapping, back-to-back: 0-10, 10-20, 20-30, 30-40.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(spans[static_cast<std::size_t>(i)].first, 10 * i);
+    EXPECT_EQ(spans[static_cast<std::size_t>(i)].second, 10 * (i + 1));
+  }
+}
+
+TEST(ResourceTest, CapacityTwoAllowsPairs) {
+  Simulation sim;
+  CurrentSimulationScope scope(&sim);
+  Resource res(sim, 2);
+  std::vector<std::pair<SimTime, SimTime>> spans;
+  for (int i = 0; i < 4; ++i) sim.Spawn(UseResource(sim, res, 10, spans));
+  sim.Run();
+  ASSERT_EQ(spans.size(), 4u);
+  EXPECT_EQ(spans[0].first, 0);
+  EXPECT_EQ(spans[1].first, 0);
+  EXPECT_EQ(spans[2].first, 10);
+  EXPECT_EQ(spans[3].first, 10);
+  EXPECT_EQ(sim.now(), 20);
+}
+
+TEST(ResourceTest, FifoFairness) {
+  Simulation sim;
+  CurrentSimulationScope scope(&sim);
+  Resource res(sim, 1);
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.Spawn([](Simulation& s, Resource& r, int id,
+                 std::vector<int>& ord) -> Task<void> {
+      auto g = co_await r.Acquire();
+      ord.push_back(id);
+      co_await s.Delay(1);
+    }(sim, res, i, order));
+  }
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ResourceTest, PermitNotLeakedUnderChurn) {
+  Simulation sim;
+  CurrentSimulationScope scope(&sim);
+  Resource res(sim, 2);
+  std::vector<std::pair<SimTime, SimTime>> spans;
+  for (int i = 0; i < 50; ++i) {
+    sim.Spawn(UseResource(sim, res, 1 + (i % 3), spans));
+  }
+  sim.Run();
+  EXPECT_EQ(spans.size(), 50u);
+  EXPECT_EQ(res.in_use(), 0u);
+  EXPECT_EQ(res.queue_length(), 0u);
+  // At no sim time may more than 2 spans overlap.
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    int overlap = 0;
+    for (std::size_t j = 0; j < spans.size(); ++j) {
+      if (spans[j].first <= spans[i].first && spans[i].first < spans[j].second) {
+        ++overlap;
+      }
+    }
+    EXPECT_LE(overlap, 2);
+  }
+}
+
+TEST(ResourceTest, GuardReleaseNowFreesEarly) {
+  Simulation sim;
+  CurrentSimulationScope scope(&sim);
+  Resource res(sim, 1);
+  std::vector<SimTime> starts;
+  sim.Spawn([](Simulation& s, Resource& r) -> Task<void> {
+    auto g = co_await r.Acquire();
+    co_await s.Delay(10);
+    g.ReleaseNow();
+    co_await s.Delay(100);  // keeps running, but permit already released
+  }(sim, res));
+  sim.Spawn([](Simulation& s, Resource& r, std::vector<SimTime>& st) -> Task<void> {
+    auto g = co_await r.Acquire();
+    st.push_back(s.now());
+  }(sim, res, starts));
+  sim.Run();
+  ASSERT_EQ(starts.size(), 1u);
+  EXPECT_EQ(starts[0], 10);
+}
+
+TEST(MailboxTest, DeliversInOrder) {
+  Simulation sim;
+  CurrentSimulationScope scope(&sim);
+  Mailbox<int> mb(sim);
+  std::vector<int> got;
+  sim.Spawn([](Mailbox<int>& m, std::vector<int>& g) -> Task<void> {
+    while (auto item = co_await m.Recv()) g.push_back(*item);
+  }(mb, got));
+  sim.ScheduleFn(1, [&] { mb.Send(1); });
+  sim.ScheduleFn(2, [&] {
+    mb.Send(2);
+    mb.Send(3);
+  });
+  sim.ScheduleFn(3, [&] { mb.Close(); });
+  sim.Run();
+  EXPECT_EQ(got, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(MailboxTest, RecvBlocksUntilSend) {
+  Simulation sim;
+  CurrentSimulationScope scope(&sim);
+  Mailbox<int> mb(sim);
+  SimTime recv_time = -1;
+  sim.Spawn([](Simulation& s, Mailbox<int>& m, SimTime& t) -> Task<void> {
+    auto item = co_await m.Recv();
+    EXPECT_TRUE(item.has_value());
+    t = s.now();
+  }(sim, mb, recv_time));
+  sim.ScheduleFn(77, [&] { mb.Send(5); });
+  sim.Run();
+  EXPECT_EQ(recv_time, 77);
+}
+
+TEST(MailboxTest, CloseWakesWaiter) {
+  Simulation sim;
+  CurrentSimulationScope scope(&sim);
+  Mailbox<int> mb(sim);
+  bool saw_close = false;
+  sim.Spawn([](Mailbox<int>& m, bool& closed) -> Task<void> {
+    auto item = co_await m.Recv();
+    closed = !item.has_value();
+  }(mb, saw_close));
+  sim.ScheduleFn(5, [&] { mb.Close(); });
+  sim.Run();
+  EXPECT_TRUE(saw_close);
+}
+
+TEST(MailboxTest, SendAfterCloseIsDropped) {
+  Simulation sim;
+  CurrentSimulationScope scope(&sim);
+  Mailbox<int> mb(sim);
+  mb.Close();
+  mb.Send(1);
+  EXPECT_EQ(mb.size(), 0u);
+}
+
+TEST(BarrierTest, ReleasesAllPartiesTogether) {
+  Simulation sim;
+  CurrentSimulationScope scope(&sim);
+  Barrier barrier(sim, 3);
+  std::vector<SimTime> release_times;
+  for (int i = 0; i < 3; ++i) {
+    sim.Spawn([](Simulation& s, Barrier& b, int id,
+                 std::vector<SimTime>& out) -> Task<void> {
+      co_await s.Delay(10 * (id + 1));  // arrive at 10, 20, 30
+      co_await b.Arrive();
+      out.push_back(s.now());
+    }(sim, barrier, i, release_times));
+  }
+  sim.Run();
+  ASSERT_EQ(release_times.size(), 3u);
+  for (auto t : release_times) EXPECT_EQ(t, 30);
+}
+
+TEST(BarrierTest, Reusable) {
+  Simulation sim;
+  CurrentSimulationScope scope(&sim);
+  Barrier barrier(sim, 2);
+  std::vector<SimTime> times;
+  for (int i = 0; i < 2; ++i) {
+    sim.Spawn([](Simulation& s, Barrier& b, int id,
+                 std::vector<SimTime>& out) -> Task<void> {
+      for (int round = 0; round < 3; ++round) {
+        co_await s.Delay(id == 0 ? 5 : 10);
+        co_await b.Arrive();
+        out.push_back(s.now());
+      }
+    }(sim, barrier, i, times));
+  }
+  sim.Run();
+  ASSERT_EQ(times.size(), 6u);
+  // Rounds complete at 10, 20, 30 (slowest party paces each round).
+  std::vector<SimTime> expect = {10, 10, 20, 20, 30, 30};
+  EXPECT_EQ(times, expect);
+}
+
+}  // namespace
+}  // namespace dufs::sim

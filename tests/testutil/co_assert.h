@@ -1,0 +1,31 @@
+// Coroutine-safe fatal assertions: gtest's ASSERT_* macros expand to a bare
+// `return`, which does not compile inside a coroutine body. These variants
+// record the failure and `co_return` instead.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#define CO_ASSERT_TRUE(cond)                         \
+  do {                                               \
+    if (!(cond)) {                                   \
+      ADD_FAILURE() << "CO_ASSERT_TRUE(" #cond ")";  \
+      co_return;                                     \
+    }                                                \
+  } while (0)
+
+#define CO_ASSERT_FALSE(cond) CO_ASSERT_TRUE(!(cond))
+
+#define CO_ASSERT_OK(expr)                                                  \
+  do {                                                                      \
+    auto _st = (expr).status();                                             \
+    if (!_st.ok()) {                                                        \
+      ADD_FAILURE() << "CO_ASSERT_OK(" #expr "): " << _st.ToString();       \
+      co_return;                                                            \
+    }                                                                       \
+  } while (0)
+
+#define CO_ASSERT_EQ(a, b)                                    \
+  do {                                                        \
+    EXPECT_EQ(a, b);                                          \
+    if (!((a) == (b))) co_return;                             \
+  } while (0)

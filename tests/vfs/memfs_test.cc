@@ -1,0 +1,316 @@
+#include "vfs/memfs.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/task.h"
+#include "testutil/co_assert.h"
+#include "vfs/fuse_mount.h"
+
+namespace dufs::vfs {
+namespace {
+
+class MemFsTest : public ::testing::Test {
+ protected:
+  sim::Simulation sim_;
+  MemFs fs_{sim_};
+
+  void Run(sim::Task<void> task) { sim::RunTask(sim_, std::move(task)); }
+};
+
+TEST_F(MemFsTest, RootStat) {
+  Run([](MemFs& fs) -> sim::Task<void> {
+    auto attr = co_await fs.GetAttr("/");
+    CO_ASSERT_TRUE(attr.ok());
+    EXPECT_TRUE(attr->IsDir());
+    EXPECT_EQ(attr->inode, 1u);
+  }(fs_));
+}
+
+TEST_F(MemFsTest, MkdirStatRmdir) {
+  Run([](MemFs& fs) -> sim::Task<void> {
+    CO_ASSERT_OK(co_await fs.Mkdir("/d", 0700));
+    auto attr = co_await fs.GetAttr("/d");
+    CO_ASSERT_TRUE(attr.ok());
+    EXPECT_TRUE(attr->IsDir());
+    EXPECT_EQ(attr->mode, 0700u);
+    CO_ASSERT_OK(co_await fs.Rmdir("/d"));
+    EXPECT_EQ((co_await fs.GetAttr("/d")).code(), StatusCode::kNotFound);
+  }(fs_));
+}
+
+TEST_F(MemFsTest, MkdirErrors) {
+  Run([](MemFs& fs) -> sim::Task<void> {
+    EXPECT_EQ((co_await fs.Mkdir("/x/y", 0755)).code(),
+              StatusCode::kNotFound);
+    CO_ASSERT_OK(co_await fs.Mkdir("/x", 0755));
+    EXPECT_EQ((co_await fs.Mkdir("/x", 0755)).code(),
+              StatusCode::kAlreadyExists);
+  }(fs_));
+}
+
+TEST_F(MemFsTest, RmdirErrors) {
+  Run([](MemFs& fs) -> sim::Task<void> {
+    CO_ASSERT_OK(co_await fs.Mkdir("/d", 0755));
+    CO_ASSERT_OK(co_await fs.Mkdir("/d/sub", 0755));
+    EXPECT_EQ((co_await fs.Rmdir("/d")).code(), StatusCode::kNotEmpty);
+    auto created = co_await fs.Create("/f", 0644);
+    CO_ASSERT_TRUE(created.ok());
+    EXPECT_EQ((co_await fs.Rmdir("/f")).code(), StatusCode::kNotADirectory);
+  }(fs_));
+}
+
+TEST_F(MemFsTest, CreateWriteReadRoundTrip) {
+  Run([](MemFs& fs) -> sim::Task<void> {
+    auto created = co_await fs.Create("/file", 0644);
+    CO_ASSERT_TRUE(created.ok());
+    auto handle = co_await fs.Open("/file", kRead | kWrite);
+    CO_ASSERT_TRUE(handle.ok());
+    auto wrote = co_await fs.Write(*handle, 0, ToBytes("hello world"));
+    CO_ASSERT_TRUE(wrote.ok());
+    EXPECT_EQ(*wrote, 11u);
+    auto data = co_await fs.Read(*handle, 6, 5);
+    CO_ASSERT_TRUE(data.ok());
+    EXPECT_EQ(FromBytes(*data), "world");
+    CO_ASSERT_OK(co_await fs.Release(*handle));
+    auto attr = co_await fs.GetAttr("/file");
+    CO_ASSERT_TRUE(attr.ok());
+    EXPECT_EQ(attr->size, 11u);
+  }(fs_));
+}
+
+TEST_F(MemFsTest, SparseWriteZeroFills) {
+  Run([](MemFs& fs) -> sim::Task<void> {
+    (void)co_await fs.Create("/s", 0644);
+    auto handle = co_await fs.Open("/s", kWrite);
+    CO_ASSERT_TRUE(handle.ok());
+    (void)co_await fs.Write(*handle, 5, ToBytes("x"));
+    auto data = co_await fs.Read(*handle, 0, 10);
+    CO_ASSERT_TRUE(data.ok());
+    EXPECT_EQ(data->size(), 6u);
+    EXPECT_EQ((*data)[0], 0);
+    EXPECT_EQ((*data)[5], 'x');
+  }(fs_));
+}
+
+TEST_F(MemFsTest, ReadPastEofReturnsEmpty) {
+  Run([](MemFs& fs) -> sim::Task<void> {
+    (void)co_await fs.Create("/e", 0644);
+    auto handle = co_await fs.Open("/e", kRead);
+    CO_ASSERT_TRUE(handle.ok());
+    auto data = co_await fs.Read(*handle, 100, 10);
+    CO_ASSERT_TRUE(data.ok());
+    EXPECT_TRUE(data->empty());
+  }(fs_));
+}
+
+TEST_F(MemFsTest, OpenCreateFlagCreates) {
+  Run([](MemFs& fs) -> sim::Task<void> {
+    auto handle = co_await fs.Open("/new", kWrite | kCreate);
+    CO_ASSERT_TRUE(handle.ok());
+    EXPECT_TRUE((co_await fs.GetAttr("/new")).ok());
+  }(fs_));
+}
+
+TEST_F(MemFsTest, OpenTruncateClears) {
+  Run([](MemFs& fs) -> sim::Task<void> {
+    (void)co_await fs.Create("/t", 0644);
+    auto h1 = co_await fs.Open("/t", kWrite);
+    (void)co_await fs.Write(*h1, 0, ToBytes("data"));
+    (void)co_await fs.Release(*h1);
+    auto h2 = co_await fs.Open("/t", kWrite | kTruncate);
+    CO_ASSERT_TRUE(h2.ok());
+    auto attr = co_await fs.GetAttr("/t");
+    EXPECT_EQ(attr->size, 0u);
+  }(fs_));
+}
+
+TEST_F(MemFsTest, HandleSurvivesUnlink) {
+  Run([](MemFs& fs) -> sim::Task<void> {
+    (void)co_await fs.Create("/gone", 0644);
+    auto handle = co_await fs.Open("/gone", kRead | kWrite);
+    CO_ASSERT_TRUE(handle.ok());
+    CO_ASSERT_OK(co_await fs.Unlink("/gone"));
+    // POSIX: open fd still usable after unlink.
+    auto wrote = co_await fs.Write(*handle, 0, ToBytes("zombie"));
+    EXPECT_TRUE(wrote.ok());
+    auto data = co_await fs.Read(*handle, 0, 6);
+    EXPECT_EQ(FromBytes(*data), "zombie");
+  }(fs_));
+}
+
+TEST_F(MemFsTest, ReadDirListsEntries) {
+  Run([](MemFs& fs) -> sim::Task<void> {
+    (void)co_await fs.Mkdir("/dir", 0755);
+    (void)co_await fs.Mkdir("/dir/sub", 0755);
+    (void)co_await fs.Create("/dir/file", 0644);
+    auto entries = co_await fs.ReadDir("/dir");
+    CO_ASSERT_TRUE(entries.ok());
+    CO_ASSERT_EQ(entries->size(), 2u);
+    EXPECT_EQ((*entries)[0].name, "file");
+    EXPECT_EQ((*entries)[0].type, FileType::kRegular);
+    EXPECT_EQ((*entries)[1].name, "sub");
+    EXPECT_EQ((*entries)[1].type, FileType::kDirectory);
+  }(fs_));
+}
+
+TEST_F(MemFsTest, RenameFile) {
+  Run([](MemFs& fs) -> sim::Task<void> {
+    (void)co_await fs.Create("/old", 0644);
+    CO_ASSERT_OK(co_await fs.Rename("/old", "/new"));
+    EXPECT_EQ((co_await fs.GetAttr("/old")).code(), StatusCode::kNotFound);
+    EXPECT_TRUE((co_await fs.GetAttr("/new")).ok());
+  }(fs_));
+}
+
+TEST_F(MemFsTest, RenameMovesSubtree) {
+  Run([](MemFs& fs) -> sim::Task<void> {
+    (void)co_await fs.Mkdir("/a", 0755);
+    (void)co_await fs.Mkdir("/a/b", 0755);
+    (void)co_await fs.Create("/a/b/f", 0644);
+    CO_ASSERT_OK(co_await fs.Rename("/a", "/z"));
+    EXPECT_TRUE((co_await fs.GetAttr("/z/b/f")).ok());
+  }(fs_));
+}
+
+TEST_F(MemFsTest, RenameIntoOwnSubtreeFails) {
+  Run([](MemFs& fs) -> sim::Task<void> {
+    (void)co_await fs.Mkdir("/a", 0755);
+    EXPECT_EQ((co_await fs.Rename("/a", "/a/b")).code(),
+              StatusCode::kInvalidArgument);
+  }(fs_));
+}
+
+TEST_F(MemFsTest, RenameOverwritesFile) {
+  Run([](MemFs& fs) -> sim::Task<void> {
+    (void)co_await fs.Create("/src", 0644);
+    (void)co_await fs.Create("/dst", 0644);
+    CO_ASSERT_OK(co_await fs.Rename("/src", "/dst"));
+    EXPECT_EQ((co_await fs.GetAttr("/src")).code(), StatusCode::kNotFound);
+  }(fs_));
+}
+
+TEST_F(MemFsTest, RenameOntoNonEmptyDirFails) {
+  Run([](MemFs& fs) -> sim::Task<void> {
+    (void)co_await fs.Mkdir("/src", 0755);
+    (void)co_await fs.Mkdir("/dst", 0755);
+    (void)co_await fs.Mkdir("/dst/kid", 0755);
+    EXPECT_EQ((co_await fs.Rename("/src", "/dst")).code(),
+              StatusCode::kNotEmpty);
+  }(fs_));
+}
+
+TEST_F(MemFsTest, SymlinkRoundTrip) {
+  Run([](MemFs& fs) -> sim::Task<void> {
+    CO_ASSERT_OK(co_await fs.Symlink("/target/path", "/link"));
+    auto target = co_await fs.ReadLink("/link");
+    CO_ASSERT_TRUE(target.ok());
+    EXPECT_EQ(*target, "/target/path");
+    auto attr = co_await fs.GetAttr("/link");
+    EXPECT_EQ(attr->type, FileType::kSymlink);
+  }(fs_));
+}
+
+TEST_F(MemFsTest, ChmodAndAccess) {
+  Run([](MemFs& fs) -> sim::Task<void> {
+    (void)co_await fs.Create("/f", 0644);
+    CO_ASSERT_OK(co_await fs.Chmod("/f", 0000));
+    EXPECT_EQ((co_await fs.Access("/f", 04)).code(),
+              StatusCode::kPermissionDenied);
+    CO_ASSERT_OK(co_await fs.Chmod("/f", 0444));
+    CO_ASSERT_OK(co_await fs.Access("/f", 04));
+  }(fs_));
+}
+
+TEST_F(MemFsTest, TruncateGrowsAndShrinks) {
+  Run([](MemFs& fs) -> sim::Task<void> {
+    (void)co_await fs.Create("/t", 0644);
+    CO_ASSERT_OK(co_await fs.Truncate("/t", 100));
+    EXPECT_EQ((co_await fs.GetAttr("/t"))->size, 100u);
+    CO_ASSERT_OK(co_await fs.Truncate("/t", 10));
+    EXPECT_EQ((co_await fs.GetAttr("/t"))->size, 10u);
+  }(fs_));
+}
+
+TEST_F(MemFsTest, UtimensSetsTimes) {
+  Run([](MemFs& fs) -> sim::Task<void> {
+    (void)co_await fs.Create("/u", 0644);
+    CO_ASSERT_OK(co_await fs.Utimens("/u", 111, 222));
+    auto attr = co_await fs.GetAttr("/u");
+    EXPECT_EQ(attr->atime, 111);
+    EXPECT_EQ(attr->mtime, 222);
+  }(fs_));
+}
+
+TEST_F(MemFsTest, StatFsCountsFiles) {
+  Run([](MemFs& fs) -> sim::Task<void> {
+    (void)co_await fs.Mkdir("/d", 0755);
+    (void)co_await fs.Create("/d/f", 0644);
+    auto stats = co_await fs.StatFs();
+    CO_ASSERT_TRUE(stats.ok());
+    EXPECT_EQ(stats->files, 2u);
+  }(fs_));
+}
+
+class FuseMountTest : public ::testing::Test {
+ protected:
+  sim::Simulation sim_;
+  net::Network net_{sim_};
+  net::NodeId node_ = net_.AddNode("client");
+  MemFs fs_{sim_};
+  FuseMount mount_{net_.node(node_), fs_};
+
+  void Run(sim::Task<void> task) { sim::RunTask(sim_, std::move(task)); }
+};
+
+TEST_F(FuseMountTest, FdLifecycle) {
+  Run([](FuseMount& m) -> sim::Task<void> {
+    auto fd = co_await m.Creat("/f");
+    CO_ASSERT_TRUE(fd.ok());
+    EXPECT_GE(*fd, 3);
+    auto wrote = co_await m.Write(*fd, 0, ToBytes("abc"));
+    CO_ASSERT_TRUE(wrote.ok());
+    auto data = co_await m.Read(*fd, 0, 3);
+    EXPECT_EQ(FromBytes(*data), "abc");
+    CO_ASSERT_OK(co_await m.Close(*fd));
+    EXPECT_EQ((co_await m.Read(*fd, 0, 1)).code(),
+              StatusCode::kInvalidArgument);
+    EXPECT_EQ(m.open_fds(), 0u);
+  }(mount_));
+}
+
+TEST_F(FuseMountTest, OverheadAdvancesClock) {
+  Run([](FuseMount& m, sim::Simulation& s) -> sim::Task<void> {
+    const auto before = s.now();
+    (void)co_await m.Mkdir("/d");
+    EXPECT_GT(s.now(), before);  // FUSE context switches cost time
+  }(mount_, sim_));
+}
+
+TEST_F(FuseMountTest, PathsAreNormalized) {
+  Run([](FuseMount& m) -> sim::Task<void> {
+    CO_ASSERT_OK(co_await m.Mkdir("/a"));
+    CO_ASSERT_OK(co_await m.Mkdir("/a/b"));
+    auto attr = co_await m.Stat("/a/./b/../b//");
+    EXPECT_TRUE(attr.ok());
+  }(mount_));
+}
+
+TEST_F(FuseMountTest, MemoryFootprintBounded) {
+  Run([](FuseMount& m) -> sim::Task<void> {
+    const auto before = m.EstimateMemoryBytes();
+    for (int i = 0; i < 500; ++i) {
+      CO_ASSERT_OK(co_await m.Mkdir("/dir" + std::to_string(i)));
+    }
+    // Creating many directories must not grow client memory (Fig. 11).
+    EXPECT_EQ(m.EstimateMemoryBytes(), before);
+  }(mount_));
+}
+
+TEST_F(FuseMountTest, CloseBadFdFails) {
+  Run([](FuseMount& m) -> sim::Task<void> {
+    EXPECT_EQ((co_await m.Close(99)).code(), StatusCode::kInvalidArgument);
+  }(mount_));
+}
+
+}  // namespace
+}  // namespace dufs::vfs

@@ -1,0 +1,54 @@
+#include "vfs/path.h"
+
+#include <gtest/gtest.h>
+
+namespace dufs::vfs {
+namespace {
+
+TEST(VfsPathTest, Split) {
+  EXPECT_EQ(SplitPath("/"), (std::vector<std::string>{}));
+  EXPECT_EQ(SplitPath("/a/b"), (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(SplitPath("//a///b/"), (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(SplitPath(""), (std::vector<std::string>{}));
+}
+
+TEST(VfsPathTest, Join) {
+  EXPECT_EQ(JoinPath("/", "a"), "/a");
+  EXPECT_EQ(JoinPath("/a", "b"), "/a/b");
+  EXPECT_EQ(JoinPath("", "a"), "/a");
+}
+
+TEST(VfsPathTest, Normalize) {
+  EXPECT_EQ(NormalizePath("/a/./b"), "/a/b");
+  EXPECT_EQ(NormalizePath("/a/b/../c"), "/a/c");
+  EXPECT_EQ(NormalizePath("/../.."), "/");
+  EXPECT_EQ(NormalizePath("//a//b//"), "/a/b");
+  EXPECT_EQ(NormalizePath("/"), "/");
+}
+
+TEST(VfsPathTest, Validate) {
+  EXPECT_TRUE(ValidateVirtualPath("/").ok());
+  EXPECT_TRUE(ValidateVirtualPath("/a/b").ok());
+  EXPECT_FALSE(ValidateVirtualPath("a/b").ok());
+  EXPECT_FALSE(ValidateVirtualPath("/a/").ok());
+  EXPECT_FALSE(ValidateVirtualPath("/a/../b").ok());
+  EXPECT_FALSE(ValidateVirtualPath("").ok());
+}
+
+TEST(VfsPathTest, DirAndBase) {
+  EXPECT_EQ(DirName("/a/b"), "/a");
+  EXPECT_EQ(DirName("/a"), "/");
+  EXPECT_EQ(DirName("/"), "/");
+  EXPECT_EQ(BaseName("/a/b"), "b");
+}
+
+TEST(VfsPathTest, IsWithin) {
+  EXPECT_TRUE(IsWithin("/a", "/a"));
+  EXPECT_TRUE(IsWithin("/a", "/a/b"));
+  EXPECT_TRUE(IsWithin("/", "/anything"));
+  EXPECT_FALSE(IsWithin("/a", "/ab"));
+  EXPECT_FALSE(IsWithin("/a/b", "/a"));
+}
+
+}  // namespace
+}  // namespace dufs::vfs

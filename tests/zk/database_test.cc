@@ -1,0 +1,214 @@
+#include "zk/database.h"
+
+#include <gtest/gtest.h>
+
+namespace dufs::zk {
+namespace {
+
+std::vector<std::uint8_t> Bytes(std::string_view s) {
+  return std::vector<std::uint8_t>(s.begin(), s.end());
+}
+
+class DatabaseTest : public ::testing::Test {
+ protected:
+  Database db_;
+  Zxid zxid_ = 0;
+
+  AppliedTxn Apply(Op op, SessionId session = 1) {
+    Txn txn;
+    txn.session = session;
+    txn.op = std::move(op);
+    ++zxid_;
+    return db_.Apply(txn, zxid_, zxid_ * 100);
+  }
+
+  AppliedTxn ApplyMulti(std::vector<Op> ops, SessionId session = 1) {
+    Txn txn;
+    txn.session = session;
+    txn.op.type = OpType::kMulti;
+    txn.multi_ops = std::move(ops);
+    ++zxid_;
+    return db_.Apply(txn, zxid_, zxid_ * 100);
+  }
+};
+
+TEST_F(DatabaseTest, CreateThenRead) {
+  auto applied = Apply(Op::Create("/x", Bytes("v")));
+  EXPECT_TRUE(applied.result.ok());
+  EXPECT_EQ(applied.result.created_path, "/x");
+
+  Op get;
+  get.type = OpType::kGetData;
+  get.path = "/x";
+  auto r = db_.Read(get);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.data, Bytes("v"));
+}
+
+TEST_F(DatabaseTest, ReadMissingIsNotFound) {
+  Op get;
+  get.type = OpType::kGetData;
+  get.path = "/nope";
+  EXPECT_EQ(db_.Read(get).code, StatusCode::kNotFound);
+}
+
+TEST_F(DatabaseTest, ApplyAdvancesLastApplied) {
+  EXPECT_EQ(db_.last_applied(), 0);
+  Apply(Op::Create("/x", {}));
+  EXPECT_EQ(db_.last_applied(), 1);
+}
+
+TEST_F(DatabaseTest, TriggersOnCreateDeleteSet) {
+  auto c = Apply(Op::Create("/x", {}));
+  ASSERT_EQ(c.triggers.size(), 2u);
+  EXPECT_EQ(c.triggers[0].type, WatchEventType::kNodeCreated);
+  EXPECT_EQ(c.triggers[0].path, "/x");
+  EXPECT_EQ(c.triggers[1].type, WatchEventType::kNodeChildrenChanged);
+  EXPECT_EQ(c.triggers[1].path, "/");
+
+  auto s = Apply(Op::SetData("/x", Bytes("d")));
+  ASSERT_EQ(s.triggers.size(), 1u);
+  EXPECT_EQ(s.triggers[0].type, WatchEventType::kNodeDataChanged);
+
+  auto d = Apply(Op::Delete("/x"));
+  ASSERT_EQ(d.triggers.size(), 2u);
+  EXPECT_EQ(d.triggers[0].type, WatchEventType::kNodeDeleted);
+}
+
+TEST_F(DatabaseTest, SessionLifecycle) {
+  Op create_session;
+  create_session.type = OpType::kCreateSession;
+  Apply(create_session, 99);
+  EXPECT_TRUE(db_.SessionExists(99));
+
+  Apply(Op::Create("/parent", {}), 99);
+  Op eph = Op::Create("/parent/live", {}, CreateMode::kEphemeral);
+  Apply(eph, 99);
+  EXPECT_TRUE(db_.tree().Exists("/parent/live"));
+
+  Op close;
+  close.type = OpType::kCloseSession;
+  auto applied = Apply(close, 99);
+  EXPECT_FALSE(db_.SessionExists(99));
+  EXPECT_FALSE(db_.tree().Exists("/parent/live"));
+  EXPECT_TRUE(db_.tree().Exists("/parent"));
+  // Deletion triggered watch events.
+  EXPECT_FALSE(applied.triggers.empty());
+}
+
+TEST_F(DatabaseTest, MultiAllOrNothing) {
+  Apply(Op::Create("/a", Bytes("1")));
+  // Second op fails (duplicate) => nothing applies.
+  auto applied = ApplyMulti({
+      Op::Create("/b", {}),
+      Op::Create("/a", {}),  // exists
+  });
+  EXPECT_EQ(applied.result.code, StatusCode::kAlreadyExists);
+  EXPECT_FALSE(db_.tree().Exists("/b"));
+}
+
+TEST_F(DatabaseTest, MultiAtomicRename) {
+  Apply(Op::Create("/src", Bytes("payload")));
+  auto applied = ApplyMulti({
+      Op::CheckVersion("/src", 0),
+      Op::Create("/dst", Bytes("payload")),
+      Op::Delete("/src"),
+  });
+  EXPECT_TRUE(applied.result.ok());
+  EXPECT_FALSE(db_.tree().Exists("/src"));
+  EXPECT_TRUE(db_.tree().Exists("/dst"));
+  EXPECT_EQ(applied.multi_results.size(), 3u);
+}
+
+TEST_F(DatabaseTest, MultiSeesItsOwnEffects) {
+  // Create parent and child in the same multi.
+  auto applied = ApplyMulti({
+      Op::Create("/p", {}),
+      Op::Create("/p/c", {}),
+  });
+  EXPECT_TRUE(applied.result.ok());
+  EXPECT_TRUE(db_.tree().Exists("/p/c"));
+}
+
+TEST_F(DatabaseTest, MultiDeleteRespectsOwnCreates) {
+  Apply(Op::Create("/d", {}));
+  // Creating a child inside the multi makes the delete of /d non-empty.
+  auto applied = ApplyMulti({
+      Op::Create("/d/c", {}),
+      Op::Delete("/d"),
+  });
+  EXPECT_EQ(applied.result.code, StatusCode::kNotEmpty);
+  EXPECT_FALSE(db_.tree().Exists("/d/c"));
+}
+
+TEST_F(DatabaseTest, MultiCheckVersionGuards) {
+  Apply(Op::Create("/v", {}));
+  Apply(Op::SetData("/v", Bytes("x")));  // version -> 1
+  auto bad = ApplyMulti({
+      Op::CheckVersion("/v", 0),
+      Op::Create("/w", {}),
+  });
+  EXPECT_EQ(bad.result.code, StatusCode::kBadVersion);
+  EXPECT_FALSE(db_.tree().Exists("/w"));
+
+  auto good = ApplyMulti({
+      Op::CheckVersion("/v", 1),
+      Op::Create("/w", {}),
+  });
+  EXPECT_TRUE(good.result.ok());
+  EXPECT_TRUE(db_.tree().Exists("/w"));
+}
+
+TEST_F(DatabaseTest, MultiRejectsSequential) {
+  Apply(Op::Create("/q", {}));
+  auto applied = ApplyMulti({
+      Op::Create("/q/s-", {}, CreateMode::kPersistentSequential),
+  });
+  EXPECT_EQ(applied.result.code, StatusCode::kInvalidArgument);
+}
+
+TEST_F(DatabaseTest, SnapshotRestore) {
+  Apply(Op::Create("/a", Bytes("1")));
+  Apply(Op::Create("/a/b", Bytes("2")));
+  Op cs;
+  cs.type = OpType::kCreateSession;
+  Apply(cs, 1234);
+
+  auto snapshot = db_.Snapshot();
+  auto restored = Database::Restore(snapshot);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ((*restored)->Fingerprint(), db_.Fingerprint());
+  EXPECT_EQ((*restored)->last_applied(), db_.last_applied());
+  EXPECT_TRUE((*restored)->SessionExists(1234));
+}
+
+TEST_F(DatabaseTest, DeterministicReplicas) {
+  // Two databases fed the same txn stream end identical.
+  Database other;
+  Zxid z = 0;
+  auto both = [&](Op op) {
+    Txn txn;
+    txn.session = 1;
+    txn.op = op;
+    ++z;
+    db_.Apply(txn, z, z * 100);
+    other.Apply(txn, z, z * 100);
+  };
+  zxid_ = 1000;  // keep helper out of the way
+  both(Op::Create("/r", Bytes("x")));
+  both(Op::Create("/r/c1", {}));
+  both(Op::SetData("/r", Bytes("y")));
+  both(Op::Delete("/r/c1"));
+  EXPECT_EQ(db_.Fingerprint(), other.Fingerprint());
+}
+
+TEST_F(DatabaseTest, SyncIsNoOp) {
+  Op sync;
+  sync.type = OpType::kSync;
+  auto applied = Apply(sync);
+  EXPECT_TRUE(applied.result.ok());
+  EXPECT_EQ(db_.tree().node_count(), 1u);
+}
+
+}  // namespace
+}  // namespace dufs::zk

@@ -1,0 +1,446 @@
+// Integration tests: full replicated ensemble over the simulated cluster.
+#include <gtest/gtest.h>
+
+#include "testutil/co_assert.h"
+
+#include <memory>
+
+#include "net/rpc.h"
+#include "sim/task.h"
+#include "zk/client.h"
+#include "zk/server.h"
+
+namespace dufs::zk {
+namespace {
+
+std::vector<std::uint8_t> Bytes(std::string_view s) {
+  return std::vector<std::uint8_t>(s.begin(), s.end());
+}
+
+struct Ensemble {
+  sim::Simulation sim;
+  net::Network net{sim};
+  ZkEnsembleConfig config;
+  std::vector<std::unique_ptr<net::RpcEndpoint>> server_eps;
+  std::vector<std::unique_ptr<ZkServer>> servers;
+  std::vector<std::unique_ptr<net::RpcEndpoint>> client_eps;
+  std::vector<std::unique_ptr<ZkClient>> clients;
+
+  explicit Ensemble(std::size_t n_servers, std::size_t n_clients = 1,
+                    bool failure_detection = false, std::uint64_t seed = 1)
+      : sim(seed) {
+    config.enable_failure_detection = failure_detection;
+    for (std::size_t i = 0; i < n_servers; ++i) {
+      config.servers.push_back(net.AddNode("zk" + std::to_string(i)));
+    }
+    for (std::size_t i = 0; i < n_servers; ++i) {
+      server_eps.push_back(
+          std::make_unique<net::RpcEndpoint>(net, config.servers[i]));
+      servers.push_back(
+          std::make_unique<ZkServer>(*server_eps[i], config, i));
+      servers[i]->Start();
+    }
+    for (std::size_t i = 0; i < n_clients; ++i) {
+      const auto node = net.AddNode("client" + std::to_string(i));
+      client_eps.push_back(std::make_unique<net::RpcEndpoint>(net, node));
+      ZkClientConfig cc;
+      cc.servers = config.servers;
+      cc.attach_index = i;
+      clients.push_back(std::make_unique<ZkClient>(*client_eps[i], cc));
+    }
+  }
+
+  ~Ensemble() { sim.Shutdown(); }
+
+  ZkClient& client(std::size_t i = 0) { return *clients[i]; }
+
+  void Connect() {
+    sim::RunTask(sim, [](Ensemble& e) -> sim::Task<void> {
+      for (auto& c : e.clients) {
+        auto st = co_await c->Connect();
+        EXPECT_TRUE(st.ok()) << st;
+      }
+    }(*this));
+  }
+
+  // Lets in-flight replication traffic (commits to followers) finish.
+  void Drain(sim::Duration d = sim::Ms(50)) { sim.Run(sim.now() + d); }
+
+  bool Converged() {
+    std::uint64_t fp = 0;
+    bool first = true;
+    for (auto& s : servers) {
+      if (!net.node(s->node_id()).up()) continue;
+      if (first) {
+        fp = s->db().Fingerprint();
+        first = false;
+      } else if (s->db().Fingerprint() != fp) {
+        return false;
+      }
+    }
+    return true;
+  }
+};
+
+TEST(EnsembleTest, ConnectCreatesReplicatedSession) {
+  Ensemble e(3);
+  e.Connect();
+  e.Drain();
+  for (auto& s : e.servers) {
+    EXPECT_TRUE(s->db().SessionExists(e.client().session()));
+  }
+}
+
+TEST(EnsembleTest, CreateGetRoundTrip) {
+  Ensemble e(3);
+  e.Connect();
+  sim::RunTask(e.sim, [](Ensemble& en) -> sim::Task<void> {
+    auto created = co_await en.client().Create("/hello", Bytes("world"));
+    CO_ASSERT_TRUE(created.ok());
+    EXPECT_EQ(*created, "/hello");
+    auto got = co_await en.client().Get("/hello");
+    CO_ASSERT_TRUE(got.ok());
+    EXPECT_EQ(got->data, Bytes("world"));
+    EXPECT_EQ(got->stat.version, 0);
+  }(e));
+}
+
+TEST(EnsembleTest, AllReplicasConverge) {
+  Ensemble e(5);
+  e.Connect();
+  sim::RunTask(e.sim, [](Ensemble& en) -> sim::Task<void> {
+    for (int i = 0; i < 20; ++i) {
+      auto r = co_await en.client().Create("/n" + std::to_string(i),
+                                           Bytes("data"));
+      CO_ASSERT_TRUE(r.ok());
+    }
+    (void)co_await en.client().Set("/n0", Bytes("updated"));
+    (void)co_await en.client().Delete("/n1");
+  }(e));
+  e.Drain();
+  EXPECT_TRUE(e.Converged());
+  for (auto& s : e.servers) {
+    EXPECT_EQ(s->db().tree().node_count(), 20u);  // root + 20 - 1 deleted
+  }
+}
+
+TEST(EnsembleTest, WritesThroughFollowerWork) {
+  Ensemble e(3, /*n_clients=*/3);
+  e.Connect();
+  sim::RunTask(e.sim, [](Ensemble& en) -> sim::Task<void> {
+    // Client 1 and 2 attach to followers (attach_index 1, 2).
+    auto r = co_await en.client(1).Create("/via-follower", Bytes("x"));
+    CO_ASSERT_TRUE(r.ok());
+    // Read-your-write through the same session server.
+    auto got = co_await en.client(1).Get("/via-follower");
+    EXPECT_TRUE(got.ok());
+    // Another client, another server: visible after the commit fans out.
+    auto got2 = co_await en.client(2).Get("/via-follower");
+    EXPECT_TRUE(got2.ok());
+  }(e));
+}
+
+TEST(EnsembleTest, SequentialCreateIsGloballyOrdered) {
+  Ensemble e(3, 3);
+  e.Connect();
+  std::vector<std::string> paths;
+  sim::RunTask(e.sim, [](Ensemble& en,
+                         std::vector<std::string>& out) -> sim::Task<void> {
+    auto base = co_await en.client(0).Create("/ctr", {});
+    CO_ASSERT_TRUE(base.ok());
+    for (int i = 0; i < 9; ++i) {
+      auto r = co_await en.client(static_cast<std::size_t>(i % 3))
+                   .Create("/ctr/c-", {}, CreateMode::kPersistentSequential);
+      CO_ASSERT_TRUE(r.ok());
+      out.push_back(*r);
+    }
+  }(e, paths));
+  // All 9 names distinct and dense 0..8.
+  std::sort(paths.begin(), paths.end());
+  paths.erase(std::unique(paths.begin(), paths.end()), paths.end());
+  ASSERT_EQ(paths.size(), 9u);
+  EXPECT_EQ(paths.front(), "/ctr/c-0000000000");
+  EXPECT_EQ(paths.back(), "/ctr/c-0000000008");
+}
+
+TEST(EnsembleTest, VersionConflictSurfaces) {
+  Ensemble e(3);
+  e.Connect();
+  sim::RunTask(e.sim, [](Ensemble& en) -> sim::Task<void> {
+    (void)co_await en.client().Create("/v", Bytes("a"));
+    auto s1 = co_await en.client().Set("/v", Bytes("b"), 0);
+    CO_ASSERT_TRUE(s1.ok());
+    auto s2 = co_await en.client().Set("/v", Bytes("c"), 0);
+    EXPECT_EQ(s2.code(), StatusCode::kBadVersion);
+  }(e));
+}
+
+TEST(EnsembleTest, MultiIsAtomicAcrossReplicas) {
+  Ensemble e(3);
+  e.Connect();
+  sim::RunTask(e.sim, [](Ensemble& en) -> sim::Task<void> {
+    (void)co_await en.client().Create("/src", Bytes("f"));
+    std::vector<Op> rename;
+    rename.push_back(Op::Create("/dst", Bytes("f")));
+    rename.push_back(Op::Delete("/src"));
+    auto r = co_await en.client().Multi(std::move(rename));
+    CO_ASSERT_TRUE(r.ok());
+
+    std::vector<Op> failing;
+    failing.push_back(Op::Create("/x", {}));
+    failing.push_back(Op::Delete("/ghost"));
+    auto r2 = co_await en.client().Multi(std::move(failing));
+    EXPECT_FALSE(r2.ok());
+    auto x = co_await en.client().Exists("/x");
+    EXPECT_EQ(x.code(), StatusCode::kNotFound);
+  }(e));
+  e.Drain();
+  EXPECT_TRUE(e.Converged());
+}
+
+TEST(EnsembleTest, WatchFiresOnDataChange) {
+  Ensemble e(3, 2);
+  e.Connect();
+  std::vector<WatchEvent> events;
+  e.client(0).SetWatchHandler(
+      [&](const WatchEvent& ev) { events.push_back(ev); });
+  sim::RunTask(e.sim, [](Ensemble& en) -> sim::Task<void> {
+    (void)co_await en.client(0).Create("/w", Bytes("0"));
+    auto got = co_await en.client(0).Get("/w", /*watch=*/true);
+    CO_ASSERT_TRUE(got.ok());
+    (void)co_await en.client(1).Set("/w", Bytes("1"));
+  }(e));
+  e.Drain();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].type, WatchEventType::kNodeDataChanged);
+  EXPECT_EQ(events[0].path, "/w");
+}
+
+TEST(EnsembleTest, WatchIsOneShot) {
+  Ensemble e(3, 2);
+  e.Connect();
+  int fired = 0;
+  e.client(0).SetWatchHandler([&](const WatchEvent&) { ++fired; });
+  sim::RunTask(e.sim, [](Ensemble& en) -> sim::Task<void> {
+    (void)co_await en.client(0).Create("/w", Bytes("0"));
+    (void)co_await en.client(0).Get("/w", /*watch=*/true);
+    (void)co_await en.client(1).Set("/w", Bytes("1"));
+    (void)co_await en.client(1).Set("/w", Bytes("2"));
+  }(e));
+  e.Drain();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EnsembleTest, ChildWatchFiresOnCreate) {
+  Ensemble e(3, 2);
+  e.Connect();
+  std::vector<WatchEvent> events;
+  e.client(0).SetWatchHandler(
+      [&](const WatchEvent& ev) { events.push_back(ev); });
+  sim::RunTask(e.sim, [](Ensemble& en) -> sim::Task<void> {
+    (void)co_await en.client(0).Create("/dir", {});
+    (void)co_await en.client(0).GetChildren("/dir", /*watch=*/true);
+    (void)co_await en.client(1).Create("/dir/kid", {});
+  }(e));
+  e.Drain();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].type, WatchEventType::kNodeChildrenChanged);
+  EXPECT_EQ(events[0].path, "/dir");
+}
+
+TEST(EnsembleTest, EphemeralsVanishOnSessionClose) {
+  Ensemble e(3, 2);
+  e.Connect();
+  sim::RunTask(e.sim, [](Ensemble& en) -> sim::Task<void> {
+    (void)co_await en.client(0).Create("/locks", {});
+    auto r = co_await en.client(1).Create("/locks/owner", Bytes("me"),
+                                          CreateMode::kEphemeral);
+    CO_ASSERT_TRUE(r.ok());
+    auto closed = co_await en.client(1).Close();
+    EXPECT_TRUE(closed.ok());
+    auto exists = co_await en.client(0).Exists("/locks/owner");
+    EXPECT_EQ(exists.code(), StatusCode::kNotFound);
+  }(e));
+}
+
+TEST(EnsembleTest, SingleServerEnsembleWorks) {
+  Ensemble e(1);
+  e.Connect();
+  sim::RunTask(e.sim, [](Ensemble& en) -> sim::Task<void> {
+    auto r = co_await en.client().Create("/solo", Bytes("x"));
+    CO_ASSERT_TRUE(r.ok());
+    auto got = co_await en.client().Get("/solo");
+    EXPECT_TRUE(got.ok());
+  }(e));
+}
+
+TEST(EnsembleTest, FollowerCrashQuorumSurvives) {
+  Ensemble e(3);
+  e.Connect();
+  sim::RunTask(e.sim, [](Ensemble& en) -> sim::Task<void> {
+    (void)co_await en.client().Create("/before", {});
+    en.net.node(en.config.servers[2]).Crash();  // a follower
+    auto r = co_await en.client().Create("/after", {});
+    EXPECT_TRUE(r.ok()) << r.status();  // quorum 2/3 still alive
+  }(e));
+}
+
+TEST(EnsembleTest, MajorityLossBlocksWrites) {
+  Ensemble e(3);
+  e.Connect();
+  sim::RunTask(e.sim, [](Ensemble& en) -> sim::Task<void> {
+    en.net.node(en.config.servers[1]).Crash();
+    en.net.node(en.config.servers[2]).Crash();
+    auto r = co_await en.client().Create("/nope", {});
+    EXPECT_FALSE(r.ok());  // no quorum: kUnavailable/kTimeout after retries
+    // Reads from the surviving replica still work (stale-tolerant reads).
+    auto stat = co_await en.client().Exists("/");
+    EXPECT_TRUE(stat.ok());
+  }(e));
+}
+
+TEST(EnsembleTest, LeaderCrashElectionRecovers) {
+  Ensemble e(3, 1, /*failure_detection=*/true);
+  e.Connect();
+  sim::RunTask(e.sim, [](Ensemble& en) -> sim::Task<void> {
+    (void)co_await en.client().Create("/pre", Bytes("1"));
+    en.net.node(en.config.servers[0]).Crash();  // the leader
+    // Allow detection + election, then write again (client fails over).
+    co_await en.sim.Delay(sim::Sec(1));
+    auto r = co_await en.client().Create("/post", Bytes("2"));
+    EXPECT_TRUE(r.ok()) << r.status();
+  }(e));
+  // Exactly one of the survivors leads.
+  int leaders = 0;
+  for (std::size_t i = 1; i < 3; ++i) {
+    if (e.servers[i]->is_leader()) ++leaders;
+  }
+  EXPECT_EQ(leaders, 1);
+  e.Drain(sim::Sec(1));
+  EXPECT_TRUE(e.Converged());
+}
+
+TEST(EnsembleTest, CrashedFollowerRejoinsAndSyncs) {
+  Ensemble e(3, 1, /*failure_detection=*/true);
+  e.Connect();
+  sim::RunTask(e.sim, [](Ensemble& en) -> sim::Task<void> {
+    (void)co_await en.client().Create("/a", {});
+    auto& node = en.net.node(en.config.servers[2]);
+    auto snapshot = en.servers[2]->TakeSnapshot();
+    node.Crash();
+    (void)co_await en.client().Create("/b", {});
+    (void)co_await en.client().Create("/c", {});
+    node.Restart();
+    CO_ASSERT_TRUE(en.servers[2]->RestoreSnapshot(snapshot).ok());
+    en.servers[2]->OnRestart();
+    co_await en.sim.Delay(sim::Sec(2));
+  }(e));
+  EXPECT_TRUE(e.Converged());
+  EXPECT_TRUE(e.servers[2]->db().tree().Exists("/b"));
+  EXPECT_TRUE(e.servers[2]->db().tree().Exists("/c"));
+}
+
+// The Fig. 1 consistency race, resolved at the coordination layer: two
+// clients race mkdir(d1) and rename(d1->d2); whatever the interleaving, all
+// replicas agree on a single outcome.
+TEST(EnsembleTest, Figure1RaceIsLinearized) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    Ensemble e(3, 2, false, seed);
+    e.Connect();
+    sim::RunTask(e.sim, [](Ensemble& en) -> sim::Task<void> {
+      (void)co_await en.client(0).Create("/d1", {});
+      co_return;
+    }(e));
+    // Race: client0 re-creates /d1 while client1 renames /d1 -> /d2.
+    bool done0 = false, done1 = false;
+    {
+      sim::CurrentSimulationScope scope(&e.sim);
+      e.sim.Spawn([](Ensemble& en, bool& done) -> sim::Task<void> {
+        std::vector<Op> mv;
+        mv.push_back(Op::Create("/d2", {}));
+        mv.push_back(Op::Delete("/d1"));
+        (void)co_await en.client(1).Multi(std::move(mv));
+        done = true;
+      }(e, done1));
+      e.sim.Spawn([](Ensemble& en, bool& done) -> sim::Task<void> {
+        (void)co_await en.client(0).Create("/d1", {});
+        done = true;
+      }(e, done0));
+    }
+    e.sim.Run();
+    EXPECT_TRUE(done0 && done1);
+    EXPECT_TRUE(e.Converged()) << "seed " << seed;
+    // /d2 must exist; /d1 exists iff the re-create happened after the move
+    // — but *every* replica agrees.
+    const auto& tree = e.servers[0]->db().tree();
+    EXPECT_TRUE(tree.Exists("/d2"));
+  }
+}
+
+// Many concurrent processes per client node, as in mdtest: a sequential
+// client is RTT-bound and would hide server-side effects.
+double MeasureRate(Ensemble& e, int procs_per_client, int ops_per_proc,
+                   bool reads) {
+  if (reads) {
+    sim::RunTask(e.sim, [](Ensemble& en) -> sim::Task<void> {
+      (void)co_await en.client(0).Create("/hot", Bytes("x"));
+    }(e));
+  }
+  const auto start = e.sim.now();
+  const std::size_t n_clients = e.clients.size();
+  sim::RunTask(e.sim, [](Ensemble& en, std::size_t nc, int procs, int ops,
+                         bool rd) -> sim::Task<void> {
+    sim::Barrier done(en.sim, nc * static_cast<std::size_t>(procs) + 1);
+    for (std::size_t c = 0; c < nc; ++c) {
+      for (int p = 0; p < procs; ++p) {
+        en.sim.Spawn([](Ensemble& e2, std::size_t idx, int pid, int n,
+                        bool rd2, sim::Barrier b) -> sim::Task<void> {
+          for (int i = 0; i < n; ++i) {
+            if (rd2) {
+              (void)co_await e2.client(idx).Get("/hot");
+            } else {
+              (void)co_await e2.client(idx).Create(
+                  "/c" + std::to_string(idx) + "-" + std::to_string(pid) +
+                      "-" + std::to_string(i),
+                  {});
+            }
+          }
+          co_await b.Arrive();
+        }(en, c, p, ops, rd, done));
+      }
+    }
+    co_await done.Arrive();
+  }(e, n_clients, procs_per_client, ops_per_proc, reads));
+  const double secs = static_cast<double>(e.sim.now() - start) / sim::kSecond;
+  return static_cast<double>(n_clients) * procs_per_client * ops_per_proc /
+         secs;
+}
+
+TEST(EnsembleTest, ReadThroughputScalesWithServers) {
+  // Mini Fig. 7d: aggregate read rate with 4 servers exceeds 1 server.
+  auto measure = [](std::size_t n_servers) {
+    Ensemble e(n_servers, 4);
+    e.Connect();
+    return MeasureRate(e, /*procs_per_client=*/16, /*ops_per_proc=*/50,
+                       /*reads=*/true);
+  };
+  const double rate1 = measure(1);
+  const double rate4 = measure(4);
+  EXPECT_GT(rate4, rate1 * 2.0);
+}
+
+TEST(EnsembleTest, WriteThroughputFallsWithServers) {
+  // Mini Fig. 7a: create rate with 8 servers is below 1 server.
+  auto measure = [](std::size_t n_servers) {
+    Ensemble e(n_servers, 4);
+    e.Connect();
+    return MeasureRate(e, /*procs_per_client=*/16, /*ops_per_proc=*/25,
+                       /*reads=*/false);
+  };
+  const double rate1 = measure(1);
+  const double rate8 = measure(8);
+  EXPECT_GT(rate1, rate8 * 1.5);
+}
+
+}  // namespace
+}  // namespace dufs::zk
