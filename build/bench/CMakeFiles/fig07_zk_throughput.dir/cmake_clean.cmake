@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_zk_throughput.dir/fig07_zk_throughput.cc.o"
+  "CMakeFiles/fig07_zk_throughput.dir/fig07_zk_throughput.cc.o.d"
+  "fig07_zk_throughput"
+  "fig07_zk_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_zk_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

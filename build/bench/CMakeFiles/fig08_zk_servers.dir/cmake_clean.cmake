@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_zk_servers.dir/fig08_zk_servers.cc.o"
+  "CMakeFiles/fig08_zk_servers.dir/fig08_zk_servers.cc.o.d"
+  "fig08_zk_servers"
+  "fig08_zk_servers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_zk_servers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

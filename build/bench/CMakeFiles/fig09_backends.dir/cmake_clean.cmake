@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_backends.dir/fig09_backends.cc.o"
+  "CMakeFiles/fig09_backends.dir/fig09_backends.cc.o.d"
+  "fig09_backends"
+  "fig09_backends.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_backends.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_native_compare.dir/fig10_native_compare.cc.o"
+  "CMakeFiles/fig10_native_compare.dir/fig10_native_compare.cc.o.d"
+  "fig10_native_compare"
+  "fig10_native_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_native_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/fid.cc" "src/common/CMakeFiles/dufs_common.dir/fid.cc.o" "gcc" "src/common/CMakeFiles/dufs_common.dir/fid.cc.o.d"
+  "/root/repo/src/common/hex.cc" "src/common/CMakeFiles/dufs_common.dir/hex.cc.o" "gcc" "src/common/CMakeFiles/dufs_common.dir/hex.cc.o.d"
+  "/root/repo/src/common/log.cc" "src/common/CMakeFiles/dufs_common.dir/log.cc.o" "gcc" "src/common/CMakeFiles/dufs_common.dir/log.cc.o.d"
+  "/root/repo/src/common/md5.cc" "src/common/CMakeFiles/dufs_common.dir/md5.cc.o" "gcc" "src/common/CMakeFiles/dufs_common.dir/md5.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/common/CMakeFiles/dufs_common.dir/rng.cc.o" "gcc" "src/common/CMakeFiles/dufs_common.dir/rng.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/common/CMakeFiles/dufs_common.dir/stats.cc.o" "gcc" "src/common/CMakeFiles/dufs_common.dir/stats.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/common/CMakeFiles/dufs_common.dir/status.cc.o" "gcc" "src/common/CMakeFiles/dufs_common.dir/status.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dufs_common.dir/fid.cc.o"
+  "CMakeFiles/dufs_common.dir/fid.cc.o.d"
+  "CMakeFiles/dufs_common.dir/hex.cc.o"
+  "CMakeFiles/dufs_common.dir/hex.cc.o.d"
+  "CMakeFiles/dufs_common.dir/log.cc.o"
+  "CMakeFiles/dufs_common.dir/log.cc.o.d"
+  "CMakeFiles/dufs_common.dir/md5.cc.o"
+  "CMakeFiles/dufs_common.dir/md5.cc.o.d"
+  "CMakeFiles/dufs_common.dir/rng.cc.o"
+  "CMakeFiles/dufs_common.dir/rng.cc.o.d"
+  "CMakeFiles/dufs_common.dir/stats.cc.o"
+  "CMakeFiles/dufs_common.dir/stats.cc.o.d"
+  "CMakeFiles/dufs_common.dir/status.cc.o"
+  "CMakeFiles/dufs_common.dir/status.cc.o.d"
+  "libdufs_common.a"
+  "libdufs_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dufs_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

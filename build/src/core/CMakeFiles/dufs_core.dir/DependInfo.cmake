@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/dufs_client.cc" "src/core/CMakeFiles/dufs_core.dir/dufs_client.cc.o" "gcc" "src/core/CMakeFiles/dufs_core.dir/dufs_client.cc.o.d"
+  "/root/repo/src/core/fsck.cc" "src/core/CMakeFiles/dufs_core.dir/fsck.cc.o" "gcc" "src/core/CMakeFiles/dufs_core.dir/fsck.cc.o.d"
+  "/root/repo/src/core/mapping.cc" "src/core/CMakeFiles/dufs_core.dir/mapping.cc.o" "gcc" "src/core/CMakeFiles/dufs_core.dir/mapping.cc.o.d"
+  "/root/repo/src/core/meta_schema.cc" "src/core/CMakeFiles/dufs_core.dir/meta_schema.cc.o" "gcc" "src/core/CMakeFiles/dufs_core.dir/meta_schema.cc.o.d"
+  "/root/repo/src/core/physical_path.cc" "src/core/CMakeFiles/dufs_core.dir/physical_path.cc.o" "gcc" "src/core/CMakeFiles/dufs_core.dir/physical_path.cc.o.d"
+  "/root/repo/src/core/rebalancer.cc" "src/core/CMakeFiles/dufs_core.dir/rebalancer.cc.o" "gcc" "src/core/CMakeFiles/dufs_core.dir/rebalancer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dufs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dufs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dufs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/vfs/CMakeFiles/dufs_vfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/zk/CMakeFiles/dufs_zk.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/dufs_wire.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dufs_core.dir/dufs_client.cc.o"
+  "CMakeFiles/dufs_core.dir/dufs_client.cc.o.d"
+  "CMakeFiles/dufs_core.dir/fsck.cc.o"
+  "CMakeFiles/dufs_core.dir/fsck.cc.o.d"
+  "CMakeFiles/dufs_core.dir/mapping.cc.o"
+  "CMakeFiles/dufs_core.dir/mapping.cc.o.d"
+  "CMakeFiles/dufs_core.dir/meta_schema.cc.o"
+  "CMakeFiles/dufs_core.dir/meta_schema.cc.o.d"
+  "CMakeFiles/dufs_core.dir/physical_path.cc.o"
+  "CMakeFiles/dufs_core.dir/physical_path.cc.o.d"
+  "CMakeFiles/dufs_core.dir/rebalancer.cc.o"
+  "CMakeFiles/dufs_core.dir/rebalancer.cc.o.d"
+  "libdufs_core.a"
+  "libdufs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dufs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dufs_mdtest.dir/testbed.cc.o"
+  "CMakeFiles/dufs_mdtest.dir/testbed.cc.o.d"
+  "CMakeFiles/dufs_mdtest.dir/workload.cc.o"
+  "CMakeFiles/dufs_mdtest.dir/workload.cc.o.d"
+  "libdufs_mdtest.a"
+  "libdufs_mdtest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dufs_mdtest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

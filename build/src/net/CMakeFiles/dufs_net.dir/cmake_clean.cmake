@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dufs_net.dir/network.cc.o"
+  "CMakeFiles/dufs_net.dir/network.cc.o.d"
+  "CMakeFiles/dufs_net.dir/rpc.cc.o"
+  "CMakeFiles/dufs_net.dir/rpc.cc.o.d"
+  "libdufs_net.a"
+  "libdufs_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dufs_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdufs_net.a"
+)

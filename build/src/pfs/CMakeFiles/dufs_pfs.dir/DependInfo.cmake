@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pfs/lustre.cc" "src/pfs/CMakeFiles/dufs_pfs.dir/lustre.cc.o" "gcc" "src/pfs/CMakeFiles/dufs_pfs.dir/lustre.cc.o.d"
+  "/root/repo/src/pfs/pvfs.cc" "src/pfs/CMakeFiles/dufs_pfs.dir/pvfs.cc.o" "gcc" "src/pfs/CMakeFiles/dufs_pfs.dir/pvfs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dufs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dufs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dufs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/vfs/CMakeFiles/dufs_vfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/dufs_wire.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

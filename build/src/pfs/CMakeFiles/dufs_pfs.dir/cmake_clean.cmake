@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dufs_pfs.dir/lustre.cc.o"
+  "CMakeFiles/dufs_pfs.dir/lustre.cc.o.d"
+  "CMakeFiles/dufs_pfs.dir/pvfs.cc.o"
+  "CMakeFiles/dufs_pfs.dir/pvfs.cc.o.d"
+  "libdufs_pfs.a"
+  "libdufs_pfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dufs_pfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

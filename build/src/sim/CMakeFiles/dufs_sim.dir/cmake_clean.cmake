@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dufs_sim.dir/simulation.cc.o"
+  "CMakeFiles/dufs_sim.dir/simulation.cc.o.d"
+  "libdufs_sim.a"
+  "libdufs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dufs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vfs/fuse_mount.cc" "src/vfs/CMakeFiles/dufs_vfs.dir/fuse_mount.cc.o" "gcc" "src/vfs/CMakeFiles/dufs_vfs.dir/fuse_mount.cc.o.d"
+  "/root/repo/src/vfs/memfs.cc" "src/vfs/CMakeFiles/dufs_vfs.dir/memfs.cc.o" "gcc" "src/vfs/CMakeFiles/dufs_vfs.dir/memfs.cc.o.d"
+  "/root/repo/src/vfs/naive_mirror.cc" "src/vfs/CMakeFiles/dufs_vfs.dir/naive_mirror.cc.o" "gcc" "src/vfs/CMakeFiles/dufs_vfs.dir/naive_mirror.cc.o.d"
+  "/root/repo/src/vfs/path.cc" "src/vfs/CMakeFiles/dufs_vfs.dir/path.cc.o" "gcc" "src/vfs/CMakeFiles/dufs_vfs.dir/path.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dufs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dufs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dufs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/dufs_wire.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dufs_vfs.dir/fuse_mount.cc.o"
+  "CMakeFiles/dufs_vfs.dir/fuse_mount.cc.o.d"
+  "CMakeFiles/dufs_vfs.dir/memfs.cc.o"
+  "CMakeFiles/dufs_vfs.dir/memfs.cc.o.d"
+  "CMakeFiles/dufs_vfs.dir/naive_mirror.cc.o"
+  "CMakeFiles/dufs_vfs.dir/naive_mirror.cc.o.d"
+  "CMakeFiles/dufs_vfs.dir/path.cc.o"
+  "CMakeFiles/dufs_vfs.dir/path.cc.o.d"
+  "libdufs_vfs.a"
+  "libdufs_vfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dufs_vfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dufs_wire.dir/buffer.cc.o"
+  "CMakeFiles/dufs_wire.dir/buffer.cc.o.d"
+  "libdufs_wire.a"
+  "libdufs_wire.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dufs_wire.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

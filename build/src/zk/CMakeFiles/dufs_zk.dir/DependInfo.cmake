@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/zk/client.cc" "src/zk/CMakeFiles/dufs_zk.dir/client.cc.o" "gcc" "src/zk/CMakeFiles/dufs_zk.dir/client.cc.o.d"
+  "/root/repo/src/zk/database.cc" "src/zk/CMakeFiles/dufs_zk.dir/database.cc.o" "gcc" "src/zk/CMakeFiles/dufs_zk.dir/database.cc.o.d"
+  "/root/repo/src/zk/proto.cc" "src/zk/CMakeFiles/dufs_zk.dir/proto.cc.o" "gcc" "src/zk/CMakeFiles/dufs_zk.dir/proto.cc.o.d"
+  "/root/repo/src/zk/server.cc" "src/zk/CMakeFiles/dufs_zk.dir/server.cc.o" "gcc" "src/zk/CMakeFiles/dufs_zk.dir/server.cc.o.d"
+  "/root/repo/src/zk/znode.cc" "src/zk/CMakeFiles/dufs_zk.dir/znode.cc.o" "gcc" "src/zk/CMakeFiles/dufs_zk.dir/znode.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dufs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dufs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dufs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/dufs_wire.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dufs_zk.dir/client.cc.o"
+  "CMakeFiles/dufs_zk.dir/client.cc.o.d"
+  "CMakeFiles/dufs_zk.dir/database.cc.o"
+  "CMakeFiles/dufs_zk.dir/database.cc.o.d"
+  "CMakeFiles/dufs_zk.dir/proto.cc.o"
+  "CMakeFiles/dufs_zk.dir/proto.cc.o.d"
+  "CMakeFiles/dufs_zk.dir/server.cc.o"
+  "CMakeFiles/dufs_zk.dir/server.cc.o.d"
+  "CMakeFiles/dufs_zk.dir/znode.cc.o"
+  "CMakeFiles/dufs_zk.dir/znode.cc.o.d"
+  "libdufs_zk.a"
+  "libdufs_zk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dufs_zk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdufs_zk.a"
+)

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mdtest/workload_test.cc" "tests/CMakeFiles/mdtest_test.dir/mdtest/workload_test.cc.o" "gcc" "tests/CMakeFiles/mdtest_test.dir/mdtest/workload_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mdtest/CMakeFiles/dufs_mdtest.dir/DependInfo.cmake"
+  "/root/repo/build/src/pfs/CMakeFiles/dufs_pfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dufs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/zk/CMakeFiles/dufs_zk.dir/DependInfo.cmake"
+  "/root/repo/build/src/vfs/CMakeFiles/dufs_vfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dufs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/dufs_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dufs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dufs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

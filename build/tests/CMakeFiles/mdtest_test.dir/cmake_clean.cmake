@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdtest_test.dir/mdtest/workload_test.cc.o"
+  "CMakeFiles/mdtest_test.dir/mdtest/workload_test.cc.o.d"
+  "mdtest_test"
+  "mdtest_test.pdb"
+  "mdtest_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdtest_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
