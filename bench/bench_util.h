@@ -2,6 +2,7 @@
 // aligned table printing matching the series the paper plots.
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -81,6 +82,40 @@ class Flags {
   std::vector<std::string> args_;
   std::vector<std::pair<std::string, std::string>> values_;
 };
+
+// Hot-path telemetry for one measured configuration: throughput plus the
+// per-op ZooKeeper cost and client-cache behaviour that explain it
+// (deltas of ZkClient::requests_sent()/failovers() and MetaCache::Stats
+// summed over the participating clients).
+struct HotPathCounters {
+  double ops = 0;
+  double seconds = 0;
+  std::uint64_t zk_requests = 0;
+  std::uint64_t zk_failovers = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+};
+
+inline void PrintHotPathHeader() {
+  std::printf("%-28s %12s %12s %10s %10s %10s %10s\n", "config", "ops/s",
+              "zk-req/op", "failovers", "hits", "misses", "hit-rate");
+}
+
+inline void PrintHotPathRow(const std::string& label,
+                            const HotPathCounters& c) {
+  const double ops = c.ops > 0 ? c.ops : 1;
+  const double probes =
+      static_cast<double>(c.cache_hits + c.cache_misses);
+  std::printf("%-28s %12.1f %12.3f %10llu %10llu %10llu %9.1f%%\n",
+              label.c_str(), c.seconds > 0 ? c.ops / c.seconds : 0.0,
+              static_cast<double>(c.zk_requests) / ops,
+              static_cast<unsigned long long>(c.zk_failovers),
+              static_cast<unsigned long long>(c.cache_hits),
+              static_cast<unsigned long long>(c.cache_misses),
+              probes > 0
+                  ? 100.0 * static_cast<double>(c.cache_hits) / probes
+                  : 0.0);
+}
 
 // Prints a "series table": one row per x value, one column per series —
 // mirroring the figures' curves.

@@ -1,7 +1,8 @@
 #include "core/dufs_client.h"
 
 #include <algorithm>
-#include <deque>
+
+#include "sim/gather.h"
 
 namespace dufs::core {
 
@@ -10,7 +11,8 @@ using vfs::FileType;
 
 namespace {
 
-// Bounded positive caches; eviction is wholesale (caches are hints only).
+// Bounded positive cache for physical skeleton dirs; eviction is wholesale
+// (the cache is a hint only — entries are re-probed on miss).
 constexpr std::size_t kMaxCacheEntries = 1 << 16;
 
 StatusCode MapZkCode(StatusCode code) {
@@ -23,9 +25,20 @@ StatusCode MapZkCode(StatusCode code) {
 DufsClient::DufsClient(zk::ZkClient& zk,
                        std::vector<vfs::FileSystem*> backends,
                        DufsConfig config)
-    : zk_(zk), backends_(std::move(backends)), config_(std::move(config)) {
+    : zk_(zk),
+      backends_(std::move(backends)),
+      config_(std::move(config)),
+      meta_cache_(zk.sim(), config_.meta_cache) {
   DUFS_CHECK(!backends_.empty());
+  DUFS_CHECK(config_.lookup_fanout > 0);
   placement_ = MakePlacement(config_.placement, backends_.size());
+  if (config_.enable_meta_cache) {
+    // Every cache fill registers a one-shot data watch on its znode; the
+    // notification (create/delete/dataChanged) drops the entry, so remote
+    // mutations are observed within one notification delay.
+    zk_.SetWatchHandler(
+        [this](const zk::WatchEvent& ev) { meta_cache_.Invalidate(ev.path); });
+  }
 }
 
 std::string DufsClient::ZnodePath(std::string_view virtual_path) const {
@@ -69,22 +82,34 @@ sim::Task<Status> DufsClient::Mount() {
   const auto digits = path.substr(path.size() - 10);
   client_id_ = std::stoull(digits) + 1;
   fid_counter_ = 0;
-  known_dirs_.insert(ZnodePath("/"));
+  meta_cache_.Clear();
+  (void)co_await LookupPath("/");  // warm the root dentry
   co_return Status::Ok();
 }
 
 sim::Task<Status> DufsClient::FormatBackends() {
-  const auto skeleton = StaticPhysicalSkeleton();
-  std::size_t ops = 0;
-  for (std::uint32_t b = 0; b < backends_.size(); ++b) {
-    for (const auto& dir : skeleton) {
-      auto st = co_await backends_[b]->Mkdir(dir, 0755);
+  // Back-ends are independent: format them all concurrently (bounded by the
+  // fan-out knob); within one back-end the skeleton stays level-ordered.
+  auto format_one = [](DufsClient& self, std::uint32_t b) -> sim::Task<Status> {
+    std::size_t ops = 0;
+    for (const auto& dir : StaticPhysicalSkeleton()) {
+      auto st = co_await self.backends_[b]->Mkdir(dir, 0755);
       if (!st.ok() && st.code() != StatusCode::kAlreadyExists) co_return st;
       // Yield through the event loop periodically: long chains of
       // synchronously-completing back-end ops (MemFs) must not rely on
       // symmetric-transfer tail calls, which unoptimized builds lack.
-      if (++ops % 64 == 0) co_await zk_.sim().Delay(0);
+      if (++ops % 64 == 0) co_await self.zk_.sim().Delay(0);
     }
+    co_return Status::Ok();
+  };
+  std::vector<sim::Task<Status>> tasks;
+  tasks.reserve(backends_.size());
+  for (std::uint32_t b = 0; b < backends_.size(); ++b) {
+    tasks.push_back(format_one(*this, b));
+  }
+  auto statuses = co_await sim::WhenAll(std::move(tasks), config_.lookup_fanout);
+  for (const auto& st : statuses) {
+    if (!st.ok()) co_return st;
   }
   AssumeFormatted();
   co_return Status::Ok();
@@ -101,28 +126,58 @@ void DufsClient::AssumeFormatted() {
 
 sim::Task<Result<DufsClient::Lookup>> DufsClient::LookupPath(
     std::string virtual_path) {
-  auto got = co_await zk_.Get(ZnodePath(virtual_path));
-  if (!got.ok()) co_return Status(MapZkCode(got.code()), virtual_path);
+  const std::string znode = ZnodePath(virtual_path);
+  if (config_.enable_meta_cache) {
+    if (const MetaCache::Entry* hit = meta_cache_.Lookup(znode)) {
+      if (hit->negative) co_return Status(StatusCode::kNotFound, virtual_path);
+      Lookup out;
+      out.record = hit->record;
+      out.stat = hit->stat;
+      co_return out;
+    }
+  }
+  // Cache miss: fetch with a one-shot watch so the filled entry is dropped
+  // on any remote change. The watch is registered even when the node is
+  // absent, which is what keeps negative entries coherent across a remote
+  // create.
+  auto got = co_await zk_.Get(znode, /*watch=*/config_.enable_meta_cache);
+  if (!got.ok()) {
+    if (config_.enable_meta_cache && got.code() == StatusCode::kNotFound) {
+      meta_cache_.PutNegative(znode);
+    }
+    co_return Status(MapZkCode(got.code()), virtual_path);
+  }
   auto record = MetaRecord::Decode(got->data);
   if (!record.ok()) co_return record.status();
+  if (config_.enable_meta_cache) {
+    meta_cache_.PutPositive(znode, *record, got->stat);
+  }
   Lookup out;
   out.record = std::move(*record);
   out.stat = got->stat;
   co_return out;
 }
 
+void DufsClient::InvalidateAfterMutation(const std::string& virtual_path,
+                                         bool subtree) {
+  if (!config_.enable_meta_cache) return;
+  if (subtree) {
+    meta_cache_.InvalidateSubtree(ZnodePath(virtual_path));
+  } else {
+    meta_cache_.Invalidate(ZnodePath(virtual_path));
+  }
+  // The parent's attr changed too (child count, child-list version).
+  meta_cache_.Invalidate(ZnodePath(vfs::DirName(virtual_path)));
+}
+
 sim::Task<Status> DufsClient::CheckParentIsDir(
     const std::string& virtual_path) {
   const std::string parent = vfs::DirName(virtual_path);
-  const std::string znode = ZnodePath(parent);
-  if (known_dirs_.count(znode) > 0) co_return Status::Ok();
   auto lookup = co_await LookupPath(parent);
   if (!lookup.ok()) co_return lookup.status();
   if (lookup->record.type != FileType::kDirectory) {
     co_return Status(StatusCode::kNotADirectory, parent);
   }
-  if (known_dirs_.size() >= kMaxCacheEntries) known_dirs_.clear();
-  known_dirs_.insert(znode);
   co_return Status::Ok();
 }
 
@@ -196,6 +251,8 @@ sim::Task<Status> DufsClient::Mkdir(std::string path, vfs::Mode mode) {
   if (auto st = co_await CheckParentIsDir(path); !st.ok()) co_return st;
   auto created =
       co_await zk_.Create(ZnodePath(path), MetaRecord::Dir(mode).Encode());
+  // Invalidate even on failure: kAlreadyExists refutes a cached negative.
+  InvalidateAfterMutation(path);
   if (!created.ok()) co_return Status(MapZkCode(created.code()), path);
   co_return Status::Ok();
 }
@@ -206,10 +263,9 @@ sim::Task<Status> DufsClient::Rmdir(std::string path) {
   if (lookup->record.type != FileType::kDirectory) {
     co_return Status(StatusCode::kNotADirectory, path);
   }
-  const std::string znode = ZnodePath(path);
-  auto st = co_await zk_.Delete(znode);
+  auto st = co_await zk_.Delete(ZnodePath(path));
+  InvalidateAfterMutation(path, /*subtree=*/true);
   if (!st.ok()) co_return Status(MapZkCode(st.code()), path);
-  known_dirs_.erase(znode);
   co_return Status::Ok();
 }
 
@@ -219,19 +275,33 @@ sim::Task<Result<FileAttr>> DufsClient::Create(std::string path,
   if (auto st = co_await CheckParentIsDir(path); !st.ok()) co_return st;
 
   const Fid fid = NextFid();
-  auto created = co_await zk_.Create(ZnodePath(path),
-                                     MetaRecord::File(fid, mode).Encode());
-  if (!created.ok()) co_return Status(MapZkCode(created.code()), path);
-
   std::uint32_t backend = 0;
   auto& fs = BackendFor(fid, &backend);
-  if (auto st = co_await EnsurePhysicalDirs(backend, fid); !st.ok()) {
+
+  // Overlap the znode create with physical-directory preparation: they are
+  // independent, and the skeleton dirs are shared and idempotent, so there
+  // is nothing to roll back if the znode create loses.
+  auto create_znode = [](DufsClient& self, std::string znode, Fid f,
+                         vfs::Mode m) -> sim::Task<Status> {
+    auto created =
+        co_await self.zk_.Create(std::move(znode), MetaRecord::File(f, m).Encode());
+    co_return created.status();
+  };
+  std::vector<sim::Task<Status>> prep;
+  prep.push_back(create_znode(*this, ZnodePath(path), fid, mode));
+  prep.push_back(EnsurePhysicalDirs(backend, fid));
+  auto prep_sts = co_await sim::WhenAll(std::move(prep));
+  InvalidateAfterMutation(path);
+  if (!prep_sts[0].ok()) co_return Status(MapZkCode(prep_sts[0].code()), path);
+  if (!prep_sts[1].ok()) {
     (void)co_await zk_.Delete(ZnodePath(path));
-    co_return st;
+    InvalidateAfterMutation(path);
+    co_return prep_sts[1];
   }
   auto phys = co_await fs.Create(PhysicalPathForFid(fid), mode);
   if (!phys.ok() && phys.code() != StatusCode::kAlreadyExists) {
     (void)co_await zk_.Delete(ZnodePath(path));  // roll back the znode
+    InvalidateAfterMutation(path);
     co_return phys.status();
   }
 
@@ -243,22 +313,26 @@ sim::Task<Result<FileAttr>> DufsClient::Create(std::string path,
 }
 
 sim::Task<Status> DufsClient::Unlink(std::string path) {
-  auto lookup = co_await LookupPath(path);
-  if (!lookup.ok()) co_return lookup.status();
-  if (lookup->record.type == FileType::kDirectory) {
-    co_return Status(StatusCode::kIsADirectory, path);
+  for (int attempt = 0; attempt <= config_.race_retries; ++attempt) {
+    auto lookup = co_await LookupPath(path);
+    if (!lookup.ok()) co_return lookup.status();
+    if (lookup->record.type == FileType::kDirectory) {
+      co_return Status(StatusCode::kIsADirectory, path);
+    }
+    auto st = co_await zk_.Delete(ZnodePath(path), lookup->stat.version);
+    InvalidateAfterMutation(path);
+    if (st.code() == StatusCode::kBadVersion) {
+      continue;  // stale version (possibly from cache); re-resolve and retry
+    }
+    if (!st.ok()) co_return Status(MapZkCode(st.code()), path);
+    if (lookup->record.type == FileType::kRegular) {
+      auto& fs = BackendFor(lookup->record.fid);
+      auto phys = co_await fs.Unlink(PhysicalPathForFid(lookup->record.fid));
+      if (!phys.ok() && phys.code() != StatusCode::kNotFound) co_return phys;
+    }
+    co_return Status::Ok();
   }
-  auto st = co_await zk_.Delete(ZnodePath(path), lookup->stat.version);
-  if (st.code() == StatusCode::kBadVersion) {
-    co_return Status(StatusCode::kConflict, path);
-  }
-  if (!st.ok()) co_return Status(MapZkCode(st.code()), path);
-  if (lookup->record.type == FileType::kRegular) {
-    auto& fs = BackendFor(lookup->record.fid);
-    auto phys = co_await fs.Unlink(PhysicalPathForFid(lookup->record.fid));
-    if (!phys.ok() && phys.code() != StatusCode::kNotFound) co_return phys;
-  }
-  co_return Status::Ok();
+  co_return Status(StatusCode::kConflict, path);
 }
 
 sim::Task<Result<std::vector<vfs::DirEntry>>> DufsClient::ReadDir(
@@ -270,17 +344,26 @@ sim::Task<Result<std::vector<vfs::DirEntry>>> DufsClient::ReadDir(
   }
   auto children = co_await zk_.GetChildren(ZnodePath(path));
   if (!children.ok()) co_return Status(MapZkCode(children.code()), path);
+  // Child type requires its record; ZooKeeper returns names only. The FUSE
+  // readdir contract only needs types opportunistically, so probe through
+  // the (cheap, local-read) Get — all children concurrently, bounded by the
+  // fan-out knob, so a K-entry listing costs ~1 RTT instead of K.
+  auto child_type = [](DufsClient& self,
+                       std::string child_path) -> sim::Task<FileType> {
+    auto child = co_await self.LookupPath(std::move(child_path));
+    co_return child.ok() ? child->record.type : FileType::kRegular;
+  };
+  std::vector<sim::Task<FileType>> probes;
+  probes.reserve(children->size());
+  for (const auto& name : *children) {
+    probes.push_back(child_type(
+        *this, path == "/" ? "/" + name : path + "/" + name));
+  }
+  auto types = co_await sim::WhenAll(std::move(probes), config_.lookup_fanout);
   std::vector<vfs::DirEntry> entries;
   entries.reserve(children->size());
-  for (auto& name : *children) {
-    // Child type requires its record; ZooKeeper returns names only. The
-    // FUSE readdir contract only needs types opportunistically, so probe
-    // through the (cheap, local-read) Get.
-    std::string child_path = path == "/" ? "/" + name : path + "/" + name;
-    auto child = co_await LookupPath(std::move(child_path));
-    entries.push_back(
-        {std::move(name),
-         child.ok() ? child->record.type : FileType::kRegular});
+  for (std::size_t i = 0; i < children->size(); ++i) {
+    entries.push_back({std::move((*children)[i]), types[i]});
   }
   co_return entries;
 }
@@ -305,6 +388,9 @@ sim::Task<Status> DufsClient::RenameSubtree(const std::string& from,
   }
 
   // Collect the subtree breadth-first so creates are parent-before-child.
+  // Each BFS level fans out: one parallel wave of GetChildren over the
+  // level's directories, then one parallel wave of Gets over all their
+  // children — subtree depth, not size, bounds the round-trip count.
   struct NodeCopy {
     std::string rel;  // "" for the root of the subtree
     std::vector<std::uint8_t> data;
@@ -312,25 +398,42 @@ sim::Task<Status> DufsClient::RenameSubtree(const std::string& from,
   };
   std::vector<NodeCopy> nodes;
   nodes.push_back({"", src.record.Encode(), src.stat.version});
-  std::deque<std::string> frontier{""};
-  while (!frontier.empty()) {
-    const std::string rel = std::move(frontier.front());
-    frontier.pop_front();
-    const std::string abs = from + rel;
-    auto children = co_await zk_.GetChildren(ZnodePath(abs));
-    if (!children.ok()) co_return Status(MapZkCode(children.code()), abs);
-    for (const auto& name : *children) {
-      const std::string child_rel = rel + "/" + name;
-      auto child = co_await zk_.Get(ZnodePath(from + child_rel));
-      if (!child.ok()) co_return Status(StatusCode::kConflict, from);
-      nodes.push_back({child_rel, child->data, child->stat.version});
-      if (nodes.size() > config_.dir_rename_limit) {
-        co_return Status(StatusCode::kCrossDevice,
-                         "directory rename exceeds atomic-move limit");
+  std::vector<std::string> level{""};  // directory rels at the current depth
+  while (!level.empty()) {
+    std::vector<sim::Task<Result<std::vector<std::string>>>> list_tasks;
+    list_tasks.reserve(level.size());
+    for (const auto& rel : level) {
+      list_tasks.push_back(zk_.GetChildren(ZnodePath(from + rel)));
+    }
+    auto lists =
+        co_await sim::WhenAll(std::move(list_tasks), config_.lookup_fanout);
+    std::vector<std::string> child_rels;
+    for (std::size_t d = 0; d < level.size(); ++d) {
+      if (!lists[d].ok()) {
+        co_return Status(MapZkCode(lists[d].code()), from + level[d]);
       }
-      auto rec = MetaRecord::Decode(child->data);
+      for (const auto& name : *lists[d]) {
+        child_rels.push_back(level[d] + "/" + name);
+      }
+    }
+    if (nodes.size() + child_rels.size() > config_.dir_rename_limit) {
+      co_return Status(StatusCode::kCrossDevice,
+                       "directory rename exceeds atomic-move limit");
+    }
+    std::vector<sim::Task<Result<zk::OpResult>>> get_tasks;
+    get_tasks.reserve(child_rels.size());
+    for (const auto& rel : child_rels) {
+      get_tasks.push_back(zk_.Get(ZnodePath(from + rel)));
+    }
+    auto gets =
+        co_await sim::WhenAll(std::move(get_tasks), config_.lookup_fanout);
+    level.clear();
+    for (std::size_t i = 0; i < child_rels.size(); ++i) {
+      if (!gets[i].ok()) co_return Status(StatusCode::kConflict, from);
+      nodes.push_back({child_rels[i], gets[i]->data, gets[i]->stat.version});
+      auto rec = MetaRecord::Decode(gets[i]->data);
       if (rec.ok() && rec->type == FileType::kDirectory) {
-        frontier.push_back(child_rel);
+        level.push_back(child_rels[i]);
       }
     }
   }
@@ -350,8 +453,11 @@ sim::Task<Status> DufsClient::RenameSubtree(const std::string& from,
     ops.push_back(zk::Op::Delete(ZnodePath(from + it->rel), it->version));
   }
   auto multi = co_await zk_.Multi(std::move(ops));
+  // Invalidate both subtrees regardless of outcome: a failed multi means a
+  // competing mutation, so cached copies under either root are suspect.
+  InvalidateAfterMutation(from, /*subtree=*/true);
+  InvalidateAfterMutation(to, /*subtree=*/true);
   if (!multi.ok()) co_return Status(MapZkCode(multi.code()), from);
-  for (const auto& n : nodes) known_dirs_.erase(ZnodePath(from + n.rel));
   co_return Status::Ok();
 }
 
@@ -371,8 +477,9 @@ sim::Task<Status> DufsClient::Rename(std::string from, std::string to) {
     if (src->record.type == FileType::kDirectory) {
       auto st = co_await RenameSubtree(from, to, *src);
       if (st.code() == StatusCode::kConflict ||
-          st.code() == StatusCode::kBadVersion) {
-        continue;
+          st.code() == StatusCode::kBadVersion ||
+          st.code() == StatusCode::kAlreadyExists) {
+        continue;  // lost a race (or served a stale cached dst); retry fresh
       }
       co_return st;
     }
@@ -396,6 +503,8 @@ sim::Task<Status> DufsClient::Rename(std::string from, std::string to) {
     ops.push_back(zk::Op::Delete(ZnodePath(from), src->stat.version));
 
     auto multi = co_await zk_.Multi(std::move(ops));
+    InvalidateAfterMutation(from);
+    InvalidateAfterMutation(to);
     if (multi.ok()) {
       if (!replaced_fid.IsNull()) {
         auto& fs = BackendFor(replaced_fid);
@@ -406,7 +515,7 @@ sim::Task<Status> DufsClient::Rename(std::string from, std::string to) {
     if (multi.code() == StatusCode::kBadVersion ||
         multi.code() == StatusCode::kAlreadyExists ||
         multi.code() == StatusCode::kNotFound) {
-      continue;  // lost a race; re-resolve and retry
+      continue;  // lost a race; re-resolve (cache dropped above) and retry
     }
     co_return Status(MapZkCode(multi.code()), from);
   }
@@ -421,6 +530,7 @@ sim::Task<Status> DufsClient::Chmod(std::string path, vfs::Mode mode) {
     record.mode = mode;
     auto st = co_await zk_.Set(ZnodePath(path), record.Encode(),
                                lookup->stat.version);
+    if (config_.enable_meta_cache) meta_cache_.Invalidate(ZnodePath(path));
     if (st.ok()) co_return Status::Ok();
     if (st.code() != StatusCode::kBadVersion) {
       co_return Status(MapZkCode(st.code()), path);
@@ -444,6 +554,7 @@ sim::Task<Status> DufsClient::Utimens(std::string path, std::int64_t atime,
   record.mtime_override = mtime;
   auto st = co_await zk_.Set(ZnodePath(path), record.Encode(),
                              lookup->stat.version);
+  if (config_.enable_meta_cache) meta_cache_.Invalidate(ZnodePath(path));
   if (!st.ok()) co_return Status(MapZkCode(st.code()), path);
   co_return Status::Ok();
 }
@@ -465,6 +576,7 @@ sim::Task<Status> DufsClient::Symlink(std::string target,
   if (auto st = co_await CheckParentIsDir(link_path); !st.ok()) co_return st;
   auto created = co_await zk_.Create(
       ZnodePath(link_path), MetaRecord::Symlink(std::move(target)).Encode());
+  InvalidateAfterMutation(link_path);
   if (!created.ok()) co_return Status(MapZkCode(created.code()), link_path);
   co_return Status::Ok();
 }
@@ -550,9 +662,12 @@ sim::Task<Result<std::uint64_t>> DufsClient::Write(vfs::FileHandle handle,
 }
 
 sim::Task<Result<vfs::FsStats>> DufsClient::StatFs() {
+  std::vector<sim::Task<Result<vfs::FsStats>>> tasks;
+  tasks.reserve(backends_.size());
+  for (auto* backend : backends_) tasks.push_back(backend->StatFs());
+  auto all = co_await sim::WhenAll(std::move(tasks), config_.lookup_fanout);
   vfs::FsStats total;
-  for (auto* backend : backends_) {
-    auto stats = co_await backend->StatFs();
+  for (const auto& stats : all) {
     if (!stats.ok()) co_return stats.status();
     total.total_bytes += stats->total_bytes;
     total.free_bytes += stats->free_bytes;
@@ -563,8 +678,8 @@ sim::Task<Result<vfs::FsStats>> DufsClient::StatFs() {
 
 std::size_t DufsClient::EstimateMemoryBytes() const {
   constexpr std::size_t kFixed = 3 * 1024 * 1024;  // process + FUSE channel
-  return kFixed + known_dirs_.size() * 96 + known_phys_dirs_.size() * 96 +
-         open_files_.size() * 48;
+  return kFixed + meta_cache_.EstimateMemoryBytes() +
+         known_phys_dirs_.size() * 96 + open_files_.size() * 48;
 }
 
 }  // namespace dufs::core

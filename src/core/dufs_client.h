@@ -23,6 +23,7 @@
 #include <unordered_set>
 
 #include "core/mapping.h"
+#include "core/meta_cache.h"
 #include "core/meta_schema.h"
 #include "core/physical_path.h"
 #include "vfs/filesystem.h"
@@ -38,6 +39,15 @@ struct DufsConfig {
   std::size_t dir_rename_limit = 256;
   // Retries for optimistic multi-op races (rename vs concurrent mutation).
   int race_retries = 3;
+  // --- metadata fast path (DESIGN.md "Metadata fast path") ---------------
+  // Client metadata cache: positive attr/dentry + negative lookups, kept
+  // coherent by one-shot ZooKeeper watches + own-write invalidation.
+  bool enable_meta_cache = true;
+  MetaCacheConfig meta_cache;
+  // Concurrent ZooKeeper/back-end requests per fan-out operation (ReadDir
+  // child lookups, rename subtree reads, format). 1 = fully serial (the
+  // pre-fast-path behavior, kept for ablation).
+  std::size_t lookup_fanout = 32;
 };
 
 class DufsClient : public vfs::FileSystem {
@@ -62,6 +72,7 @@ class DufsClient : public vfs::FileSystem {
   const DufsConfig& config() const { return config_; }
   PlacementPolicy& placement() { return *placement_; }
   std::size_t backend_count() const { return backends_.size(); }
+  const MetaCache& meta_cache() const { return meta_cache_; }
 
   // Client-resident memory (Fig. 11): caches + fd table, bounded.
   std::size_t EstimateMemoryBytes() const;
@@ -109,14 +120,22 @@ class DufsClient : public vfs::FileSystem {
   Fid NextFid();
   vfs::FileSystem& BackendFor(const Fid& fid, std::uint32_t* index = nullptr);
 
-  // Reads a path's MetaRecord (+ znode stat/version).
+  // Reads a path's MetaRecord (+ znode stat/version). Served from the
+  // metadata cache when possible; a miss fetches with a one-shot data watch
+  // so the cached copy is invalidated on any remote mutation.
   struct Lookup {
     MetaRecord record;
     zk::ZnodeStat stat;
   };
   sim::Task<Result<Lookup>> LookupPath(std::string virtual_path);
 
-  // Fast parent-is-a-directory check with a positive-result cache (FUSE's
+  // Own-write invalidation: drops `virtual_path` (and, when `subtree`, all
+  // cached descendants) plus the parent's cached attr (child count/mtime
+  // change with every namespace mutation).
+  void InvalidateAfterMutation(const std::string& virtual_path,
+                               bool subtree = false);
+
+  // Fast parent-is-a-directory check through the metadata cache (FUSE's
   // dentry cache plays this role in the paper's prototype).
   sim::Task<Status> CheckParentIsDir(const std::string& virtual_path);
 
@@ -135,7 +154,7 @@ class DufsClient : public vfs::FileSystem {
   std::unique_ptr<PlacementPolicy> placement_;
   std::uint64_t client_id_ = 0;
   std::uint64_t fid_counter_ = 0;
-  std::unordered_set<std::string> known_dirs_;       // znode paths
+  MetaCache meta_cache_;  // keyed by znode path
   std::unordered_set<std::string> known_phys_dirs_;  // "<backend>:<dir>"
   std::unordered_map<vfs::FileHandle, OpenState> open_files_;
   vfs::FileHandle next_handle_ = 1;

@@ -1,0 +1,116 @@
+#include "core/meta_cache.h"
+
+namespace dufs::core {
+
+namespace {
+
+// Approximate resident bytes for one entry: key string + record payload +
+// list/map node overhead (measured-ish, same spirit as zk memory model).
+std::size_t EntryBytes(const std::string& path, const MetaCache::Entry& e) {
+  constexpr std::size_t kNodeOverhead = 96;  // list node + hash slot + Entry
+  return kNodeOverhead + path.size() +
+         (e.negative ? 0 : e.record.symlink_target.size());
+}
+
+}  // namespace
+
+MetaCache::MetaCache(sim::Simulation& sim, MetaCacheConfig config)
+    : sim_(sim), config_(config) {
+  DUFS_CHECK(config_.capacity > 0);
+}
+
+const MetaCache::Entry* MetaCache::Lookup(const std::string& path) {
+  auto it = map_.find(path);
+  if (it == map_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  if (config_.ttl > 0 &&
+      sim_.now() - it->second->second.inserted > config_.ttl) {
+    ++stats_.expirations;
+    ++stats_.misses;
+    EraseIt(it);
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+  const Entry& entry = it->second->second;
+  if (entry.negative) {
+    ++stats_.negative_hits;
+  } else {
+    ++stats_.hits;
+  }
+  return &entry;
+}
+
+void MetaCache::Put(const std::string& path, Entry entry) {
+  entry.inserted = sim_.now();
+  auto it = map_.find(path);
+  if (it != map_.end()) {
+    bytes_ -= EntryBytes(path, it->second->second);
+    it->second->second = std::move(entry);
+    bytes_ += EntryBytes(path, it->second->second);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  while (map_.size() >= config_.capacity) {
+    ++stats_.evictions;
+    EraseIt(map_.find(lru_.back().first));
+  }
+  lru_.emplace_front(path, std::move(entry));
+  bytes_ += EntryBytes(path, lru_.front().second);
+  map_.emplace(path, lru_.begin());
+}
+
+void MetaCache::PutPositive(const std::string& path, MetaRecord record,
+                            zk::ZnodeStat stat) {
+  Entry entry;
+  entry.record = std::move(record);
+  entry.stat = stat;
+  Put(path, std::move(entry));
+}
+
+void MetaCache::PutNegative(const std::string& path) {
+  if (!config_.negative_entries) return;
+  Entry entry;
+  entry.negative = true;
+  Put(path, std::move(entry));
+}
+
+void MetaCache::Invalidate(const std::string& path) {
+  auto it = map_.find(path);
+  if (it == map_.end()) return;
+  ++stats_.invalidations;
+  EraseIt(it);
+}
+
+void MetaCache::InvalidateSubtree(const std::string& path) {
+  Invalidate(path);
+  const std::string prefix = path + "/";
+  for (auto it = map_.begin(); it != map_.end();) {
+    if (it->first.rfind(prefix, 0) == 0) {
+      ++stats_.invalidations;
+      auto victim = it++;
+      EraseIt(victim);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void MetaCache::Clear() {
+  lru_.clear();
+  map_.clear();
+  bytes_ = 0;
+}
+
+std::size_t MetaCache::EstimateMemoryBytes() const { return bytes_; }
+
+void MetaCache::EraseIt(
+    std::unordered_map<std::string, LruList::iterator>::iterator it) {
+  DUFS_CHECK(it != map_.end());
+  bytes_ -= EntryBytes(it->first, it->second->second);
+  lru_.erase(it->second);
+  map_.erase(it);
+}
+
+}  // namespace dufs::core

@@ -14,6 +14,7 @@ Testbed::Testbed(TestbedConfig config) : config_(std::move(config)) {
   }
   zk_config_.servers = zk_nodes_;
   zk_config_.perf = config_.zk_perf;
+  zk_config_.group_commit = config_.zk_group_commit;
   zk_config_.enable_failure_detection = config_.zk_failure_detection;
   for (std::size_t i = 0; i < config_.zk_servers; ++i) {
     zk_endpoints_.push_back(
@@ -146,7 +147,7 @@ Testbed::Testbed(TestbedConfig config) : config_(std::move(config)) {
       backends.push_back(mount.get());
     }
 
-    core::DufsConfig dufs_config;
+    core::DufsConfig dufs_config = config_.dufs;
     dufs_config.placement = config_.placement;
     client->dufs = std::make_unique<core::DufsClient>(
         *client->zk, std::move(backends), dufs_config);

@@ -1,0 +1,130 @@
+// Structured concurrency for the simulator: WhenAll launches a set of child
+// tasks concurrently and resumes the awaiting coroutine once every child has
+// finished.
+//
+//   std::vector<sim::Task<Result<Foo>>> tasks;
+//   for (...) tasks.push_back(FetchOne(...));
+//   std::vector<Result<Foo>> results = co_await sim::WhenAll(std::move(tasks));
+//
+// * Results come back in input order, one per task.
+// * `limit` bounds the number of children in flight (0 = all at once); the
+//   remaining tasks start as earlier ones complete, preserving result order.
+// * Exceptions: every child runs to completion (or teardown); the first
+//   exception thrown by any child is rethrown from the WhenAll await after
+//   all children have settled. Status/Result errors are ordinary values.
+// * Teardown: children run as detached frames registered with the
+//   Simulation, so Simulation::Shutdown() reclaims any child still
+//   suspended mid-gather; shared state is refcounted and never dangles.
+#pragma once
+
+#include <cstddef>
+#include <exception>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/log.h"
+#include "sim/future.h"
+#include "sim/task.h"
+
+namespace dufs::sim {
+
+namespace internal {
+
+template <typename T>
+struct GatherState {
+  std::vector<Task<T>> tasks;
+  std::vector<std::optional<T>> results;
+  std::size_t next = 0;       // next task index to start
+  std::size_t remaining = 0;  // tasks not yet finished
+  std::exception_ptr first_exception;
+  Promise<bool> done;
+};
+
+template <>
+struct GatherState<void> {
+  std::vector<Task<void>> tasks;
+  std::size_t next = 0;
+  std::size_t remaining = 0;
+  std::exception_ptr first_exception;
+  Promise<bool> done;
+};
+
+// One worker drains task indices in order; `workers` of them run
+// concurrently, so at most `workers` children are in flight.
+template <typename T>
+Task<void> GatherWorker(std::shared_ptr<GatherState<T>> st) {
+  while (st->next < st->tasks.size()) {
+    const std::size_t i = st->next++;
+    try {
+      if constexpr (std::is_void_v<T>) {
+        co_await std::move(st->tasks[i]);
+      } else {
+        st->results[i].emplace(co_await std::move(st->tasks[i]));
+      }
+    } catch (...) {
+      if (!st->first_exception) {
+        st->first_exception = std::current_exception();
+      }
+    }
+    if (--st->remaining == 0) st->done.Set(true);
+  }
+}
+
+}  // namespace internal
+
+template <typename T>
+Task<std::vector<T>> WhenAll(std::vector<Task<T>> tasks,
+                             std::size_t limit = 0) {
+  if (tasks.empty()) co_return std::vector<T>{};
+  Simulation* sim = Simulation::Current();
+  DUFS_CHECK(sim != nullptr);
+
+  auto st = std::make_shared<internal::GatherState<T>>();
+  st->tasks = std::move(tasks);
+  st->results.resize(st->tasks.size());
+  st->remaining = st->tasks.size();
+  auto [future, promise] = MakeFuture<bool>(*sim);
+  st->done = promise;
+
+  const std::size_t workers =
+      limit == 0 ? st->tasks.size() : std::min(limit, st->tasks.size());
+  for (std::size_t w = 0; w < workers; ++w) {
+    sim->Spawn(internal::GatherWorker<T>(st));
+  }
+  co_await std::move(future);
+
+  if (st->first_exception) std::rethrow_exception(st->first_exception);
+  std::vector<T> out;
+  out.reserve(st->results.size());
+  for (auto& r : st->results) {
+    DUFS_CHECK(r.has_value());
+    out.push_back(std::move(*r));
+  }
+  co_return out;
+}
+
+// void specialization: await completion of every task, no results.
+inline Task<void> WhenAll(std::vector<Task<void>> tasks,
+                          std::size_t limit = 0) {
+  if (tasks.empty()) co_return;
+  Simulation* sim = Simulation::Current();
+  DUFS_CHECK(sim != nullptr);
+
+  auto st = std::make_shared<internal::GatherState<void>>();
+  st->tasks = std::move(tasks);
+  st->remaining = st->tasks.size();
+  auto [future, promise] = MakeFuture<bool>(*sim);
+  st->done = promise;
+
+  const std::size_t workers =
+      limit == 0 ? st->tasks.size() : std::min(limit, st->tasks.size());
+  for (std::size_t w = 0; w < workers; ++w) {
+    sim->Spawn(internal::GatherWorker<void>(st));
+  }
+  co_await std::move(future);
+  if (st->first_exception) std::rethrow_exception(st->first_exception);
+}
+
+}  // namespace dufs::sim

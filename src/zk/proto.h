@@ -24,6 +24,10 @@ inline constexpr std::uint16_t kRequest = 101;      // client -> server
 inline constexpr std::uint16_t kForward = 110;      // follower -> leader
 inline constexpr std::uint16_t kPropose = 111;      // leader -> follower
 inline constexpr std::uint16_t kAckProposal = 112;  // follower -> leader
+// Group-commit fast path: one PROPOSE carrying a contiguous zxid run, one
+// cumulative ACK per batch (see ZkEnsembleConfig::group_commit).
+inline constexpr std::uint16_t kBatchPropose = 104; // leader -> follower
+inline constexpr std::uint16_t kBatchAck = 105;     // follower -> leader
 inline constexpr std::uint16_t kCommit = 113;       // leader -> all (one-way)
 inline constexpr std::uint16_t kElectionVote = 114; // peer -> peer (one-way)
 inline constexpr std::uint16_t kFollowerInfo = 115; // follower -> leader

@@ -35,9 +35,53 @@ struct ProposeMsg {
   }
 };
 
+// A contiguous run of sequenced proposals shipped as one message (group
+// commit). The follower journals the run with one fsync and ACKs the whole
+// [lo, hi] zxid range back.
+struct BatchProposeMsg {
+  std::int64_t epoch;
+  std::vector<std::pair<Zxid, Txn>> entries;
+
+  net::Payload Encode() const {
+    wire::BufferWriter w;
+    w.WriteI64(epoch);
+    w.WriteVarint(entries.size());
+    for (const auto& [zxid, txn] : entries) {
+      w.WriteI64(zxid);
+      txn.Encode(w);
+    }
+    return w.Take();
+  }
+  static Result<BatchProposeMsg> Decode(const net::Payload& bytes) {
+    wire::BufferReader r(bytes);
+    BatchProposeMsg m;
+    auto epoch = r.ReadI64();
+    DUFS_RETURN_IF_ERROR(epoch);
+    m.epoch = *epoch;
+    auto count = r.ReadVarint();
+    DUFS_RETURN_IF_ERROR(count);
+    m.entries.reserve(*count);
+    for (std::uint64_t i = 0; i < *count; ++i) {
+      auto zxid = r.ReadI64();
+      DUFS_RETURN_IF_ERROR(zxid);
+      auto txn = Txn::Decode(r);
+      DUFS_RETURN_IF_ERROR(txn);
+      m.entries.emplace_back(*zxid, std::move(*txn));
+    }
+    return m;
+  }
+};
+
 net::Payload EncodeZxid(Zxid zxid) {
   wire::BufferWriter w;
   w.WriteI64(zxid);
+  return w.Take();
+}
+
+net::Payload EncodeZxidRange(Zxid lo, Zxid hi) {
+  wire::BufferWriter w;
+  w.WriteI64(lo);
+  w.WriteI64(hi);
   return w.Take();
 }
 
@@ -140,6 +184,10 @@ void ZkServer::Start() {
   endpoint_.RegisterHandler(method::kForward, bind(&ZkServer::HandleForward));
   endpoint_.RegisterHandler(method::kPropose, bind(&ZkServer::HandlePropose));
   endpoint_.RegisterHandler(method::kAckProposal, bind(&ZkServer::HandleAck));
+  endpoint_.RegisterHandler(method::kBatchPropose,
+                            bind(&ZkServer::HandleBatchPropose));
+  endpoint_.RegisterHandler(method::kBatchAck,
+                            bind(&ZkServer::HandleBatchAck));
   endpoint_.RegisterHandler(method::kCommit, bind(&ZkServer::HandleCommit));
   endpoint_.RegisterHandler(method::kFollowerInfo,
                             bind(&ZkServer::HandleFollowerInfo));
@@ -186,6 +234,9 @@ void ZkServer::OnRestart() {
   // Volatile replication state is gone; the Database reflects the journal
   // replay (RestoreSnapshot). Rejoin by looking for the current leader.
   proposals_.clear();
+  propose_queue_.clear();
+  flush_scheduled_ = false;
+  journal_pending_ = 0;
   pending_txns_.clear();
   committed_not_applied_.clear();
   apply_waiters_.clear();
@@ -302,12 +353,27 @@ sim::Task<Result<ClientResponse>> ZkServer::SubmitWriteTracked(Txn txn,
       // limiter and the reason Fig. 7's write curves fall as servers are
       // added.
       auto guard = co_await write_pipeline_->Acquire();
-      const auto peers =
-          static_cast<sim::Duration>(config_.servers.size() - 1);
-      co_await endpoint_.sim().Delay(config_.perf.write_cpu +
-                                     peers * config_.perf.per_peer_cpu);
+      if (config_.group_commit) {
+        // Group commit: the per-op stage pays only the serialization cost
+        // and assigns the zxid under the guard (preserving order); the
+        // per-follower replication work is paid once per batch by the
+        // flush task, which queues behind the submitters on this pipeline.
+        co_await endpoint_.sim().Delay(config_.perf.write_cpu);
+        zxid = MakeZxid();
+        txn.time = endpoint_.sim().now();
+        propose_queue_.emplace_back(zxid, std::move(txn));
+      } else {
+        const auto peers =
+            static_cast<sim::Duration>(config_.servers.size() - 1);
+        co_await endpoint_.sim().Delay(config_.perf.write_cpu +
+                                       peers * config_.perf.per_peer_cpu);
+      }
     }
-    zxid = ProposeAsLeader(std::move(txn));
+    if (config_.group_commit) {
+      ScheduleProposalFlush();
+    } else {
+      zxid = ProposeAsLeader(std::move(txn));
+    }
     result_wanted_.insert(zxid);
     const bool applied = co_await WaitApplied(zxid);
     if (!applied) {
@@ -387,6 +453,91 @@ Zxid ZkServer::ProposeAsLeader(Txn txn) {
   return zxid;
 }
 
+void ZkServer::ScheduleProposalFlush() {
+  if (flush_scheduled_) return;
+  flush_scheduled_ = true;
+  sim::CurrentSimulationScope scope(&endpoint_.sim());
+  endpoint_.sim().Spawn(FlushProposalQueue());
+}
+
+// Drains propose_queue_ in batches. The batching window is implicit: the
+// flush task queues on the write pipeline *behind* every submitter that is
+// currently sequencing, so one wave picks up everything that accumulated
+// while the previous wave was broadcasting (classic group commit, same
+// shape as JournalLoop below).
+sim::Task<void> ZkServer::FlushProposalQueue() {
+  const std::uint64_t incarnation = endpoint_.node().incarnation();
+  while (!propose_queue_.empty()) {
+    if (endpoint_.node().incarnation() != incarnation) co_return;
+    if (role_ != Role::kLeading || !endpoint_.node().up()) {
+      // Deposed or crashed mid-queue: abandon — submitters time out and
+      // their clients retry against the new leader.
+      propose_queue_.clear();
+      break;
+    }
+    // Pace quorum rounds to journal-fsync cycles (classic group commit):
+    // while the previous round's disk sync is in flight, submitters keep
+    // sequencing onto the queue, so each fsync carries one big batch
+    // instead of many tiny ones. No fsync in flight -> no added latency.
+    while (journal_pending_ > 0) {
+      co_await endpoint_.sim().Delay(sim::Us(200));
+      if (endpoint_.node().incarnation() != incarnation) co_return;
+    }
+    if (role_ != Role::kLeading || !endpoint_.node().up()) continue;
+    auto guard = co_await write_pipeline_->Acquire();
+    if (endpoint_.node().incarnation() != incarnation) co_return;
+    if (propose_queue_.empty()) break;
+    const std::size_t n =
+        std::min(propose_queue_.size(), config_.perf.max_journal_batch);
+    std::vector<std::pair<Zxid, Txn>> batch(
+        std::make_move_iterator(propose_queue_.begin()),
+        std::make_move_iterator(propose_queue_.begin() +
+                                static_cast<std::ptrdiff_t>(n)));
+    propose_queue_.erase(propose_queue_.begin(),
+                         propose_queue_.begin() +
+                             static_cast<std::ptrdiff_t>(n));
+    ++batch_rounds_;
+    proposals_batched_ += n;
+    // Per-follower replication bookkeeping, amortized over the batch.
+    const auto peers = static_cast<sim::Duration>(config_.servers.size() - 1);
+    co_await endpoint_.sim().Delay(peers * config_.perf.per_peer_cpu);
+
+    BatchProposeMsg msg{epoch_, batch};
+    const auto payload = msg.Encode();
+    for (std::size_t i = 0; i < config_.servers.size(); ++i) {
+      if (i == my_index_) continue;
+      endpoint_.Notify(server_node(i), method::kBatchPropose, payload);
+    }
+
+    const Zxid lo = batch.front().first;
+    const Zxid hi = batch.back().first;
+    std::size_t total_bytes = 0;
+    for (auto& [zxid, txn] : batch) {
+      total_bytes += txn.EncodedSize();
+      pending_txns_.emplace(zxid, std::move(txn));
+      proposals_.emplace(zxid, Proposal{pending_txns_.at(zxid), {}, false});
+    }
+    MaybeScheduleRetransmit();
+
+    // Self-ack the whole run after one local group-commit fsync.
+    sim::CurrentSimulationScope scope(&endpoint_.sim());
+    endpoint_.sim().Spawn(
+        [](ZkServer& self, Zxid lo_z, Zxid hi_z,
+           std::size_t bytes) -> sim::Task<void> {
+          co_await self.JournalAppend(hi_z, bytes);
+          for (auto it = self.proposals_.lower_bound(lo_z);
+               it != self.proposals_.end() && it->first <= hi_z; ++it) {
+            it->second.acks.insert(self.endpoint_.self());
+          }
+          self.TryCommitInOrder();
+        }(*this, lo, hi, total_bytes));
+  }
+  flush_scheduled_ = false;
+  // A submitter may have enqueued between the last drain and the flag
+  // reset; make sure nothing is stranded.
+  if (!propose_queue_.empty()) ScheduleProposalFlush();
+}
+
 // Lost PROPOSE/ACK messages (partitions, crashes) must not wedge the commit
 // pipeline: while any proposal is outstanding, periodically re-broadcast
 // the head of the queue. The timer chain self-terminates when the queue
@@ -446,9 +597,61 @@ sim::Task<net::RpcResult> ZkServer::HandleAck(net::NodeId from,
   co_return net::Payload{};
 }
 
+sim::Task<net::RpcResult> ZkServer::HandleBatchPropose(net::NodeId from,
+                                                       net::Payload req) {
+  auto msg = BatchProposeMsg::Decode(req);
+  if (!msg.ok()) co_return msg.status();
+  if (msg->entries.empty()) co_return net::Payload{};
+  if (msg->epoch < epoch_) co_return Status(StatusCode::kConflict, "stale");
+  if (msg->epoch > epoch_) epoch_ = msg->epoch;
+
+  const Zxid lo = msg->entries.front().first;
+  const Zxid hi = msg->entries.back().first;
+  std::size_t fresh = 0;
+  for (auto& [zxid, txn] : msg->entries) {
+    // Retransmit handling: anything already journaled or applied is just
+    // re-acked by the range ACK below.
+    if (zxid <= db_->last_applied() || pending_txns_.count(zxid) > 0) {
+      continue;
+    }
+    pending_txns_.emplace(zxid, std::move(txn));
+    ++fresh;
+  }
+  if (fresh > 0) {
+    co_await endpoint_.node().Compute(
+        config_.perf.follower_txn_cpu * static_cast<sim::Duration>(fresh));
+    // One journal entry for the run: a single group-commit fsync covers
+    // the whole batch.
+    co_await JournalAppend(hi, req.size());
+  }
+  // Cumulative ACK: every zxid in [lo, hi] is durable here. The range is
+  // exact (never beyond what this message carried), so a lost earlier
+  // batch can not be acked by accident.
+  endpoint_.Notify(from, method::kBatchAck, EncodeZxidRange(lo, hi));
+  co_return net::Payload{};
+}
+
+sim::Task<net::RpcResult> ZkServer::HandleBatchAck(net::NodeId from,
+                                                   net::Payload req) {
+  wire::BufferReader r(req);
+  auto lo = r.ReadI64();
+  if (!lo.ok()) co_return lo.status();
+  auto hi = r.ReadI64();
+  if (!hi.ok()) co_return hi.status();
+  bool any = false;
+  for (auto it = proposals_.lower_bound(*lo);
+       it != proposals_.end() && it->first <= *hi; ++it) {
+    it->second.acks.insert(from);
+    any = true;
+  }
+  if (any) TryCommitInOrder();
+  co_return net::Payload{};
+}
+
 void ZkServer::TryCommitInOrder() {
   // Commit strictly in zxid order: the head proposal must reach quorum
   // before anything behind it commits.
+  bool committed_any = false;
   while (!proposals_.empty()) {
     auto it = proposals_.begin();
     // +1: the leader's own durability is counted by its self-ack entry, so
@@ -458,10 +661,14 @@ void ZkServer::TryCommitInOrder() {
     proposals_.erase(it);
     last_committed_ = zxid;
     ++writes_committed_;
-    BroadcastCommit(zxid);
+    committed_any = true;
+    if (!config_.group_commit) BroadcastCommit(zxid);
     committed_not_applied_.insert(zxid);
     ApplyCommitted();
   }
+  // Group commit: one COMMIT watermark for the whole quorumed run (the
+  // receiver treats it cumulatively).
+  if (config_.group_commit && committed_any) BroadcastCommit(last_committed_);
 }
 
 void ZkServer::AppendCommittedLog(Zxid zxid, Txn txn) {
@@ -485,6 +692,13 @@ sim::Task<net::RpcResult> ZkServer::HandleCommit(net::NodeId /*from*/,
   auto zxid = DecodeZxid(req);
   if (!zxid.ok()) co_return zxid.status();
   if (*zxid > last_committed_) last_committed_ = *zxid;
+  // Cumulative: the leader commits in zxid order, so a COMMIT for z means
+  // every pending proposal <= z is committed too (this is what lets the
+  // group-commit leader send one watermark per batch).
+  for (auto it = pending_txns_.begin();
+       it != pending_txns_.end() && it->first <= *zxid; ++it) {
+    committed_not_applied_.insert(it->first);
+  }
   committed_not_applied_.insert(*zxid);
   co_await endpoint_.node().Compute(config_.perf.apply_cpu);
   ApplyCommitted();
@@ -543,6 +757,7 @@ void ZkServer::CompleteApplyWaiters() {
 
 sim::Task<void> ZkServer::JournalAppend(Zxid zxid, std::size_t bytes) {
   auto [future, promise] = sim::MakeFuture<bool>(endpoint_.sim());
+  ++journal_pending_;
   journal_mb_->Send(JournalEntry{zxid, bytes, promise});
   co_await std::move(future);
 }
@@ -562,7 +777,10 @@ sim::Task<void> ZkServer::JournalLoop() {
     std::size_t total = 0;
     for (const auto& e : batch) total += e.bytes;
     co_await endpoint_.node().DiskWrite(total);  // one group-commit fsync
-    for (auto& e : batch) e.done.Set(true);
+    for (auto& e : batch) {
+      if (journal_pending_ > 0) --journal_pending_;
+      e.done.Set(true);
+    }
   }
 }
 
@@ -750,6 +968,7 @@ sim::Task<void> ZkServer::BecomeLeader() {
   // Abandon proposals from the previous epoch: their clients time out and
   // retry. Committed history is preserved.
   proposals_.clear();
+  propose_queue_.clear();
   DUFS_LOG(Info) << "server " << my_index_ << " leading epoch " << epoch_;
   if (config_.enable_failure_detection) {
     sim::CurrentSimulationScope scope(&endpoint_.sim());

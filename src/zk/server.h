@@ -46,6 +46,13 @@ struct ZkPerfModel {
 struct ZkEnsembleConfig {
   std::vector<net::NodeId> servers;
   ZkPerfModel perf;
+  // Leader group commit: coalesce concurrent write proposals into one
+  // quorum round (one batched PROPOSE, one cumulative ACK per follower,
+  // one COMMIT watermark), bounded by perf.max_journal_batch. The per-op
+  // write_cpu stays serialized; the per-follower replication work is paid
+  // once per batch. Off by default so the calibrated single-proposal
+  // pipeline stays bit-identical.
+  bool group_commit = false;
   bool enable_failure_detection = false;
   sim::Duration ping_interval = sim::Ms(40);
   sim::Duration election_timeout = sim::Ms(250);
@@ -88,6 +95,10 @@ class ZkServer {
 
   std::uint64_t reads_served() const { return reads_served_; }
   std::uint64_t writes_committed() const { return writes_committed_; }
+  // Group-commit telemetry (leader only): quorum rounds flushed and the
+  // proposals they carried; avg batch = proposals_batched / batch_rounds.
+  std::uint64_t batch_rounds() const { return batch_rounds_; }
+  std::uint64_t proposals_batched() const { return proposals_batched_; }
 
  private:
   struct Proposal {
@@ -107,6 +118,9 @@ class ZkServer {
   sim::Task<net::RpcResult> HandleForward(net::NodeId from, net::Payload req);
   sim::Task<net::RpcResult> HandlePropose(net::NodeId from, net::Payload req);
   sim::Task<net::RpcResult> HandleAck(net::NodeId from, net::Payload req);
+  sim::Task<net::RpcResult> HandleBatchPropose(net::NodeId from,
+                                               net::Payload req);
+  sim::Task<net::RpcResult> HandleBatchAck(net::NodeId from, net::Payload req);
   sim::Task<net::RpcResult> HandleCommit(net::NodeId from, net::Payload req);
   sim::Task<net::RpcResult> HandleFollowerInfo(net::NodeId from,
                                                net::Payload req);
@@ -121,6 +135,10 @@ class ZkServer {
   sim::Task<Result<ClientResponse>> SubmitWrite(Txn txn);
   sim::Task<Result<ClientResponse>> SubmitWriteTracked(Txn txn, Zxid& zxid);
   Zxid ProposeAsLeader(Txn txn);  // returns the assigned zxid
+  // Group-commit path: drains propose_queue_ in max_journal_batch-sized
+  // waves, paying the per-follower replication cost once per wave.
+  void ScheduleProposalFlush();
+  sim::Task<void> FlushProposalQueue();
   void TryCommitInOrder();
   void MaybeScheduleRetransmit();
   void AppendCommittedLog(Zxid zxid, Txn txn);
@@ -162,6 +180,10 @@ class ZkServer {
 
   // Leader state.
   std::map<Zxid, Proposal> proposals_;
+  // Sequenced-but-not-yet-broadcast writes awaiting the next group-commit
+  // wave (group_commit mode only; zxids are contiguous in queue order).
+  std::vector<std::pair<Zxid, Txn>> propose_queue_;
+  bool flush_scheduled_ = false;
   Zxid last_committed_ = 0;
   // Tail of the committed history (the on-disk log model) for syncing
   // lagging followers; bounded by config_.max_log_entries.
@@ -180,6 +202,10 @@ class ZkServer {
   std::unique_ptr<sim::Resource> read_pipeline_;
   std::unique_ptr<sim::Resource> write_pipeline_;
   std::unique_ptr<sim::Mailbox<JournalEntry>> journal_mb_;
+  // Journal entries submitted but not yet fsynced. The group-commit flush
+  // paces itself on this: while a disk sync is in flight, submitters keep
+  // sequencing and the next quorum round picks them all up at once.
+  std::size_t journal_pending_ = 0;
 
   // Watches: path -> (session, client node).
   using WatchSet = std::map<std::pair<SessionId, net::NodeId>, bool>;
@@ -208,6 +234,8 @@ class ZkServer {
 
   std::uint64_t reads_served_ = 0;
   std::uint64_t writes_committed_ = 0;
+  std::uint64_t batch_rounds_ = 0;
+  std::uint64_t proposals_batched_ = 0;
 };
 
 }  // namespace dufs::zk

@@ -1,0 +1,169 @@
+#include "sim/gather.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "common/status.h"
+#include "sim/task.h"
+
+namespace dufs::sim {
+namespace {
+
+Task<int> DelayedValue(Simulation& sim, Duration delay, int value) {
+  co_await sim.Delay(delay);
+  co_return value;
+}
+
+TEST(WhenAllTest, ResultsInInputOrderDespiteCompletionOrder) {
+  Simulation sim;
+  auto out = RunTask(sim, [](Simulation& s) -> Task<std::vector<int>> {
+    std::vector<Task<int>> tasks;
+    tasks.push_back(DelayedValue(s, 30, 1));  // finishes last
+    tasks.push_back(DelayedValue(s, 10, 2));  // finishes first
+    tasks.push_back(DelayedValue(s, 20, 3));
+    co_return co_await WhenAll(std::move(tasks));
+  }(sim));
+  EXPECT_EQ(out, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(WhenAllTest, ChildrenRunConcurrently) {
+  Simulation sim;
+  (void)RunTask(sim, [](Simulation& s) -> Task<std::vector<int>> {
+    std::vector<Task<int>> tasks;
+    for (int i = 0; i < 8; ++i) tasks.push_back(DelayedValue(s, 50, i));
+    co_return co_await WhenAll(std::move(tasks));
+  }(sim));
+  // All eight 50-tick children overlap: total elapsed = 50, not 400.
+  EXPECT_EQ(sim.now(), 50);
+}
+
+TEST(WhenAllTest, LimitBoundsConcurrency) {
+  Simulation sim;
+  (void)RunTask(sim, [](Simulation& s) -> Task<std::vector<int>> {
+    std::vector<Task<int>> tasks;
+    for (int i = 0; i < 8; ++i) tasks.push_back(DelayedValue(s, 50, i));
+    co_return co_await WhenAll(std::move(tasks), /*limit=*/2);
+  }(sim));
+  // Two in flight at a time: four waves of 50 ticks.
+  EXPECT_EQ(sim.now(), 200);
+}
+
+TEST(WhenAllTest, EmptyInputCompletesImmediately) {
+  Simulation sim;
+  auto out = RunTask(sim, [](Simulation&) -> Task<std::vector<int>> {
+    co_return co_await WhenAll(std::vector<Task<int>>{});
+  }(sim));
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(sim.now(), 0);
+}
+
+TEST(WhenAllTest, VoidOverloadJoinsAll) {
+  Simulation sim;
+  int done = 0;
+  RunTask(sim, [](Simulation& s, int& d) -> Task<void> {
+    std::vector<Task<void>> tasks;
+    for (int i = 0; i < 4; ++i) {
+      tasks.push_back([](Simulation& s2, int& d2, int delay) -> Task<void> {
+        co_await s2.Delay(delay);
+        ++d2;
+      }(s, d, 10 * (i + 1)));
+    }
+    co_await WhenAll(std::move(tasks));
+  }(sim, done));
+  EXPECT_EQ(done, 4);
+  EXPECT_EQ(sim.now(), 40);
+}
+
+TEST(WhenAllTest, StatusValuesPropagateAsResults) {
+  Simulation sim;
+  auto out = RunTask(sim, [](Simulation& s) -> Task<std::vector<Status>> {
+    std::vector<Task<Status>> tasks;
+    tasks.push_back([](Simulation& s2) -> Task<Status> {
+      co_await s2.Delay(5);
+      co_return Status(StatusCode::kNotFound, "a");
+    }(s));
+    tasks.push_back([](Simulation& s2) -> Task<Status> {
+      co_await s2.Delay(1);
+      co_return Status::Ok();
+    }(s));
+    co_return co_await WhenAll(std::move(tasks));
+  }(sim));
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].code(), StatusCode::kNotFound);
+  EXPECT_TRUE(out[1].ok());
+}
+
+TEST(WhenAllTest, ExceptionPropagatesAfterAllChildrenSettle) {
+  Simulation sim;
+  int survivors = 0;
+  bool caught = false;
+  RunTask(sim, [](Simulation& s, int& ok, bool& threw) -> Task<void> {
+    std::vector<Task<int>> tasks;
+    tasks.push_back([](Simulation& s2) -> Task<int> {
+      co_await s2.Delay(5);
+      throw std::runtime_error("boom");
+    }(s));
+    tasks.push_back([](Simulation& s2, int& ok2) -> Task<int> {
+      co_await s2.Delay(20);
+      ++ok2;
+      co_return 7;
+    }(s, ok));
+    try {
+      (void)co_await WhenAll(std::move(tasks));
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "boom");
+      threw = true;
+    }
+  }(sim, survivors, caught));
+  EXPECT_TRUE(caught);
+  // The sibling ran to completion before the exception was rethrown.
+  EXPECT_EQ(survivors, 1);
+  EXPECT_EQ(sim.now(), 20);
+}
+
+TEST(WhenAllTest, TeardownReclaimsSuspendedChildren) {
+  // A gather whose children never finish must be fully reclaimed by
+  // Simulation shutdown: no leaks (ASAN) and no touched-after-free state.
+  auto sim = std::make_unique<Simulation>();
+  {
+    CurrentSimulationScope scope(sim.get());
+    sim->Spawn([](Simulation& s) -> Task<void> {
+      std::vector<Task<int>> tasks;
+      for (int i = 0; i < 4; ++i) {
+        tasks.push_back(DelayedValue(s, kSimTimeMax / 2, i));
+      }
+      (void)co_await WhenAll(std::move(tasks));
+      ADD_FAILURE() << "gather should never complete";
+    }(*sim));
+  }
+  sim->Run(/*until=*/100);
+  EXPECT_GT(sim->live_detached_tasks(), 0u);
+  sim.reset();  // ~Simulation -> Shutdown destroys all suspended frames
+}
+
+TEST(WhenAllTest, NestedGathersCompose) {
+  Simulation sim;
+  auto out = RunTask(sim, [](Simulation& s) -> Task<std::vector<int>> {
+    auto inner = [](Simulation& s2, int base) -> Task<int> {
+      std::vector<Task<int>> tasks;
+      for (int i = 0; i < 3; ++i) {
+        tasks.push_back(DelayedValue(s2, 10, base + i));
+      }
+      auto vals = co_await WhenAll(std::move(tasks));
+      int sum = 0;
+      for (int v : vals) sum += v;
+      co_return sum;
+    };
+    std::vector<Task<int>> outer;
+    outer.push_back(inner(s, 0));    // 0+1+2
+    outer.push_back(inner(s, 100));  // 100+101+102
+    co_return co_await WhenAll(std::move(outer));
+  }(sim));
+  EXPECT_EQ(out, (std::vector<int>{3, 303}));
+  EXPECT_EQ(sim.now(), 10);
+}
+
+}  // namespace
+}  // namespace dufs::sim
