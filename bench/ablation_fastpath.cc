@@ -12,6 +12,7 @@
 // Every experiment is a deterministic simulation (fixed --seed); MemFs
 // back-ends keep the back-end cost out of the picture so the metadata path
 // is the only variable.
+#include <algorithm>
 #include <cstdio>
 #include <string>
 
@@ -104,12 +105,17 @@ bench::HotPathCounters MeasureStats(std::uint64_t seed, bool cache,
 }
 
 // (c) mdtest file-create throughput at `procs` processes, leader group
-// commit on/off.
+// commit on/off. When `obs` asks for a trace, spans are recorded and the
+// Chrome JSON written after the run; `registry_json` (if non-null) receives
+// the full metrics registry dump.
 bench::HotPathCounters MeasureCreates(std::uint64_t seed, bool group_commit,
-                                      std::size_t procs, std::size_t items) {
+                                      std::size_t procs, std::size_t items,
+                                      const bench::ObsOptions* obs = nullptr,
+                                      std::string* registry_json = nullptr) {
   auto config = BaseConfig(seed);
   config.client_nodes = 4;
   config.zk_group_commit = group_commit;
+  config.enable_trace = obs != nullptr && obs->trace_enabled();
   Testbed tb(config);
   tb.MountAll();
   MdtestConfig mc;
@@ -134,6 +140,14 @@ bench::HotPathCounters MeasureCreates(std::uint64_t seed, bool group_commit,
   }
   c.zk_requests -= req0;
   c.zk_failovers -= fo0;
+  if (config.enable_trace) {
+    tb.obs().tracer().WriteChromeJson(obs->trace_path);
+    std::printf("trace written: %s (%zu spans)\n", obs->trace_path.c_str(),
+                tb.obs().tracer().events().size());
+  }
+  if (registry_json != nullptr) {
+    *registry_json = tb.obs().metrics().ToJson();
+  }
   return c;
 }
 
@@ -143,13 +157,20 @@ int main(int argc, char** argv) {
   bench::Flags flags(
       argc, argv,
       "ablation_fastpath [--seed=N] [--width=64] [--files=32] [--rounds=8] "
-      "[--procs=128] [--items=10]");
+      "[--procs=128] [--items=10] [--ops=N] [--metrics-json=PATH] "
+      "[--trace=PATH]");
   const auto seed = static_cast<std::uint64_t>(flags.Int("seed", 1));
   const auto width = static_cast<std::size_t>(flags.Int("width", 64));
   const auto files = static_cast<std::size_t>(flags.Int("files", 32));
   const auto rounds = static_cast<std::size_t>(flags.Int("rounds", 8));
   const auto procs = static_cast<std::size_t>(flags.Int("procs", 128));
-  const auto items = static_cast<std::size_t>(flags.Int("items", 10));
+  // --ops is a friendlier way to size experiment (c): total creates across
+  // all processes; it overrides --items.
+  const auto ops = static_cast<std::size_t>(flags.Int("ops", 0));
+  const auto items = ops > 0
+                         ? std::max<std::size_t>(1, ops / procs)
+                         : static_cast<std::size_t>(flags.Int("items", 10));
+  const auto obs_opts = bench::ObsOptions::FromFlags(flags);
 
   std::printf("Ablation: metadata fast path (seed=%llu)\n",
               static_cast<unsigned long long>(seed));
@@ -180,13 +201,32 @@ int main(int argc, char** argv) {
               "%zu processes x %zu items\n",
               procs, items);
   bench::PrintHotPathHeader();
+  std::string registry_json;
   const auto gc_off = MeasureCreates(seed, false, procs, items);
-  const auto gc_on = MeasureCreates(seed, true, procs, items);
+  // The trace (if requested) covers the group_commit=on run — the
+  // configuration whose span chain (op → zk-rpc → quorum-round →
+  // fsync-batch) the ablation is about.
+  const auto gc_on = MeasureCreates(seed, true, procs, items, &obs_opts,
+                                    &registry_json);
   bench::PrintHotPathRow("group_commit=off", gc_off);
   bench::PrintHotPathRow("group_commit=on", gc_on);
   std::printf("create throughput: %.0f -> %.0f ops/s (%.2fx)\n",
               gc_off.ops / gc_off.seconds, gc_on.ops / gc_on.seconds,
               (gc_on.ops / gc_on.seconds) / (gc_off.ops / gc_off.seconds));
+
+  if (obs_opts.metrics_enabled()) {
+    bench::MetricsJsonWriter out;
+    out.AddValue("readdir_seq_us", seq_us);
+    out.AddValue("readdir_par_us", par_us);
+    out.AddCounters("cache=off", cache_off);
+    out.AddCounters("cache=on", cache_on);
+    out.AddCounters("group_commit=off", gc_off);
+    out.AddCounters("group_commit=on", gc_on);
+    out.SetRegistryJson(registry_json);
+    if (out.WriteFile(obs_opts.metrics_path)) {
+      std::printf("metrics written: %s\n", obs_opts.metrics_path.c_str());
+    }
+  }
 
   std::printf("\nTakeaway: each layer attacks a different serial term — "
               "(a) per-child RPC\nlatency, (b) repeated-lookup request "

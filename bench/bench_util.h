@@ -1,5 +1,7 @@
-// Shared helpers for the figure-reproduction benches: tiny flag parsing and
-// aligned table printing matching the series the paper plots.
+// Shared helpers for the figure-reproduction benches: tiny flag parsing,
+// aligned table printing matching the series the paper plots, and the
+// machine-readable exports (--metrics-json / --trace) that make every bench
+// row reproducible from artifacts alone.
 #pragma once
 
 #include <cstdint>
@@ -7,12 +9,14 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace dufs::bench {
 
-// --flag=value / --flag value / --flag (bool). Unknown flags abort with the
-// usage string so typos never silently change an experiment.
+// --flag=value / --flag value / --flag (bool). Positional (non --) arguments
+// abort with the usage string; unrecognized --flags are parsed but simply
+// never read back, so benches can share command lines.
 class Flags {
  public:
   Flags(int argc, char** argv, std::string usage)
@@ -47,9 +51,14 @@ class Flags {
   }
   std::string Str(const std::string& key, std::string fallback) const {
     const auto* v = Find(key);
-    return v == nullptr ? std::move(fallback) : *v;
+    // Two plain returns: a ternary mixing `std::move(fallback)` with `*v`
+    // forms a prvalue from the const ref, silently copying — and pessimizes
+    // the fallback path too.
+    if (v != nullptr) return *v;
+    return fallback;
   }
-  // Comma-separated integer list.
+  // Comma-separated integer list. Empty segments (trailing comma, "a,,b")
+  // are skipped rather than parsed as 0.
   std::vector<long> IntList(const std::string& key,
                             std::vector<long> fallback) const {
     const auto* v = Find(key);
@@ -59,8 +68,10 @@ class Flags {
     while (start <= v->size()) {
       auto end = v->find(',', start);
       if (end == std::string::npos) end = v->size();
-      out.push_back(std::strtol(v->substr(start, end - start).c_str(),
-                                nullptr, 10));
+      if (end > start) {
+        out.push_back(std::strtol(v->substr(start, end - start).c_str(),
+                                  nullptr, 10));
+      }
       start = end + 1;
     }
     return out;
@@ -117,6 +128,36 @@ inline void PrintHotPathRow(const std::string& label,
                   : 0.0);
 }
 
+// Minimal JSON string escaping for the exports below (keys are identifiers;
+// only values built from user flags need it).
+inline std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+inline void AppendJsonNumber(std::string* out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  *out += buf;
+}
+
 // Prints a "series table": one row per x value, one column per series —
 // mirroring the figures' curves.
 class SeriesTable {
@@ -140,10 +181,137 @@ class SeriesTable {
     }
   }
 
+  // Appends this table as one JSON object:
+  //   {"x_label":"procs","series":["dufs","basic"],"rows":[[8,1.5,0.2],...]}
+  void AppendJson(std::string* out) const {
+    *out += "{\"x_label\":\"" + JsonEscape(x_label_) + "\",\"series\":[";
+    for (std::size_t i = 0; i < series_.size(); ++i) {
+      if (i > 0) *out += ',';
+      *out += '"' + JsonEscape(series_[i]) + '"';
+    }
+    *out += "],\"rows\":[";
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+      if (r > 0) *out += ',';
+      *out += '[';
+      *out += std::to_string(rows_[r].first);
+      for (double v : rows_[r].second) {
+        *out += ',';
+        AppendJsonNumber(out, v);
+      }
+      *out += ']';
+    }
+    *out += "]}";
+  }
+
  private:
   std::string x_label_;
   std::vector<std::string> series_;
   std::vector<std::pair<long, std::vector<double>>> rows_;
+};
+
+// The two observability flags every bench shares:
+//   --metrics-json=PATH   write counters + the merged registry as JSON
+//   --trace=PATH          record spans, write Chrome trace_event JSON
+struct ObsOptions {
+  std::string metrics_path;
+  std::string trace_path;
+
+  static ObsOptions FromFlags(const Flags& flags) {
+    ObsOptions o;
+    o.metrics_path = flags.Str("metrics-json", "");
+    o.trace_path = flags.Str("trace", "");
+    return o;
+  }
+  bool trace_enabled() const { return !trace_path.empty(); }
+  bool metrics_enabled() const { return !metrics_path.empty(); }
+};
+
+// Accumulates everything a bench prints into one machine-readable document:
+//
+//   {"configs":[{"label":...,"ops":...,"ops_per_s":...,"zk_requests":...},..],
+//    "tables":{"fig10 dir create":{...}},
+//    "registry":{"nodes":{...},"merged":{...}}}
+//
+// The "configs" rows carry exactly the fields PrintHotPathRow derives its
+// columns from, so a table row is reproducible from the JSON alone.
+class MetricsJsonWriter {
+ public:
+  void AddCounters(const std::string& label, const HotPathCounters& c) {
+    std::string row = "{\"label\":\"" + JsonEscape(label) + "\",\"ops\":";
+    AppendJsonNumber(&row, c.ops);
+    row += ",\"seconds\":";
+    AppendJsonNumber(&row, c.seconds);
+    row += ",\"ops_per_s\":";
+    AppendJsonNumber(&row, c.seconds > 0 ? c.ops / c.seconds : 0.0);
+    row += ",\"zk_requests\":" + std::to_string(c.zk_requests);
+    row += ",\"zk_failovers\":" + std::to_string(c.zk_failovers);
+    row += ",\"cache_hits\":" + std::to_string(c.cache_hits);
+    row += ",\"cache_misses\":" + std::to_string(c.cache_misses);
+    row += '}';
+    configs_.push_back(std::move(row));
+  }
+
+  void AddValue(const std::string& key, double value) {
+    std::string kv = "\"" + JsonEscape(key) + "\":";
+    AppendJsonNumber(&kv, value);
+    values_.push_back(std::move(kv));
+  }
+
+  void AddTable(const std::string& title, const SeriesTable& table) {
+    std::string entry = "\"" + JsonEscape(title) + "\":";
+    table.AppendJson(&entry);
+    tables_.push_back(std::move(entry));
+  }
+
+  // `json` is a complete JSON object (obs::MetricsRegistry::ToJson()).
+  void SetRegistryJson(std::string json) { registry_ = std::move(json); }
+
+  std::string ToJson() const {
+    std::string out = "{\"configs\":[";
+    for (std::size_t i = 0; i < configs_.size(); ++i) {
+      if (i > 0) out += ',';
+      out += configs_[i];
+    }
+    out += ']';
+    for (const auto& kv : values_) {
+      out += ',';
+      out += kv;
+    }
+    if (!tables_.empty()) {
+      out += ",\"tables\":{";
+      for (std::size_t i = 0; i < tables_.size(); ++i) {
+        if (i > 0) out += ',';
+        out += tables_[i];
+      }
+      out += '}';
+    }
+    if (!registry_.empty()) {
+      out += ",\"registry\":";
+      out += registry_;
+    }
+    out += '}';
+    return out;
+  }
+
+  // Returns false (and warns) when the file cannot be opened.
+  bool WriteFile(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write metrics json: %s\n", path.c_str());
+      return false;
+    }
+    const std::string json = ToJson();
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    return true;
+  }
+
+ private:
+  std::vector<std::string> configs_;
+  std::vector<std::string> values_;
+  std::vector<std::string> tables_;
+  std::string registry_;
 };
 
 }  // namespace dufs::bench

@@ -34,7 +34,7 @@ struct System {
 int main(int argc, char** argv) {
   bench::Flags flags(argc, argv,
                      "fig10_native_compare [--procs=16,...,256] [--items=N] "
-                     "[--quick]");
+                     "[--quick] [--metrics-json=PATH] [--trace=PATH]");
   std::vector<long> procs_list =
       flags.IntList("procs", {16, 32, 64, 128, 192, 256});
   std::size_t items = static_cast<std::size_t>(flags.Int("items", 25));
@@ -42,6 +42,9 @@ int main(int argc, char** argv) {
     procs_list = {64, 256};
     items = 10;
   }
+  // --trace records the DUFS-over-Lustre system only (one span per op and
+  // per RPC — pair it with --quick to keep the file reviewable).
+  const auto obs_opts = bench::ObsOptions::FromFlags(flags);
 
   const System systems[] = {
       {"Basic Lustre", BackendKind::kLustre, Target::kBaseline},
@@ -60,6 +63,10 @@ int main(int argc, char** argv) {
     config.backend = system.backend;
     config.backend_instances = 2;
     config.zk_servers = 8;
+    const bool traced = obs_opts.trace_enabled() &&
+                        system.target == Target::kDufs &&
+                        system.backend == BackendKind::kLustre;
+    config.enable_trace = traced;
     Testbed tb(config);
     tb.MountAll();
     for (long procs : procs_list) {
@@ -82,9 +89,16 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "[fig10] %s procs=%ld done\n",
                    system.name.c_str(), procs);
     }
+    if (traced) {
+      tb.obs().tracer().WriteChromeJson(obs_opts.trace_path);
+      std::fprintf(stderr, "[fig10] trace written: %s (%zu spans)\n",
+                   obs_opts.trace_path.c_str(),
+                   tb.obs().tracer().events().size());
+    }
   }
 
   std::printf("Figure 10: DUFS vs native Lustre and PVFS2 (ops/sec)\n");
+  bench::MetricsJsonWriter out;
   const char sub[] = {'a', 'b', 'c', 'd', 'e', 'f'};
   for (int i = 0; i < 6; ++i) {
     std::vector<std::string> series;
@@ -95,8 +109,13 @@ int main(int argc, char** argv) {
       for (const auto& s : series) row.push_back(results[order[i]][s][procs]);
       table.AddRow(procs, std::move(row));
     }
-    table.Print(std::string("Fig 10") + sub[i] + ": " +
-                std::string(mdtest::PhaseName(order[i])));
+    const std::string title = std::string("Fig 10") + sub[i] + ": " +
+                              std::string(mdtest::PhaseName(order[i]));
+    table.Print(title);
+    out.AddTable(title, table);
+  }
+  if (obs_opts.metrics_enabled()) {
+    out.WriteFile(obs_opts.metrics_path);
   }
 
   // The paper's §V-D headline ratios at the largest measured scale.

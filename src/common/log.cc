@@ -1,5 +1,6 @@
 #include "common/log.h"
 
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
@@ -36,6 +37,16 @@ const char* LevelTag(LogLevel level) {
 LogLevel GlobalLogLevel() { return MutableLevel(); }
 void SetGlobalLogLevel(LogLevel level) { MutableLevel() = level; }
 
+namespace {
+LogClock& MutableLogClock() {
+  static LogClock clock = nullptr;
+  return clock;
+}
+}  // namespace
+
+void SetLogClock(LogClock clock) { MutableLogClock() = clock; }
+LogClock GetLogClock() { return MutableLogClock(); }
+
 LogLevel ParseLogLevel(std::string_view name, LogLevel fallback) {
   if (name == "trace") return LogLevel::kTrace;
   if (name == "debug") return LogLevel::kDebug;
@@ -50,6 +61,16 @@ namespace internal {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
     : level_(level) {
+  if (LogClock clock = GetLogClock()) {
+    const std::int64_t ns = clock();
+    if (ns >= 0) {
+      char buf[40];
+      std::snprintf(buf, sizeof(buf), "[t=%lld.%03lldms] ",
+                    static_cast<long long>(ns / 1'000'000),
+                    static_cast<long long>((ns / 1'000) % 1'000));
+      stream_ << buf;
+    }
+  }
   const char* base = std::strrchr(file, '/');
   stream_ << "[" << LevelTag(level) << " " << (base ? base + 1 : file) << ":"
           << line << "] ";

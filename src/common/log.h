@@ -5,8 +5,11 @@
 //
 // Log level is process-global and settable from the DUFS_LOG_LEVEL
 // environment variable (trace|debug|info|warn|error|off).
+// When a sim-clock provider is installed (SetLogClock), every line carries a
+// `[t=1.284ms]` prefix, so log lines and trace spans share one timebase.
 #pragma once
 
+#include <cstdint>
 #include <sstream>
 #include <string_view>
 
@@ -24,6 +27,14 @@ enum class LogLevel : int {
 LogLevel GlobalLogLevel();
 void SetGlobalLogLevel(LogLevel level);
 LogLevel ParseLogLevel(std::string_view name, LogLevel fallback);
+
+// Optional "current simulation time" provider for log prefixes. Returns
+// nanoseconds, or a negative value when no simulation is current (the
+// prefix is omitted then). Process-global, like the log level; the
+// simulator installs one on construction.
+using LogClock = std::int64_t (*)();
+void SetLogClock(LogClock clock);
+LogClock GetLogClock();
 
 namespace internal {
 

@@ -42,21 +42,6 @@ void RunningStat::Merge(const RunningStat& other) {
   max_ = std::max(max_, other.max_);
 }
 
-LatencyHistogram::LatencyHistogram()
-    : buckets_(static_cast<std::size_t>(kSubBuckets * kOctaves), 0) {}
-
-int LatencyHistogram::BucketFor(std::int64_t v) {
-  if (v < kSubBuckets) return static_cast<int>(std::max<std::int64_t>(v, 0));
-  const auto uv = static_cast<std::uint64_t>(v);
-  const int octave = 63 - std::countl_zero(uv);  // floor(log2 v) >= 2
-  // Position within the octave, quantized into kSubBuckets slots.
-  const std::uint64_t base = 1ull << octave;
-  const int sub = static_cast<int>(((uv - base) * kSubBuckets) >> octave);
-  int idx = octave * kSubBuckets + sub;
-  const int max_idx = kSubBuckets * kOctaves - 1;
-  return std::min(idx, max_idx);
-}
-
 std::int64_t LatencyHistogram::BucketUpperBound(int bucket) {
   if (bucket < kSubBuckets) return bucket;
   const int octave = bucket / kSubBuckets;
@@ -65,13 +50,6 @@ std::int64_t LatencyHistogram::BucketUpperBound(int bucket) {
   return static_cast<std::int64_t>(base +
                                    ((base * static_cast<unsigned>(sub + 1)) >>
                                     2));  // kSubBuckets == 4
-}
-
-void LatencyHistogram::Add(std::int64_t sample_ns) {
-  if (sample_ns < 0) sample_ns = 0;
-  ++buckets_[static_cast<std::size_t>(BucketFor(sample_ns))];
-  ++count_;
-  max_sample_ = std::max(max_sample_, sample_ns);
 }
 
 std::int64_t LatencyHistogram::Percentile(double p) const {

@@ -3,10 +3,12 @@
 // percentile queries.
 #pragma once
 
+#include <algorithm>
+#include <array>
+#include <bit>
 #include <cstdint>
 #include <limits>
 #include <string>
-#include <vector>
 
 namespace dufs {
 
@@ -36,9 +38,16 @@ class RunningStat {
 // relative error on percentile queries — plenty for throughput analysis.
 class LatencyHistogram {
  public:
-  LatencyHistogram();
+  LatencyHistogram() = default;
 
-  void Add(std::int64_t sample_ns);
+  // Inline: this is the metrics hot path (one call per instrumented op /
+  // RPC / NIC transfer).
+  void Add(std::int64_t sample_ns) {
+    if (sample_ns < 0) sample_ns = 0;
+    ++buckets_[static_cast<std::size_t>(BucketFor(sample_ns))];
+    ++count_;
+    if (sample_ns > max_sample_) max_sample_ = sample_ns;
+  }
   std::uint64_t count() const { return count_; }
 
   // p in [0, 100]. Returns an upper bound of the bucket containing the
@@ -52,10 +61,23 @@ class LatencyHistogram {
  private:
   static constexpr int kSubBuckets = 4;
   static constexpr int kOctaves = 48;  // covers up to ~2^48 ns (~3 days)
-  static int BucketFor(std::int64_t v);
+  static int BucketFor(std::int64_t v) {
+    if (v < kSubBuckets) return static_cast<int>(std::max<std::int64_t>(v, 0));
+    const auto uv = static_cast<std::uint64_t>(v);
+    const int octave = 63 - std::countl_zero(uv);  // floor(log2 v) >= 2
+    // Position within the octave, quantized into kSubBuckets slots.
+    const std::uint64_t base = 1ull << octave;
+    const int sub = static_cast<int>(((uv - base) * kSubBuckets) >> octave);
+    const int idx = octave * kSubBuckets + sub;
+    const int max_idx = kSubBuckets * kOctaves - 1;
+    return std::min(idx, max_idx);
+  }
   static std::int64_t BucketUpperBound(int bucket);
 
-  std::vector<std::uint64_t> buckets_;
+  // Inline storage (not a heap vector): Add is one dependent load shorter,
+  // and a cell's buckets sit next to its count/max on the same cache lines.
+  std::array<std::uint64_t, static_cast<std::size_t>(kSubBuckets* kOctaves)>
+      buckets_{};
   std::uint64_t count_ = 0;
   std::int64_t max_sample_ = 0;
 };

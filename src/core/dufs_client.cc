@@ -22,6 +22,63 @@ StatusCode MapZkCode(StatusCode code) {
 
 }  // namespace
 
+// One client operation: a root trace span (the head of the client-op ->
+// zk-rpc -> quorum-round -> fsync-batch chain) plus an end-to-end latency
+// sample. Annotates the span with the number of metadata-cache hits the op
+// enjoyed. Costs two dummy-cell reads when observability is not attached.
+class OpScope {
+ public:
+  OpScope(DufsClient& client, obs::Timer timer, const char* name,
+          const std::string& path)
+      : client_(client),
+        timer_(timer),
+        start_(client.zk_.sim().now()),
+        hits_before_(client.c_cache_hits_.value()),
+        span_(obs::Span::Root(client.obs_, name, "op")) {
+    if (span_.active()) span_.ArgStr("path", path);
+  }
+
+  OpScope(const OpScope&) = delete;
+  OpScope& operator=(const OpScope&) = delete;
+
+  ~OpScope() { Finish(); }
+
+  // Re-arm the trace id after a resumption, before the next zk/backend call.
+  void Arm() { span_.Arm(); }
+
+  void Finish() {
+    if (finished_) return;
+    finished_ = true;
+    timer_.Record(client_.zk_.sim().now() - start_);
+    if (span_.active()) {
+      span_.ArgInt("cache_hits",
+                   static_cast<std::int64_t>(client_.c_cache_hits_.value() -
+                                             hits_before_));
+    }
+    span_.End();
+  }
+
+ private:
+  DufsClient& client_;
+  obs::Timer timer_;
+  sim::SimTime start_;
+  std::uint64_t hits_before_;
+  obs::Span span_;
+  bool finished_ = false;
+};
+
+void DufsClient::AttachObs(obs::NodeObs node_obs) {
+  obs_ = node_obs;
+  c_cache_hits_ = obs_.counter("cache.hits");
+  c_cache_misses_ = obs_.counter("cache.misses");
+  t_stat_ = obs_.timer("op.stat_ns");
+  t_create_ = obs_.timer("op.create_ns");
+  t_readdir_ = obs_.timer("op.readdir_ns");
+  t_unlink_ = obs_.timer("op.unlink_ns");
+  t_mkdir_ = obs_.timer("op.mkdir_ns");
+  t_rename_ = obs_.timer("op.rename_ns");
+}
+
 DufsClient::DufsClient(zk::ZkClient& zk,
                        std::vector<vfs::FileSystem*> backends,
                        DufsConfig config)
@@ -129,12 +186,14 @@ sim::Task<Result<DufsClient::Lookup>> DufsClient::LookupPath(
   const std::string znode = ZnodePath(virtual_path);
   if (config_.enable_meta_cache) {
     if (const MetaCache::Entry* hit = meta_cache_.Lookup(znode)) {
+      c_cache_hits_.Inc();
       if (hit->negative) co_return Status(StatusCode::kNotFound, virtual_path);
       Lookup out;
       out.record = hit->record;
       out.stat = hit->stat;
       co_return out;
     }
+    c_cache_misses_.Inc();
   }
   // Cache miss: fetch with a one-shot watch so the filled entry is dropped
   // on any remote change. The watch is registered even when the node is
@@ -211,6 +270,7 @@ vfs::FileAttr DufsClient::AttrFromDir(const MetaRecord& record,
 // Fig. 6 — stat(): directories are answered entirely from ZooKeeper; files
 // redirect to the physical file for size/times.
 sim::Task<Result<FileAttr>> DufsClient::GetAttr(std::string path) {
+  OpScope op(*this, t_stat_, "stat", path);
   auto lookup = co_await LookupPath(path);
   if (!lookup.ok()) co_return lookup.status();
   const MetaRecord& record = lookup->record;
@@ -230,6 +290,7 @@ sim::Task<Result<FileAttr>> DufsClient::GetAttr(std::string path) {
 
   std::uint32_t backend = 0;
   auto& fs = BackendFor(record.fid, &backend);
+  op.Arm();
   auto phys = co_await fs.GetAttr(PhysicalPathForFid(record.fid));
   if (!phys.ok()) {
     if (phys.code() == StatusCode::kNotFound) {
@@ -247,8 +308,10 @@ sim::Task<Result<FileAttr>> DufsClient::GetAttr(std::string path) {
 
 // Fig. 5 — mkdir(): a single znode create; never touches a back-end.
 sim::Task<Status> DufsClient::Mkdir(std::string path, vfs::Mode mode) {
+  OpScope op(*this, t_mkdir_, "mkdir", path);
   if (auto st = vfs::ValidateVirtualPath(path); !st.ok()) co_return st;
   if (auto st = co_await CheckParentIsDir(path); !st.ok()) co_return st;
+  op.Arm();
   auto created =
       co_await zk_.Create(ZnodePath(path), MetaRecord::Dir(mode).Encode());
   // Invalidate even on failure: kAlreadyExists refutes a cached negative.
@@ -271,6 +334,7 @@ sim::Task<Status> DufsClient::Rmdir(std::string path) {
 
 sim::Task<Result<FileAttr>> DufsClient::Create(std::string path,
                                                vfs::Mode mode) {
+  OpScope op(*this, t_create_, "create", path);
   if (auto st = vfs::ValidateVirtualPath(path); !st.ok()) co_return st;
   if (auto st = co_await CheckParentIsDir(path); !st.ok()) co_return st;
 
@@ -290,6 +354,7 @@ sim::Task<Result<FileAttr>> DufsClient::Create(std::string path,
   std::vector<sim::Task<Status>> prep;
   prep.push_back(create_znode(*this, ZnodePath(path), fid, mode));
   prep.push_back(EnsurePhysicalDirs(backend, fid));
+  op.Arm();
   auto prep_sts = co_await sim::WhenAll(std::move(prep));
   InvalidateAfterMutation(path);
   if (!prep_sts[0].ok()) co_return Status(MapZkCode(prep_sts[0].code()), path);
@@ -298,6 +363,7 @@ sim::Task<Result<FileAttr>> DufsClient::Create(std::string path,
     InvalidateAfterMutation(path);
     co_return prep_sts[1];
   }
+  op.Arm();
   auto phys = co_await fs.Create(PhysicalPathForFid(fid), mode);
   if (!phys.ok() && phys.code() != StatusCode::kAlreadyExists) {
     (void)co_await zk_.Delete(ZnodePath(path));  // roll back the znode
@@ -313,12 +379,15 @@ sim::Task<Result<FileAttr>> DufsClient::Create(std::string path,
 }
 
 sim::Task<Status> DufsClient::Unlink(std::string path) {
+  OpScope op(*this, t_unlink_, "unlink", path);
   for (int attempt = 0; attempt <= config_.race_retries; ++attempt) {
+    op.Arm();
     auto lookup = co_await LookupPath(path);
     if (!lookup.ok()) co_return lookup.status();
     if (lookup->record.type == FileType::kDirectory) {
       co_return Status(StatusCode::kIsADirectory, path);
     }
+    op.Arm();
     auto st = co_await zk_.Delete(ZnodePath(path), lookup->stat.version);
     InvalidateAfterMutation(path);
     if (st.code() == StatusCode::kBadVersion) {
@@ -327,6 +396,7 @@ sim::Task<Status> DufsClient::Unlink(std::string path) {
     if (!st.ok()) co_return Status(MapZkCode(st.code()), path);
     if (lookup->record.type == FileType::kRegular) {
       auto& fs = BackendFor(lookup->record.fid);
+      op.Arm();
       auto phys = co_await fs.Unlink(PhysicalPathForFid(lookup->record.fid));
       if (!phys.ok() && phys.code() != StatusCode::kNotFound) co_return phys;
     }
@@ -337,11 +407,13 @@ sim::Task<Status> DufsClient::Unlink(std::string path) {
 
 sim::Task<Result<std::vector<vfs::DirEntry>>> DufsClient::ReadDir(
     std::string path) {
+  OpScope op(*this, t_readdir_, "readdir", path);
   auto lookup = co_await LookupPath(path);
   if (!lookup.ok()) co_return lookup.status();
   if (lookup->record.type != FileType::kDirectory) {
     co_return Status(StatusCode::kNotADirectory, path);
   }
+  op.Arm();
   auto children = co_await zk_.GetChildren(ZnodePath(path));
   if (!children.ok()) co_return Status(MapZkCode(children.code()), path);
   // Child type requires its record; ZooKeeper returns names only. The FUSE
@@ -359,6 +431,7 @@ sim::Task<Result<std::vector<vfs::DirEntry>>> DufsClient::ReadDir(
     probes.push_back(child_type(
         *this, path == "/" ? "/" + name : path + "/" + name));
   }
+  op.Arm();
   auto types = co_await sim::WhenAll(std::move(probes), config_.lookup_fanout);
   std::vector<vfs::DirEntry> entries;
   entries.reserve(children->size());
@@ -464,7 +537,9 @@ sim::Task<Status> DufsClient::RenameSubtree(const std::string& from,
 // Rename: the indirection through FIDs means no physical data moves — only
 // znodes change (§IV-A). Files move atomically via a ZooKeeper multi.
 sim::Task<Status> DufsClient::Rename(std::string from, std::string to) {
+  OpScope op(*this, t_rename_, "rename", from);
   for (int attempt = 0; attempt <= config_.race_retries; ++attempt) {
+    op.Arm();
     auto src = co_await LookupPath(from);
     if (!src.ok()) co_return src.status();
     if (from == to) co_return Status::Ok();  // POSIX no-op

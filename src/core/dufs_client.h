@@ -26,6 +26,7 @@
 #include "core/meta_cache.h"
 #include "core/meta_schema.h"
 #include "core/physical_path.h"
+#include "obs/obs.h"
 #include "vfs/filesystem.h"
 #include "vfs/path.h"
 #include "zk/client.h"
@@ -76,6 +77,11 @@ class DufsClient : public vfs::FileSystem {
 
   // Client-resident memory (Fig. 11): caches + fd table, bounded.
   std::size_t EstimateMemoryBytes() const;
+
+  // Optional: per-op root spans + latency timers + cache counters. Spans
+  // opened here are the roots of the client-op -> zk-rpc -> quorum-round ->
+  // fsync-batch chain.
+  void AttachObs(obs::NodeObs node_obs);
 
   std::string name() const override { return "dufs"; }
 
@@ -158,6 +164,17 @@ class DufsClient : public vfs::FileSystem {
   std::unordered_set<std::string> known_phys_dirs_;  // "<backend>:<dir>"
   std::unordered_map<vfs::FileHandle, OpenState> open_files_;
   vfs::FileHandle next_handle_ = 1;
+
+  friend class OpScope;  // dufs_client.cc: per-op span + timer RAII
+  obs::NodeObs obs_;
+  obs::Counter c_cache_hits_;
+  obs::Counter c_cache_misses_;
+  obs::Timer t_stat_;
+  obs::Timer t_create_;
+  obs::Timer t_readdir_;
+  obs::Timer t_unlink_;
+  obs::Timer t_mkdir_;
+  obs::Timer t_rename_;
 };
 
 }  // namespace dufs::core

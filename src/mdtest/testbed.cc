@@ -6,6 +6,13 @@ Testbed::Testbed(TestbedConfig config) : config_(std::move(config)) {
   sim_ = std::make_unique<sim::Simulation>(config_.seed);
   net_ = std::make_unique<net::Network>(*sim_);
 
+  // --- observability -------------------------------------------------------
+  // Metrics are always on (handle updates are cheap); span recording only
+  // when asked — it allocates one Event per span.
+  obs_.tracer().Bind(sim_.get());
+  obs_.tracer().SetEnabled(config_.enable_trace);
+  net_->AttachObs(&obs_);
+
   // --- coordination service ----------------------------------------------
   // The paper co-locates ZooKeeper servers with client nodes; modeling them
   // as separate nodes on the same switch keeps NIC accounting explicit.
@@ -21,6 +28,7 @@ Testbed::Testbed(TestbedConfig config) : config_(std::move(config)) {
         std::make_unique<net::RpcEndpoint>(*net_, zk_nodes_[i]));
     zk_servers_.push_back(
         std::make_unique<zk::ZkServer>(*zk_endpoints_[i], zk_config_, i));
+    zk_servers_[i]->AttachObs(obs_.Node("zk" + std::to_string(i)));
     zk_servers_[i]->Start();
   }
 
@@ -48,24 +56,33 @@ Testbed::Testbed(TestbedConfig config) : config_(std::move(config)) {
     client->node = net_->AddNode("client" + std::to_string(i));
     client->endpoint =
         std::make_unique<net::RpcEndpoint>(*net_, client->node);
+    // All of this node's components (ZK session, DUFS, backend stubs) share
+    // one metric scope and one trace track.
+    const obs::NodeObs node_obs = obs_.Node("client" + std::to_string(i));
 
     zk::ZkClientConfig zkc;
     zkc.servers = zk_nodes_;
     zkc.attach_index = i;  // sessions pinned round-robin, as in the paper
     client->zk = std::make_unique<zk::ZkClient>(*client->endpoint, zkc);
+    client->zk->AttachObs(node_obs);
 
     std::vector<vfs::FileSystem*> backends;
     for (std::size_t b = 0; b < config_.backend_instances; ++b) {
       switch (config_.backend) {
-        case BackendKind::kLustre:
-          client->backend_mounts.push_back(
-              std::make_unique<pfs::LustreClient>(*client->endpoint,
-                                                  *lustre_[b]));
+        case BackendKind::kLustre: {
+          auto mount = std::make_unique<pfs::LustreClient>(*client->endpoint,
+                                                           *lustre_[b]);
+          mount->AttachObs(node_obs);
+          client->backend_mounts.push_back(std::move(mount));
           break;
-        case BackendKind::kPvfs:
-          client->backend_mounts.push_back(std::make_unique<pfs::PvfsClient>(
-              *client->endpoint, *pvfs_[b]));
+        }
+        case BackendKind::kPvfs: {
+          auto mount = std::make_unique<pfs::PvfsClient>(*client->endpoint,
+                                                         *pvfs_[b]);
+          mount->AttachObs(node_obs);
+          client->backend_mounts.push_back(std::move(mount));
           break;
+        }
         case BackendKind::kMemFs: {
           // MemFs is process-local; every node shares the instance (a stand-
           // in used only by correctness tests).
@@ -151,6 +168,7 @@ Testbed::Testbed(TestbedConfig config) : config_(std::move(config)) {
     dufs_config.placement = config_.placement;
     client->dufs = std::make_unique<core::DufsClient>(
         *client->zk, std::move(backends), dufs_config);
+    client->dufs->AttachObs(node_obs);
     client->fuse = std::make_unique<vfs::FuseMount>(
         net_->node(client->node), *client->dufs, config_.fuse);
     clients_.push_back(std::move(client));

@@ -11,6 +11,7 @@
 
 #include "core/dufs_client.h"
 #include "net/rpc.h"
+#include "obs/obs.h"
 #include "pfs/lustre.h"
 #include "pfs/pvfs.h"
 #include "vfs/fuse_mount.h"
@@ -36,6 +37,10 @@ struct TestbedConfig {
   core::DufsConfig dufs{};
   bool zk_failure_detection = false;
   bool zk_group_commit = false;  // leader group commit (metadata fast path)
+  // Record trace spans (op → zk-rpc → quorum-round → fsync-batch). Metrics
+  // counters/histograms are always collected; only span recording is gated
+  // (it allocates per event).
+  bool enable_trace = false;
   zk::ZkPerfModel zk_perf{};
   pfs::LustrePerfModel lustre_perf{};
   pfs::PvfsPerfModel pvfs_perf{};
@@ -53,6 +58,11 @@ class Testbed {
   sim::Simulation& sim() { return *sim_; }
   net::Network& net() { return *net_; }
   const TestbedConfig& config() const { return config_; }
+
+  // Cluster-wide metrics registry + tracer. Every node (ZK servers, clients,
+  // NICs) registers its scope here; snapshot with obs().metrics().ToJson()
+  // or export spans with obs().tracer().WriteChromeJson(path).
+  obs::Observability& obs() { return obs_; }
 
   struct ClientNode {
     net::NodeId node = net::kInvalidNode;
@@ -89,6 +99,9 @@ class Testbed {
 
  private:
   TestbedConfig config_;
+  // Declared before everything that holds metric/span handles into it, so it
+  // is destroyed last.
+  obs::Observability obs_;
   std::unique_ptr<sim::Simulation> sim_;
   std::unique_ptr<net::Network> net_;
 

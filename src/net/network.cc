@@ -42,6 +42,7 @@ void Node::Restart() {
 NodeId Network::AddNode(std::string name, NodeModel model) {
   const NodeId id = static_cast<NodeId>(nodes_.size());
   nodes_.push_back(std::make_unique<Node>(sim_, id, std::move(name), model));
+  if (obs_ != nullptr) InstallNicObs(*nodes_.back());
   return id;
 }
 
@@ -61,15 +62,47 @@ void Network::Send(Message msg) {
   sim_.Spawn(Transfer(std::move(msg)));
 }
 
+void Network::AttachObs(obs::Observability* obs) {
+  obs_ = obs;
+  if (obs_ == nullptr) return;
+  for (auto& node : nodes_) InstallNicObs(*node);
+}
+
+void Network::InstallNicObs(Node& node) {
+  Node::NicObs& n = node.nic_obs();
+  n.node = obs_->Node(node.name());
+  n.tx_wait = n.node.histogram("nic.tx_wait_ns");
+  n.tx_time = n.node.histogram("nic.tx_ns");
+  n.rx_wait = n.node.histogram("nic.rx_wait_ns");
+}
+
 sim::Task<void> Network::Transfer(Message msg) {
   Node& src = node(msg.src);
   if (!src.up()) co_return;  // sender died before the packet left
 
+  // Spawned synchronously from Send, so the sender's armed trace id is
+  // still current here. The Node (and its NicObs handles) is stable
+  // storage, safe to reference across suspensions.
+  const bool traced = obs_ != nullptr && obs_->tracer().enabled();
+  const obs::TraceId trace = traced ? obs_->tracer().current() : 0;
+  Node::NicObs& src_obs = src.nic_obs();
+
   const std::size_t wire = msg.WireSize();
   {
     // Source NIC serialization.
+    const sim::SimTime t0 = sim_.now();
     auto guard = co_await src.egress().Acquire();
+    const sim::SimTime sent_at = sim_.now();
     co_await sim_.Delay(src.model().nic.TxTime(wire));
+    src_obs.tx_wait.Record(sent_at - t0);
+    src_obs.tx_time.Record(sim_.now() - sent_at);
+    if (traced) {
+      obs_->tracer().Complete(
+          src_obs.node.track, "nic-tx", "net", t0, sim_.now() - t0, trace,
+          {{"wait_ns", {}, sent_at - t0, false},
+           {"tx_ns", {}, sim_.now() - sent_at, false},
+           {"bytes", {}, static_cast<std::int64_t>(wire), false}});
+    }
   }
   ++src.messages_sent;
   src.bytes_sent += wire;
@@ -85,10 +118,20 @@ sim::Task<void> Network::Transfer(Message msg) {
     ++messages_dropped_;
     co_return;
   }
+  Node::NicObs& dst_obs = dst.nic_obs();
   {
     // Destination NIC serialization (receive-side bottleneck for fan-in).
+    const sim::SimTime t0 = sim_.now();
     auto guard = co_await dst.ingress().Acquire();
+    const sim::SimTime rx_at = sim_.now();
     co_await sim_.Delay(dst.model().nic.TxTime(wire));
+    dst_obs.rx_wait.Record(rx_at - t0);
+    if (traced) {
+      obs_->tracer().Complete(
+          dst_obs.node.track, "nic-rx", "net", t0, sim_.now() - t0, trace,
+          {{"wait_ns", {}, rx_at - t0, false},
+           {"bytes", {}, static_cast<std::int64_t>(wire), false}});
+    }
   }
   if (!dst.up() || Partitioned(msg.src, msg.dst)) {
     ++messages_dropped_;

@@ -11,6 +11,7 @@
 
 #include "net/message.h"
 #include "net/perf_model.h"
+#include "obs/obs.h"
 #include "sim/simulation.h"
 #include "sim/sync.h"
 #include "sim/task.h"
@@ -51,6 +52,19 @@ class Node {
   sim::Resource& ingress() { return ingress_; }
   sim::Resource& cpu() { return cpu_; }
 
+  // NIC instrumentation handles (serialization wait vs. wire time). Stored
+  // on the Node — stable storage, already hot in Transfer's cache — so the
+  // per-message path needs no lookup and no handle copies. Default handles
+  // write to the shared dummy cells until Network::AttachObs installs real
+  // ones.
+  struct NicObs {
+    obs::NodeObs node;
+    obs::Histogram tx_wait;  // time queued behind the egress NIC, ns
+    obs::Histogram tx_time;  // serialization (wire) time, ns
+    obs::Histogram rx_wait;  // time queued behind the ingress NIC, ns
+  };
+  NicObs& nic_obs() { return nic_obs_; }
+
   // Traffic accounting for experiments.
   std::uint64_t bytes_sent = 0;
   std::uint64_t bytes_received = 0;
@@ -69,6 +83,7 @@ class Node {
   sim::Resource ingress_;
   sim::Resource disk_;
   std::function<void(Message)> sink_;
+  NicObs nic_obs_;
 };
 
 class Network {
@@ -97,14 +112,21 @@ class Network {
   std::uint64_t messages_delivered() const { return messages_delivered_; }
   std::uint64_t messages_dropped() const { return messages_dropped_; }
 
+  // Optional: per-node NIC metrics (serialization wait vs. wire time) and
+  // nic-tx / nic-rx trace spans. Nodes added later are picked up in
+  // AddNode.
+  void AttachObs(obs::Observability* obs);
+
  private:
   sim::Task<void> Transfer(Message msg);
+  void InstallNicObs(Node& node);
 
   sim::Simulation& sim_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::set<std::pair<NodeId, NodeId>> partitions_;
   std::uint64_t messages_delivered_ = 0;
   std::uint64_t messages_dropped_ = 0;
+  obs::Observability* obs_ = nullptr;
 };
 
 }  // namespace dufs::net

@@ -1,0 +1,182 @@
+#include "obs/metrics.h"
+
+#include <cstdio>
+
+namespace dufs::obs {
+
+namespace internal {
+
+CounterCell& DummyCounter() {
+  static CounterCell cell;
+  return cell;
+}
+
+GaugeCell& DummyGauge() {
+  static GaugeCell cell;
+  return cell;
+}
+
+HistogramCell& DummyHistogram() {
+  static HistogramCell cell;
+  return cell;
+}
+
+}  // namespace internal
+
+namespace {
+
+template <typename CellMap>
+auto* GetOrCreate(CellMap& cells, const std::string& key) {
+  auto it = cells.find(key);
+  if (it == cells.end()) {
+    it = cells
+             .emplace(key, std::make_unique<
+                               typename CellMap::mapped_type::element_type>())
+             .first;
+  }
+  return it->second.get();
+}
+
+void AppendEscaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void AppendHistogram(std::string& out, const LatencyHistogram& h) {
+  out += "{\"count\":" + std::to_string(h.count());
+  out += ",\"p50\":" + std::to_string(h.Percentile(50));
+  out += ",\"p95\":" + std::to_string(h.Percentile(95));
+  out += ",\"p99\":" + std::to_string(h.Percentile(99));
+  out += ",\"max\":" + std::to_string(h.MaxSample());
+  out += "}";
+}
+
+// Shared by per-node and merged sections: three sorted sub-objects.
+template <typename Counters, typename Gauges, typename GaugeMaxes,
+          typename Histos>
+void AppendSection(std::string& out, const Counters& counters,
+                   const Gauges& gauges, const GaugeMaxes& gauge_maxes,
+                   const Histos& histos) {
+  out += "{\"counters\":{";
+  bool first = true;
+  for (const auto& [key, value] : counters) {
+    if (!first) out += ',';
+    first = false;
+    AppendEscaped(out, key);
+    out += ':' + std::to_string(value);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [key, value] : gauges) {
+    if (!first) out += ',';
+    first = false;
+    AppendEscaped(out, key);
+    out += ":{\"value\":" + std::to_string(value) +
+           ",\"max\":" + std::to_string(gauge_maxes.at(key)) + "}";
+  }
+  out += "},\"hists\":{";
+  first = true;
+  for (const auto& [key, hist] : histos) {
+    if (!first) out += ',';
+    first = false;
+    AppendEscaped(out, key);
+    out += ':';
+    AppendHistogram(out, hist);
+  }
+  out += "}}";
+}
+
+}  // namespace
+
+Counter Scope::counter(const std::string& key) {
+  return Counter(GetOrCreate(counters_, key));
+}
+
+Gauge Scope::gauge(const std::string& key) {
+  return Gauge(GetOrCreate(gauges_, key));
+}
+
+Histogram Scope::histogram(const std::string& key) {
+  return Histogram(GetOrCreate(histograms_, key));
+}
+
+Scope& MetricsRegistry::scope(const std::string& node) {
+  auto it = scopes_.find(node);
+  if (it == scopes_.end()) {
+    it = scopes_.emplace(node, std::make_unique<Scope>(node)).first;
+  }
+  return *it->second;
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::Merged() const {
+  Snapshot snap;
+  for (const auto& [node, scope] : scopes_) {
+    for (const auto& [key, cell] : scope->counters()) {
+      snap.counters[key] += cell->value;
+    }
+    for (const auto& [key, cell] : scope->gauges()) {
+      snap.gauges[key] += cell->value;
+      auto it = snap.gauge_maxes.find(key);
+      if (it == snap.gauge_maxes.end()) {
+        snap.gauge_maxes[key] = cell->max;
+      } else if (cell->max > it->second) {
+        it->second = cell->max;
+      }
+    }
+    for (const auto& [key, cell] : scope->histograms()) {
+      snap.histograms[key].Merge(cell->hist);
+    }
+  }
+  return snap;
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::string out = "{\"nodes\":{";
+  bool first = true;
+  for (const auto& [node, scope] : scopes_) {
+    if (!first) out += ',';
+    first = false;
+    AppendEscaped(out, node);
+    out += ':';
+    // Per-node view: adapt cell maps to plain value maps for the shared
+    // section writer.
+    std::map<std::string, std::uint64_t> counters;
+    for (const auto& [key, cell] : scope->counters()) {
+      counters[key] = cell->value;
+    }
+    std::map<std::string, std::int64_t> gauges, gauge_maxes;
+    for (const auto& [key, cell] : scope->gauges()) {
+      gauges[key] = cell->value;
+      gauge_maxes[key] = cell->max;
+    }
+    std::map<std::string, LatencyHistogram> histos;
+    for (const auto& [key, cell] : scope->histograms()) {
+      histos.emplace(key, cell->hist);
+    }
+    AppendSection(out, counters, gauges, gauge_maxes, histos);
+  }
+  out += "},\"merged\":";
+  const Snapshot snap = Merged();
+  AppendSection(out, snap.counters, snap.gauges, snap.gauge_maxes,
+                snap.histograms);
+  out += "}";
+  return out;
+}
+
+}  // namespace dufs::obs

@@ -1,0 +1,51 @@
+// Observability bundle: one MetricsRegistry + one Tracer per testbed, and
+// the per-node NodeObs handle that instrumented components hold.
+//
+// Components take a NodeObs by value in an AttachObs() call; a
+// default-constructed NodeObs (null metrics scope, null tracer) is always
+// safe to use — metric handles fall back to dummy cells and spans no-op.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace dufs::obs {
+
+// What one instrumented component needs: where its metrics live and which
+// trace track ("thread") its spans land on.
+struct NodeObs {
+  Scope* metrics = nullptr;
+  Tracer* tracer = nullptr;
+  TrackId track = 0;
+
+  Counter counter(const std::string& key) const {
+    return metrics != nullptr ? metrics->counter(key) : Counter();
+  }
+  Gauge gauge(const std::string& key) const {
+    return metrics != nullptr ? metrics->gauge(key) : Gauge();
+  }
+  Histogram histogram(const std::string& key) const {
+    return metrics != nullptr ? metrics->histogram(key) : Histogram();
+  }
+  Timer timer(const std::string& key) const { return histogram(key); }
+};
+
+class Observability {
+ public:
+  MetricsRegistry& metrics() { return metrics_; }
+  Tracer& tracer() { return tracer_; }
+
+  // Get-or-create the bundle for a named sim node; idempotent, so callers
+  // that share a node name share a scope and a track.
+  NodeObs Node(const std::string& name) {
+    return NodeObs{&metrics_.scope(name), &tracer_, tracer_.Track(name)};
+  }
+
+ private:
+  MetricsRegistry metrics_;
+  Tracer tracer_;
+};
+
+}  // namespace dufs::obs

@@ -1,0 +1,137 @@
+#include "obs/trace.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <utility>
+
+#include "obs/obs.h"
+
+namespace dufs::obs {
+
+namespace {
+
+// Escape for JSON string contents (no surrounding quotes).
+void AppendEscaped(std::string& out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+// Chrome traces use microsecond timestamps; the sim is nanosecond-grained.
+// Print exactly three decimals ("12.345") so nothing is lost and equal
+// inputs always format identically (no float rounding involved).
+void AppendMicros(std::string& out, std::int64_t ns) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%" PRId64 ".%03" PRId64, ns / 1000,
+                ns % 1000);
+  out += buf;
+}
+
+}  // namespace
+
+TrackId Tracer::Track(const std::string& name) {
+  for (TrackId i = 0; i < tracks_.size(); ++i) {
+    if (tracks_[i] == name) return i;
+  }
+  tracks_.push_back(name);
+  return static_cast<TrackId>(tracks_.size() - 1);
+}
+
+void Tracer::Complete(TrackId track, std::string name, std::string cat,
+                      sim::SimTime start, sim::Duration dur, TraceId trace,
+                      std::vector<Arg> args) {
+  if (!enabled_) return;
+  events_.push_back(Event{track, std::move(name), std::move(cat), start, dur,
+                          trace, std::move(args)});
+}
+
+std::string Tracer::ToChromeJson() const {
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  // Metadata first: name each track so Perfetto shows node names instead of
+  // bare tids. pid is always 1 (one simulated cluster), tid = track + 1
+  // (tid 0 renders oddly in some viewers).
+  for (TrackId i = 0; i < tracks_.size(); ++i) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"ph\":\"M\",\"pid\":1,\"tid\":" + std::to_string(i + 1) +
+           ",\"name\":\"thread_name\",\"args\":{\"name\":\"";
+    AppendEscaped(out, tracks_[i]);
+    out += "\"}}";
+  }
+  for (const Event& e : events_) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"ph\":\"X\",\"pid\":1,\"tid\":" + std::to_string(e.track + 1) +
+           ",\"name\":\"";
+    AppendEscaped(out, e.name);
+    out += "\",\"cat\":\"";
+    AppendEscaped(out, e.cat);
+    out += "\",\"ts\":";
+    AppendMicros(out, e.start);
+    out += ",\"dur\":";
+    AppendMicros(out, e.dur);
+    out += ",\"args\":{";
+    if (e.trace != 0) {
+      out += "\"trace\":" + std::to_string(e.trace);
+    }
+    for (const Arg& a : e.args) {
+      if (out.back() != '{') out += ',';
+      out += '"';
+      AppendEscaped(out, a.key);
+      out += "\":";
+      if (a.is_string) {
+        out += '"';
+        AppendEscaped(out, a.str);
+        out += '"';
+      } else {
+        out += std::to_string(a.num);
+      }
+    }
+    out += "}}";
+  }
+  out += "],\"displayTimeUnit\":\"ns\"}";
+  return out;
+}
+
+bool Tracer::WriteChromeJson(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string json = ToChromeJson();
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+Span::Span(const NodeObs& obs, const char* name, const char* cat)
+    : Span(obs.tracer, obs.track, name, cat) {}
+
+Span Span::Root(const NodeObs& obs, const char* name, const char* cat) {
+  if (obs.tracer == nullptr || !obs.tracer->enabled()) return Span();
+  Span s(obs.tracer, obs.track, name, cat, obs.tracer->NewTrace());
+  s.root_ = true;
+  s.Arm();
+  return s;
+}
+
+void Span::Emit() {
+  const sim::SimTime end = tracer_->now();
+  tracer_->Complete(track_, name_, cat_, start_, end - start_, trace_,
+                    std::move(args_));
+  if (root_ && tracer_->current() == trace_) tracer_->SetCurrent(0);
+  tracer_ = nullptr;
+}
+
+}  // namespace dufs::obs

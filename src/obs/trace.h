@@ -1,0 +1,200 @@
+// Trace-span layer — the timeline half of the observability layer.
+//
+// RAII spans stamped with Simulation::now() carry a per-operation trace id
+// from the DufsClient op that roots it, through the zk::ZkClient RPC, the
+// quorum PROPOSE/ACK/COMMIT round on the zk::ZkServer leader, down to the
+// journal fsync batch and the pfs back-end calls. Export is Chrome
+// trace_event JSON (one "thread" per sim node), loadable in Perfetto or
+// chrome://tracing.
+//
+// Propagation model: the simulator is single-threaded and coroutines run
+// synchronously until their first suspension, so a "current trace id" slot
+// on the Tracer is enough — a caller arms it immediately before co_await-ing
+// into a lower layer, and the callee reads it at entry (before its first
+// suspension). After any resumption the slot may belong to another
+// interleaved operation; re-arm (Span::Arm) before the next downstream call.
+// Across the wire the id travels explicitly (ClientRequest::trace,
+// Txn::trace) because the server-side handler runs on a different node's
+// coroutine stack.
+//
+// Determinism: trace ids are a per-Tracer counter and timestamps are sim
+// time, so two identically-seeded runs export byte-identical JSON (this is
+// asserted in tests/obs/trace_determinism_test.cc). Keep process-global
+// values — session ids, pointers, host time — out of span names and args.
+//
+// Everything no-ops when disabled: Span construction checks enabled() once
+// and stores nullptr, so the hot-path cost of a compiled-in span is one
+// branch.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/simulation.h"
+#include "sim/time.h"
+
+namespace dufs::obs {
+
+using TraceId = std::uint64_t;  // 0 = untraced
+using TrackId = std::uint32_t;  // one per sim node ("thread" in the export)
+
+class Tracer {
+ public:
+  Tracer() = default;
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  // The tracer reads timestamps from this simulation. Must be called before
+  // Enable().
+  void Bind(sim::Simulation* sim) { sim_ = sim; }
+
+  void SetEnabled(bool on) { enabled_ = on && sim_ != nullptr; }
+  bool enabled() const { return enabled_; }
+
+  // Get-or-create a track by node name. Track ids are assigned in
+  // registration order (construction order of the testbed — deterministic).
+  TrackId Track(const std::string& name);
+  const std::vector<std::string>& tracks() const { return tracks_; }
+
+  TraceId NewTrace() { return ++last_trace_; }
+  TraceId current() const { return current_; }
+  void SetCurrent(TraceId id) { current_ = id; }
+
+  struct Arg {
+    std::string key;
+    std::string str;       // when is_string
+    std::int64_t num = 0;  // otherwise
+    bool is_string = false;
+  };
+
+  struct Event {
+    TrackId track = 0;
+    std::string name;
+    std::string cat;
+    sim::SimTime start = 0;
+    sim::Duration dur = 0;
+    TraceId trace = 0;
+    std::vector<Arg> args;
+  };
+
+  // Record a complete ("X") event. No-op while disabled.
+  void Complete(TrackId track, std::string name, std::string cat,
+                sim::SimTime start, sim::Duration dur, TraceId trace,
+                std::vector<Arg> args = {});
+
+  const std::vector<Event>& events() const { return events_; }
+  void Clear() { events_.clear(); }
+
+  // Chrome trace_event JSON ("traceEvents" array of metadata + "X" events,
+  // ts/dur in microseconds with fixed 3-decimal formatting). Byte-stable
+  // for identical event sequences.
+  std::string ToChromeJson() const;
+  // Returns false when the file cannot be written.
+  bool WriteChromeJson(const std::string& path) const;
+
+  sim::SimTime now() const { return sim_ != nullptr ? sim_->now() : 0; }
+
+ private:
+  sim::Simulation* sim_ = nullptr;
+  bool enabled_ = false;
+  TraceId last_trace_ = 0;
+  TraceId current_ = 0;
+  std::vector<std::string> tracks_;
+  std::vector<Event> events_;
+};
+
+struct NodeObs;  // obs.h
+
+// RAII span: opens at construction, emits one complete event at End() /
+// destruction. Move-only; inactive (null tracer, disabled tracer, or
+// default-constructed) spans are free.
+class Span {
+ public:
+  Span() = default;
+
+  // Attached span: inherits the tracer's current trace id. Inline so the
+  // disabled path costs one branch at the call site.
+  Span(Tracer* tracer, TrackId track, const char* name, const char* cat)
+      : Span(tracer, track, name, cat,
+             tracer != nullptr ? tracer->current() : 0) {}
+  // Explicit-trace span (server side: the id arrived over the wire).
+  Span(Tracer* tracer, TrackId track, const char* name, const char* cat,
+       TraceId trace) {
+    if (tracer == nullptr || !tracer->enabled()) return;
+    tracer_ = tracer;
+    track_ = track;
+    name_ = name;
+    cat_ = cat;
+    start_ = tracer->now();
+    trace_ = trace;
+  }
+
+  // Root span: allocates a fresh trace id and makes it current (the start
+  // of a client operation).
+  static Span Root(const NodeObs& obs, const char* name, const char* cat);
+  // Attached span from a NodeObs bundle.
+  Span(const NodeObs& obs, const char* name, const char* cat);
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  Span(Span&& other) noexcept { *this = std::move(other); }
+  Span& operator=(Span&& other) noexcept {
+    if (this != &other) {
+      End();
+      tracer_ = other.tracer_;
+      other.tracer_ = nullptr;
+      track_ = other.track_;
+      name_ = other.name_;
+      cat_ = other.cat_;
+      start_ = other.start_;
+      trace_ = other.trace_;
+      root_ = other.root_;
+      args_ = std::move(other.args_);
+    }
+    return *this;
+  }
+
+  ~Span() { End(); }
+
+  bool active() const { return tracer_ != nullptr; }
+  TraceId trace() const { return trace_; }
+
+  // Re-publish this span's trace id as the tracer's current. Call after a
+  // resumption, immediately before co_await-ing into a lower layer.
+  void Arm() {
+    if (tracer_ != nullptr) tracer_->SetCurrent(trace_);
+  }
+
+  void ArgInt(const char* key, std::int64_t value) {
+    if (tracer_ == nullptr) return;
+    args_.push_back(Tracer::Arg{key, {}, value, false});
+  }
+  void ArgStr(const char* key, std::string value) {
+    if (tracer_ == nullptr) return;
+    args_.push_back(Tracer::Arg{key, std::move(value), 0, true});
+  }
+
+  // Emit the event; idempotent. A root span also clears the current trace
+  // id (if still its own) so unrelated background work is not attributed
+  // to a finished operation.
+  void End() {
+    if (tracer_ == nullptr) return;
+    Emit();
+  }
+
+ private:
+  void Emit();  // out-of-line tail of End(): record + root cleanup
+
+  Tracer* tracer_ = nullptr;
+  TrackId track_ = 0;
+  const char* name_ = "";
+  const char* cat_ = "";
+  sim::SimTime start_ = 0;
+  TraceId trace_ = 0;
+  bool root_ = false;
+  std::vector<Tracer::Arg> args_;
+};
+
+}  // namespace dufs::obs

@@ -506,10 +506,21 @@ LustreClient::LustreClient(net::RpcEndpoint& endpoint,
                            LustreInstance& instance)
     : endpoint_(endpoint), instance_(instance) {}
 
+void LustreClient::AttachObs(obs::NodeObs node_obs) {
+  obs_ = node_obs;
+  t_mds_ = obs_.timer("lustre.mds_ns");
+  t_oss_ = obs_.timer("lustre.oss_ns");
+}
+
 sim::Task<net::RpcResult> LustreClient::CallMds(std::uint16_t method,
                                                 net::Payload req) {
-  co_return co_await endpoint_.Call(instance_.mds_node(), method,
-                                    std::move(req));
+  obs::Span span(obs_, "mds-call", "backend");
+  span.ArgInt("method", method);
+  const sim::SimTime started = endpoint_.sim().now();
+  auto result = co_await endpoint_.Call(instance_.mds_node(), method,
+                                        std::move(req));
+  t_mds_.Record(endpoint_.sim().now() - started);
+  co_return result;
 }
 
 sim::Task<net::RpcResult> LustreClient::CallOss(std::uint32_t oss_index,
@@ -517,7 +528,13 @@ sim::Task<net::RpcResult> LustreClient::CallOss(std::uint32_t oss_index,
                                                 net::Payload req) {
   const auto& oss = instance_.oss_nodes();
   DUFS_CHECK(oss_index < oss.size());
-  co_return co_await endpoint_.Call(oss[oss_index], method, std::move(req));
+  obs::Span span(obs_, "oss-call", "backend");
+  span.ArgInt("method", method);
+  const sim::SimTime started = endpoint_.sim().now();
+  auto result = co_await endpoint_.Call(oss[oss_index], method,
+                                        std::move(req));
+  t_oss_.Record(endpoint_.sim().now() - started);
+  co_return result;
 }
 
 sim::Task<Result<vfs::FileAttr>> LustreClient::GetAttr(std::string path) {

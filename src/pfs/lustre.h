@@ -23,6 +23,7 @@
 #include <unordered_map>
 
 #include "net/rpc.h"
+#include "obs/obs.h"
 #include "sim/sync.h"
 #include "vfs/filesystem.h"
 #include "vfs/path.h"
@@ -203,6 +204,9 @@ class LustreClient : public vfs::FileSystem {
                                          vfs::Bytes data) override;
   sim::Task<Result<vfs::FsStats>> StatFs() override;
 
+  // Optional: backend-call spans (mds-call / oss-call) + latency timers.
+  void AttachObs(obs::NodeObs node_obs);
+
  private:
   sim::Task<net::RpcResult> CallMds(std::uint16_t method, net::Payload req);
   sim::Task<net::RpcResult> CallOss(std::uint32_t oss_index,
@@ -212,6 +216,9 @@ class LustreClient : public vfs::FileSystem {
   LustreInstance& instance_;
   std::unordered_map<vfs::FileHandle, ObjectRef> handles_;
   vfs::FileHandle next_handle_ = 1;
+  obs::NodeObs obs_;
+  obs::Timer t_mds_;
+  obs::Timer t_oss_;
 };
 
 }  // namespace dufs::pfs

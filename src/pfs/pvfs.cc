@@ -332,6 +332,11 @@ PvfsInstance::PvfsInstance(net::Network& net, std::string name,
 PvfsClient::PvfsClient(net::RpcEndpoint& endpoint, PvfsInstance& instance)
     : endpoint_(endpoint), instance_(instance) {}
 
+void PvfsClient::AttachObs(obs::NodeObs node_obs) {
+  obs_ = node_obs;
+  t_call_ = obs_.timer("pvfs.call_ns");
+}
+
 sim::Task<net::RpcResult> PvfsClient::CallServer(PvfsHandle handle,
                                                  std::uint16_t method,
                                                  net::Payload req) {
@@ -343,7 +348,13 @@ sim::Task<net::RpcResult> PvfsClient::CallIndex(std::uint32_t index,
                                                 net::Payload req) {
   const auto& nodes = instance_.server_nodes();
   DUFS_CHECK(index < nodes.size());
-  co_return co_await endpoint_.Call(nodes[index], method, std::move(req));
+  obs::Span span(obs_, "pvfs-call", "backend");
+  span.ArgInt("method", method);
+  span.ArgInt("server", index);
+  const sim::SimTime started = endpoint_.sim().now();
+  auto result = co_await endpoint_.Call(nodes[index], method, std::move(req));
+  t_call_.Record(endpoint_.sim().now() - started);
+  co_return result;
 }
 
 std::uint32_t PvfsClient::PickServer() {

@@ -19,6 +19,7 @@
 #include <unordered_map>
 
 #include "net/rpc.h"
+#include "obs/obs.h"
 #include "sim/sync.h"
 #include "vfs/filesystem.h"
 #include "vfs/path.h"
@@ -144,6 +145,9 @@ class PvfsClient : public vfs::FileSystem {
                                          vfs::Bytes data) override;
   sim::Task<Result<vfs::FsStats>> StatFs() override;
 
+  // Optional: backend-call spans (pvfs-call) + a latency timer.
+  void AttachObs(obs::NodeObs node_obs);
+
  private:
   struct ResolvedObject {
     PvfsHandle handle = 0;
@@ -165,6 +169,8 @@ class PvfsClient : public vfs::FileSystem {
   std::uint32_t next_server_ = 0;
   std::unordered_map<vfs::FileHandle, PvfsHandle> open_files_;  // -> datafile
   vfs::FileHandle next_handle_ = 1;
+  obs::NodeObs obs_;
+  obs::Timer t_call_;
 };
 
 }  // namespace dufs::pfs

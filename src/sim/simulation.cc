@@ -6,9 +6,20 @@ namespace dufs::sim {
 
 namespace {
 thread_local Simulation* g_current = nullptr;
+
+// Log-prefix clock: the current simulation's now(), or -1 outside any
+// simulation (the logger omits the prefix then).
+std::int64_t SimLogClock() {
+  Simulation* sim = Simulation::Current();
+  return sim != nullptr ? static_cast<std::int64_t>(sim->now()) : -1;
+}
+
 }  // namespace
 
-Simulation::Simulation(std::uint64_t seed) : rng_(seed) {}
+Simulation::Simulation(std::uint64_t seed) : rng_(seed) {
+  // Idempotent: every simulation installs the same function pointer.
+  SetLogClock(&SimLogClock);
+}
 
 Simulation::~Simulation() { Shutdown(); }
 

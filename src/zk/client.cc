@@ -22,6 +22,13 @@ ZkClient::ZkClient(net::RpcEndpoint& endpoint, ZkClientConfig config)
              (NextSessionNumber() & 0xffffffffu);
 }
 
+void ZkClient::AttachObs(obs::NodeObs node_obs) {
+  obs_ = node_obs;
+  c_requests_ = obs_.counter("zk.requests");
+  c_failovers_ = obs_.counter("zk.failovers");
+  t_rpc_ = obs_.timer("zk.rpc_ns");
+}
+
 void ZkClient::SetWatchHandler(WatchCallback cb) {
   watch_cb_ = std::move(cb);
   if (!endpoint_.HasHandler(method::kWatchEvent)) {
@@ -58,16 +65,24 @@ sim::Task<Result<ClientResponse>> ZkClient::Execute(Op op,
   req.session = session_;
   req.op = std::move(op);
   req.multi_ops = std::move(multi_ops);
+  // Span before Encode: the trace id travels inside the request frame.
+  obs::Span span(obs_, "zk-rpc", "zk");
+  if (span.active()) span.ArgStr("op", OpTypeName(req.op.type));
+  req.trace = span.trace();
   const auto payload = req.Encode();
+  const sim::SimTime started = endpoint_.sim().now();
 
   Status last_error(StatusCode::kUnavailable);
   for (int attempt = 0; attempt <= config_.max_retries; ++attempt) {
     if (attempt > 0) {
       ++failovers_;
+      c_failovers_.Inc();
       current_server_ = (current_server_ + 1) % config_.servers.size();
       co_await endpoint_.sim().Delay(config_.retry_backoff);
     }
     ++requests_sent_;
+    c_requests_.Inc();
+    span.Arm();  // resumptions above may have clobbered the current trace
     auto raw = co_await endpoint_.Call(config_.servers[current_server_],
                                        method::kRequest, payload,
                                        config_.request_timeout);
@@ -84,8 +99,10 @@ sim::Task<Result<ClientResponse>> ZkClient::Execute(Op op,
       last_error = Status(StatusCode::kUnavailable);
       continue;
     }
+    t_rpc_.Record(endpoint_.sim().now() - started);
     co_return std::move(*resp);
   }
+  t_rpc_.Record(endpoint_.sim().now() - started);
   co_return last_error;
 }
 

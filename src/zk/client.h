@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "net/rpc.h"
+#include "obs/obs.h"
 #include "zk/proto.h"
 
 namespace dufs::zk {
@@ -68,6 +69,9 @@ class ZkClient {
   std::uint64_t requests_sent() const { return requests_sent_; }
   std::uint64_t failovers() const { return failovers_; }
 
+  // Optional: metrics + trace spans for every RPC issued by this client.
+  void AttachObs(obs::NodeObs node_obs);
+
  private:
   sim::Task<Result<ClientResponse>> Execute(Op op, std::vector<Op> multi_ops);
 
@@ -79,6 +83,10 @@ class ZkClient {
   WatchCallback watch_cb_;
   std::uint64_t requests_sent_ = 0;
   std::uint64_t failovers_ = 0;
+  obs::NodeObs obs_;
+  obs::Counter c_requests_;
+  obs::Counter c_failovers_;
+  obs::Timer t_rpc_;
 };
 
 }  // namespace dufs::zk

@@ -2,6 +2,23 @@
 
 namespace dufs::zk {
 
+const char* OpTypeName(OpType t) {
+  switch (t) {
+    case OpType::kGetData: return "getData";
+    case OpType::kExists: return "exists";
+    case OpType::kGetChildren: return "getChildren";
+    case OpType::kSync: return "sync";
+    case OpType::kCreate: return "create";
+    case OpType::kDelete: return "delete";
+    case OpType::kSetData: return "setData";
+    case OpType::kMulti: return "multi";
+    case OpType::kCreateSession: return "createSession";
+    case OpType::kCloseSession: return "closeSession";
+    case OpType::kCheckVersion: return "checkVersion";
+  }
+  return "unknown";
+}
+
 void Op::Encode(wire::BufferWriter& w) const {
   w.WriteU8(static_cast<std::uint8_t>(type));
   w.WriteString(path);
@@ -73,6 +90,7 @@ Op Op::CheckVersion(std::string path, std::int32_t version) {
 void Txn::Encode(wire::BufferWriter& w) const {
   w.WriteU64(session);
   w.WriteI64(time);
+  w.WriteVarint(trace);
   op.Encode(w);
   w.WriteVarint(multi_ops.size());
   for (const auto& o : multi_ops) o.Encode(w);
@@ -86,6 +104,9 @@ Result<Txn> Txn::Decode(wire::BufferReader& r) {
   auto time = r.ReadI64();
   DUFS_RETURN_IF_ERROR(time);
   txn.time = *time;
+  auto trace = r.ReadVarint();
+  DUFS_RETURN_IF_ERROR(trace);
+  txn.trace = *trace;
   auto op = Op::Decode(r);
   DUFS_RETURN_IF_ERROR(op);
   txn.op = std::move(*op);
@@ -141,6 +162,7 @@ Result<OpResult> OpResult::Decode(wire::BufferReader& r) {
 std::vector<std::uint8_t> ClientRequest::Encode() const {
   wire::BufferWriter w;
   w.WriteU64(session);
+  w.WriteVarint(trace);
   op.Encode(w);
   w.WriteVarint(multi_ops.size());
   for (const auto& o : multi_ops) o.Encode(w);
@@ -154,6 +176,9 @@ Result<ClientRequest> ClientRequest::Decode(
   auto session = r.ReadU64();
   DUFS_RETURN_IF_ERROR(session);
   req.session = *session;
+  auto trace = r.ReadVarint();
+  DUFS_RETURN_IF_ERROR(trace);
+  req.trace = *trace;
   auto op = Op::Decode(r);
   DUFS_RETURN_IF_ERROR(op);
   req.op = std::move(*op);

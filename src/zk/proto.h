@@ -55,6 +55,9 @@ enum class OpType : std::uint8_t {
 
 inline bool IsWrite(OpType t) { return static_cast<int>(t) >= 10; }
 
+// Stable display name ("create", "getChildren", ...) for logs and traces.
+const char* OpTypeName(OpType t);
+
 // One operation — used both for standalone requests and inside a Multi.
 struct Op {
   OpType type = OpType::kGetData;
@@ -82,6 +85,8 @@ struct Op {
 struct Txn {
   SessionId session = 0;
   std::int64_t time = 0;     // leader clock at sequencing time (sim ns)
+  std::uint64_t trace = 0;   // originating trace id; 0 = untraced (varint
+                             // on the wire, so tracing off costs one byte)
   Op op;                     // kCreate/kDelete/kSetData/kCreateSession/...
   std::vector<Op> multi_ops; // when op.type == kMulti
 
@@ -108,6 +113,7 @@ struct OpResult {
 // Client-facing request/response frames (method::kRequest).
 struct ClientRequest {
   SessionId session = 0;
+  std::uint64_t trace = 0;  // see Txn::trace
   Op op;
   std::vector<Op> multi_ops;
 

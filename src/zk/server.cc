@@ -267,6 +267,18 @@ void ZkServer::OnRestart() {
   }
 }
 
+// -------------------------------------------------------- observability ----
+
+void ZkServer::AttachObs(obs::NodeObs node_obs) {
+  obs_ = node_obs;
+  c_reads_ = obs_.counter("zk.reads");
+  c_writes_ = obs_.counter("zk.writes");
+  g_read_queue_ = obs_.gauge("zk.read_queue");
+  g_write_queue_ = obs_.gauge("zk.write_queue");
+  g_journal_pending_ = obs_.gauge("journal.pending");
+  h_fsync_batch_ = obs_.histogram("journal.fsync_batch");
+}
+
 // --------------------------------------------------------------- reads ----
 
 sim::Task<net::RpcResult> ZkServer::HandleRequest(net::NodeId from,
@@ -281,8 +293,13 @@ sim::Task<net::RpcResult> ZkServer::HandleRequest(net::NodeId from,
   }
 
   if (IsWrite(req->op.type) || req->op.type == OpType::kSync) {
+    c_writes_.Inc();
+    g_write_queue_.Set(
+        static_cast<std::int64_t>(write_pipeline_->queue_length()));
+    obs::Span span(obs_.tracer, obs_.track, "zk-write", "zk", req->trace);
     Txn txn;
     txn.session = req->session;
+    txn.trace = req->trace;
     txn.op = std::move(req->op);
     txn.multi_ops = std::move(req->multi_ops);
     auto resp = co_await SubmitWrite(std::move(txn));
@@ -291,6 +308,10 @@ sim::Task<net::RpcResult> ZkServer::HandleRequest(net::NodeId from,
   }
 
   // Local read through the serialized read pipeline.
+  c_reads_.Inc();
+  g_read_queue_.Set(
+      static_cast<std::int64_t>(read_pipeline_->queue_length()));
+  obs::Span span(obs_.tracer, obs_.track, "zk-read", "zk", req->trace);
   {
     auto guard = co_await read_pipeline_->Acquire();
     co_await endpoint_.sim().Delay(config_.perf.read_cpu);
@@ -428,6 +449,7 @@ Zxid ZkServer::ProposeAsLeader(Txn txn) {
   const Zxid zxid = MakeZxid();
   txn.time = endpoint_.sim().now();  // replica-identical ctime/mtime stamps
   const std::size_t txn_bytes = txn.EncodedSize();
+  const obs::TraceId trace = txn.trace;
 
   ProposeMsg msg{zxid, epoch_, txn};
   const auto payload = msg.Encode();
@@ -437,19 +459,21 @@ Zxid ZkServer::ProposeAsLeader(Txn txn) {
   }
 
   pending_txns_.emplace(zxid, std::move(txn));
-  proposals_.emplace(zxid, Proposal{pending_txns_.at(zxid), {}, false});
+  proposals_.emplace(zxid, Proposal{pending_txns_.at(zxid), {}, false,
+                                    endpoint_.sim().now()});
   MaybeScheduleRetransmit();
 
   // Self-ack after the local journal write.
   sim::CurrentSimulationScope scope(&endpoint_.sim());
   endpoint_.sim().Spawn(
-      [](ZkServer& self, Zxid z, std::size_t bytes) -> sim::Task<void> {
-        co_await self.JournalAppend(z, bytes);
+      [](ZkServer& self, Zxid z, std::size_t bytes,
+         obs::TraceId tr) -> sim::Task<void> {
+        co_await self.JournalAppend(z, bytes, tr);
         auto it = self.proposals_.find(z);
         if (it == self.proposals_.end()) co_return;
         it->second.acks.insert(self.endpoint_.self());
         self.TryCommitInOrder();
-      }(*this, zxid, txn_bytes));
+      }(*this, zxid, txn_bytes, trace));
   return zxid;
 }
 
@@ -498,6 +522,8 @@ sim::Task<void> ZkServer::FlushProposalQueue() {
                              static_cast<std::ptrdiff_t>(n));
     ++batch_rounds_;
     proposals_batched_ += n;
+    const sim::SimTime wave_start = endpoint_.sim().now();
+    const obs::TraceId wave_trace = batch.front().second.trace;
     // Per-follower replication bookkeeping, amortized over the batch.
     const auto peers = static_cast<sim::Duration>(config_.servers.size() - 1);
     co_await endpoint_.sim().Delay(peers * config_.perf.per_peer_cpu);
@@ -515,22 +541,33 @@ sim::Task<void> ZkServer::FlushProposalQueue() {
     for (auto& [zxid, txn] : batch) {
       total_bytes += txn.EncodedSize();
       pending_txns_.emplace(zxid, std::move(txn));
-      proposals_.emplace(zxid, Proposal{pending_txns_.at(zxid), {}, false});
+      proposals_.emplace(zxid, Proposal{pending_txns_.at(zxid), {}, false,
+                                        wave_start});
     }
     MaybeScheduleRetransmit();
+
+    if (tracing()) {
+      // One span per quorum wave, attributed to the first txn's trace.
+      obs_.tracer->Complete(
+          obs_.track, "group-commit-flush", "zab", wave_start,
+          endpoint_.sim().now() - wave_start, wave_trace,
+          {{"batch", {}, static_cast<std::int64_t>(n), false},
+           {"zxid_lo", {}, static_cast<std::int64_t>(lo), false},
+           {"zxid_hi", {}, static_cast<std::int64_t>(hi), false}});
+    }
 
     // Self-ack the whole run after one local group-commit fsync.
     sim::CurrentSimulationScope scope(&endpoint_.sim());
     endpoint_.sim().Spawn(
-        [](ZkServer& self, Zxid lo_z, Zxid hi_z,
-           std::size_t bytes) -> sim::Task<void> {
-          co_await self.JournalAppend(hi_z, bytes);
+        [](ZkServer& self, Zxid lo_z, Zxid hi_z, std::size_t bytes,
+           obs::TraceId tr) -> sim::Task<void> {
+          co_await self.JournalAppend(hi_z, bytes, tr);
           for (auto it = self.proposals_.lower_bound(lo_z);
                it != self.proposals_.end() && it->first <= hi_z; ++it) {
             it->second.acks.insert(self.endpoint_.self());
           }
           self.TryCommitInOrder();
-        }(*this, lo, hi, total_bytes));
+        }(*this, lo, hi, total_bytes, wave_trace));
   }
   flush_scheduled_ = false;
   // A submitter may have enqueued between the last drain and the flag
@@ -578,9 +615,10 @@ sim::Task<net::RpcResult> ZkServer::HandlePropose(net::NodeId from,
     co_return net::Payload{};
   }
   const std::size_t bytes = req.size();
+  const obs::TraceId trace = msg->txn.trace;
   pending_txns_.emplace(msg->zxid, std::move(msg->txn));
   co_await endpoint_.node().Compute(config_.perf.follower_txn_cpu);
-  co_await JournalAppend(msg->zxid, bytes);
+  co_await JournalAppend(msg->zxid, bytes, trace);
   endpoint_.Notify(from, method::kAckProposal, EncodeZxid(msg->zxid));
   co_return net::Payload{};
 }
@@ -607,6 +645,7 @@ sim::Task<net::RpcResult> ZkServer::HandleBatchPropose(net::NodeId from,
 
   const Zxid lo = msg->entries.front().first;
   const Zxid hi = msg->entries.back().first;
+  const obs::TraceId trace = msg->entries.front().second.trace;
   std::size_t fresh = 0;
   for (auto& [zxid, txn] : msg->entries) {
     // Retransmit handling: anything already journaled or applied is just
@@ -622,7 +661,7 @@ sim::Task<net::RpcResult> ZkServer::HandleBatchPropose(net::NodeId from,
         config_.perf.follower_txn_cpu * static_cast<sim::Duration>(fresh));
     // One journal entry for the run: a single group-commit fsync covers
     // the whole batch.
-    co_await JournalAppend(hi, req.size());
+    co_await JournalAppend(hi, req.size(), trace);
   }
   // Cumulative ACK: every zxid in [lo, hi] is durable here. The range is
   // exact (never beyond what this message carried), so a lost earlier
@@ -658,6 +697,16 @@ void ZkServer::TryCommitInOrder() {
     // quorum() includes it naturally.
     if (it->second.acks.size() < quorum()) break;
     const Zxid zxid = it->first;
+    if (tracing() && it->second.proposed_at > 0) {
+      // PROPOSE -> quorum of ACKs, on the leader's track.
+      obs_.tracer->Complete(
+          obs_.track, "quorum-round", "zab", it->second.proposed_at,
+          endpoint_.sim().now() - it->second.proposed_at,
+          it->second.txn.trace,
+          {{"zxid", {}, static_cast<std::int64_t>(zxid), false},
+           {"acks", {}, static_cast<std::int64_t>(it->second.acks.size()),
+            false}});
+    }
     proposals_.erase(it);
     last_committed_ = zxid;
     ++writes_committed_;
@@ -755,10 +804,12 @@ void ZkServer::CompleteApplyWaiters() {
 
 // ------------------------------------------------------------- journal ----
 
-sim::Task<void> ZkServer::JournalAppend(Zxid zxid, std::size_t bytes) {
+sim::Task<void> ZkServer::JournalAppend(Zxid zxid, std::size_t bytes,
+                                        obs::TraceId trace) {
   auto [future, promise] = sim::MakeFuture<bool>(endpoint_.sim());
   ++journal_pending_;
-  journal_mb_->Send(JournalEntry{zxid, bytes, promise});
+  g_journal_pending_.Set(static_cast<std::int64_t>(journal_pending_));
+  journal_mb_->Send(JournalEntry{zxid, bytes, trace, promise});
   co_await std::move(future);
 }
 
@@ -776,11 +827,21 @@ sim::Task<void> ZkServer::JournalLoop() {
     }
     std::size_t total = 0;
     for (const auto& e : batch) total += e.bytes;
+    h_fsync_batch_.Record(static_cast<std::int64_t>(batch.size()));
+    const sim::SimTime fsync_start = endpoint_.sim().now();
     co_await endpoint_.node().DiskWrite(total);  // one group-commit fsync
+    if (tracing()) {
+      obs_.tracer->Complete(
+          obs_.track, "fsync-batch", "journal", fsync_start,
+          endpoint_.sim().now() - fsync_start, batch.front().trace,
+          {{"batch", {}, static_cast<std::int64_t>(batch.size()), false},
+           {"bytes", {}, static_cast<std::int64_t>(total), false}});
+    }
     for (auto& e : batch) {
       if (journal_pending_ > 0) --journal_pending_;
       e.done.Set(true);
     }
+    g_journal_pending_.Set(static_cast<std::int64_t>(journal_pending_));
   }
 }
 

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "net/rpc.h"
+#include "obs/obs.h"
 #include "sim/future.h"
 #include "sim/sync.h"
 #include "zk/database.h"
@@ -100,11 +101,16 @@ class ZkServer {
   std::uint64_t batch_rounds() const { return batch_rounds_; }
   std::uint64_t proposals_batched() const { return proposals_batched_; }
 
+  // Optional: request counters, queue-depth gauges, fsync-batch histogram,
+  // and quorum-round / group-commit / fsync trace spans for this server.
+  void AttachObs(obs::NodeObs node_obs);
+
  private:
   struct Proposal {
     Txn txn;
     std::set<net::NodeId> acks;  // deduplicated (retransmits re-ack)
     bool committed = false;
+    sim::SimTime proposed_at = 0;  // quorum-round span start
   };
 
   std::size_t quorum() const { return config_.servers.size() / 2 + 1; }
@@ -151,10 +157,14 @@ class ZkServer {
   struct JournalEntry {
     Zxid zxid;
     std::size_t bytes;
+    obs::TraceId trace = 0;
     sim::Promise<bool> done;
   };
   sim::Task<void> JournalLoop();
-  sim::Task<void> JournalAppend(Zxid zxid, std::size_t bytes);
+  sim::Task<void> JournalAppend(Zxid zxid, std::size_t bytes,
+                                obs::TraceId trace = 0);
+
+  bool tracing() const { return obs_.tracer != nullptr && obs_.tracer->enabled(); }
 
   // Watches.
   void RegisterWatch(const Op& op, SessionId session, net::NodeId client);
@@ -236,6 +246,15 @@ class ZkServer {
   std::uint64_t writes_committed_ = 0;
   std::uint64_t batch_rounds_ = 0;
   std::uint64_t proposals_batched_ = 0;
+
+  // Observability (default handles are no-op dummies; see obs/metrics.h).
+  obs::NodeObs obs_;
+  obs::Counter c_reads_;
+  obs::Counter c_writes_;
+  obs::Gauge g_read_queue_;
+  obs::Gauge g_write_queue_;
+  obs::Gauge g_journal_pending_;
+  obs::Histogram h_fsync_batch_;
 };
 
 }  // namespace dufs::zk

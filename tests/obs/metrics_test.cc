@@ -1,0 +1,91 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace dufs::obs {
+namespace {
+
+TEST(MetricsTest, DefaultHandlesWriteToDummies) {
+  // The null-object pattern: uninstrumented code holds default handles and
+  // records without ever checking for attachment.
+  Counter c;
+  Gauge g;
+  Histogram h;
+  c.Inc();
+  g.Set(7);
+  h.Record(123);
+  // Dummies are shared process-wide; only verify this doesn't crash and the
+  // handles stay readable.
+  EXPECT_GE(c.value(), 1u);
+  EXPECT_GE(g.max(), 7);
+}
+
+TEST(MetricsTest, ScopeGetOrCreateSharesCells) {
+  Scope scope("node");
+  Counter a = scope.counter("ops");
+  Counter b = scope.counter("ops");
+  a.Inc(2);
+  b.Inc(3);
+  EXPECT_EQ(a.value(), 5u);
+  EXPECT_EQ(scope.counter("ops").value(), 5u);
+  EXPECT_EQ(scope.counter("other").value(), 0u);
+}
+
+TEST(MetricsTest, GaugeTracksHighWatermark) {
+  Scope scope("node");
+  Gauge g = scope.gauge("queue");
+  g.Set(3);
+  g.Set(10);
+  g.Set(2);
+  EXPECT_EQ(g.value(), 2);
+  EXPECT_EQ(g.max(), 10);
+  g.Add(-2);
+  EXPECT_EQ(g.value(), 0);
+  EXPECT_EQ(g.max(), 10);
+}
+
+TEST(MetricsTest, TimerIsHistogram) {
+  Scope scope("node");
+  Timer t = scope.timer("lat");
+  t.Record(1'000'000);
+  EXPECT_EQ(scope.histogram("lat").hist().count(), 1u);
+}
+
+TEST(MetricsTest, MergedSnapshotAcrossNodes) {
+  MetricsRegistry reg;
+  reg.scope("a").counter("ops").Inc(2);
+  reg.scope("b").counter("ops").Inc(3);
+  reg.scope("a").gauge("q").Set(5);
+  reg.scope("b").gauge("q").Set(1);
+  reg.scope("a").histogram("lat").Record(100);
+  reg.scope("b").histogram("lat").Record(200);
+  reg.scope("b").counter("only_b").Inc();
+
+  const auto merged = reg.Merged();
+  EXPECT_EQ(merged.counters.at("ops"), 5u);
+  EXPECT_EQ(merged.counters.at("only_b"), 1u);
+  EXPECT_EQ(merged.gauges.at("q"), 6);       // values sum
+  EXPECT_EQ(merged.gauge_maxes.at("q"), 5);  // maxes take max
+  EXPECT_EQ(merged.histograms.at("lat").count(), 2u);
+  EXPECT_EQ(merged.histograms.at("lat").MaxSample(), 200);
+}
+
+TEST(MetricsTest, ToJsonIsDeterministicAndStructured) {
+  auto build = [] {
+    MetricsRegistry reg;
+    reg.scope("zk0").counter("zk.writes").Inc(4);
+    reg.scope("client0").gauge("q").Set(2);
+    reg.scope("client0").histogram("op.ns").Record(1'000);
+    return reg.ToJson();
+  };
+  const std::string a = build();
+  const std::string b = build();
+  EXPECT_EQ(a, b);  // byte-identical for identical registries
+  EXPECT_NE(a.find("\"nodes\""), std::string::npos);
+  EXPECT_NE(a.find("\"merged\""), std::string::npos);
+  EXPECT_NE(a.find("\"zk.writes\":4"), std::string::npos);
+  EXPECT_NE(a.find("\"client0\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dufs::obs

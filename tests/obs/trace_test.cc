@@ -1,0 +1,136 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "mdtest/testbed.h"
+#include "obs/obs.h"
+#include "sim/task.h"
+
+namespace dufs {
+namespace {
+
+using mdtest::BackendKind;
+using mdtest::Testbed;
+using mdtest::TestbedConfig;
+
+TEST(TracerTest, DisabledTracerRecordsNothing) {
+  obs::Tracer tracer;  // not bound, not enabled
+  tracer.Complete(0, "x", "c", 0, 1, 0);
+  EXPECT_TRUE(tracer.events().empty());
+  obs::Span span(&tracer, 0, "op", "cat");
+  EXPECT_FALSE(span.active());
+  span.End();
+  EXPECT_TRUE(tracer.events().empty());
+}
+
+TEST(TracerTest, EnableRequiresBoundSimulation) {
+  obs::Tracer tracer;
+  tracer.SetEnabled(true);  // no sim bound yet
+  EXPECT_FALSE(tracer.enabled());
+}
+
+TEST(TracerTest, TrackIdsFollowRegistrationOrder) {
+  obs::Tracer tracer;
+  const auto a = tracer.Track("zk0");
+  const auto b = tracer.Track("client0");
+  EXPECT_EQ(tracer.Track("zk0"), a);  // get-or-create
+  EXPECT_NE(a, b);
+  ASSERT_EQ(tracer.tracks().size(), 2u);
+  EXPECT_EQ(tracer.tracks()[a], "zk0");
+  EXPECT_EQ(tracer.tracks()[b], "client0");
+}
+
+TEST(TracerTest, ChromeJsonHasMetadataAndEvents) {
+  sim::Simulation sim(1);
+  obs::Tracer tracer;
+  tracer.Bind(&sim);
+  tracer.SetEnabled(true);
+  const auto track = tracer.Track("node0");
+  tracer.Complete(track, "work", "cat", 1'500, 2'500, 7,
+                  {{"key", "", 42, false}});
+  const std::string json = tracer.ToChromeJson();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"node0\""), std::string::npos);
+  // 1500ns start / 2500ns duration as fixed-point microseconds.
+  EXPECT_NE(json.find("\"ts\":1.500"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":2.500"), std::string::npos);
+  EXPECT_NE(json.find("\"trace\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"key\":42"), std::string::npos);
+}
+
+// The acceptance chain: one DUFS Create, traced end to end — the root op
+// span, the ZK RPC under it, the leader's quorum round, and the journal
+// fsync batch all carry the same trace id.
+TEST(TraceChainTest, CreateSpansChainThroughStack) {
+  TestbedConfig config;
+  config.zk_servers = 3;
+  config.client_nodes = 1;
+  config.backend = BackendKind::kMemFs;
+  config.backend_instances = 1;
+  config.enable_trace = true;
+  Testbed tb(config);
+  tb.MountAll();
+
+  // MountAll itself produces spans; keep only the Create's.
+  tb.obs().tracer().Clear();
+  sim::RunTask(tb.sim(), [](Testbed& t) -> sim::Task<void> {
+    auto attr = co_await t.client(0).dufs->Create("/traced", 0644);
+    DUFS_CHECK(attr.ok());
+  }(tb));
+
+  const auto& events = tb.obs().tracer().events();
+  ASSERT_FALSE(events.empty());
+  auto find_name = [&](const char* name) {
+    return std::find_if(events.begin(), events.end(),
+                        [&](const obs::Tracer::Event& e) {
+                          return e.name == name;
+                        });
+  };
+  auto create = find_name("create");
+  ASSERT_NE(create, events.end());
+  const obs::TraceId trace = create->trace;
+  ASSERT_NE(trace, 0u);
+
+  for (const char* name :
+       {"zk-rpc", "zk-write", "quorum-round", "fsync-batch"}) {
+    auto it = std::find_if(events.begin(), events.end(),
+                           [&](const obs::Tracer::Event& e) {
+                             return e.name == name && e.trace == trace;
+                           });
+    EXPECT_NE(it, events.end()) << "missing span in chain: " << name;
+  }
+  // The chain nests in time: each child starts at or after the root.
+  for (const auto& e : events) {
+    if (e.trace == trace) {
+      EXPECT_GE(e.start, create->start) << e.name;
+    }
+  }
+}
+
+TEST(TraceChainTest, TracingOffByDefaultAndCheap) {
+  TestbedConfig config;
+  config.zk_servers = 3;
+  config.client_nodes = 1;
+  config.backend = BackendKind::kMemFs;
+  config.backend_instances = 1;
+  Testbed tb(config);
+  tb.MountAll();
+  sim::RunTask(tb.sim(), [](Testbed& t) -> sim::Task<void> {
+    auto attr = co_await t.client(0).dufs->Create("/untraced", 0644);
+    DUFS_CHECK(attr.ok());
+  }(tb));
+  EXPECT_FALSE(tb.obs().tracer().enabled());
+  EXPECT_TRUE(tb.obs().tracer().events().empty());
+  // Metrics still collected even with tracing off.
+  const auto merged = tb.obs().metrics().Merged();
+  EXPECT_GT(merged.counters.at("zk.requests"), 0u);
+  EXPECT_GT(merged.counters.at("zk.writes"), 0u);
+}
+
+}  // namespace
+}  // namespace dufs
