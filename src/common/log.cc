@@ -61,8 +61,8 @@ namespace internal {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
     : level_(level) {
-  if (LogClock clock = GetLogClock()) {
-    const std::int64_t ns = clock();
+  if (LogClock log_clock = GetLogClock()) {
+    const std::int64_t ns = log_clock();
     if (ns >= 0) {
       char buf[40];
       std::snprintf(buf, sizeof(buf), "[t=%lld.%03lldms] ",

@@ -229,8 +229,7 @@ void DufsClient::InvalidateAfterMutation(const std::string& virtual_path,
   meta_cache_.Invalidate(ZnodePath(vfs::DirName(virtual_path)));
 }
 
-sim::Task<Status> DufsClient::CheckParentIsDir(
-    const std::string& virtual_path) {
+sim::Task<Status> DufsClient::CheckParentIsDir(std::string virtual_path) {
   const std::string parent = vfs::DirName(virtual_path);
   auto lookup = co_await LookupPath(parent);
   if (!lookup.ok()) co_return lookup.status();
@@ -241,7 +240,7 @@ sim::Task<Status> DufsClient::CheckParentIsDir(
 }
 
 sim::Task<Status> DufsClient::EnsurePhysicalDirs(std::uint32_t backend,
-                                                 const Fid& fid) {
+                                                 Fid fid) {
   for (const auto& dir : PhysicalDirsForFid(fid)) {
     const std::string key = std::to_string(backend) + ":" + dir;
     if (known_phys_dirs_.count(key) > 0) continue;
@@ -441,9 +440,8 @@ sim::Task<Result<std::vector<vfs::DirEntry>>> DufsClient::ReadDir(
   co_return entries;
 }
 
-sim::Task<Status> DufsClient::RenameSubtree(const std::string& from,
-                                            const std::string& to,
-                                            const Lookup& src) {
+sim::Task<Status> DufsClient::RenameSubtree(std::string from, std::string to,
+                                            Lookup src) {
   // Destination semantics (POSIX): a directory may replace only an *empty*
   // directory; anything else is a type/occupancy error.
   std::optional<std::int32_t> replace_dst_version;

@@ -143,13 +143,13 @@ class DufsClient : public vfs::FileSystem {
 
   // Fast parent-is-a-directory check through the metadata cache (FUSE's
   // dentry cache plays this role in the paper's prototype).
-  sim::Task<Status> CheckParentIsDir(const std::string& virtual_path);
+  sim::Task<Status> CheckParentIsDir(std::string virtual_path);
 
   // Creates (and caches) the static FID directory skeleton lazily.
-  sim::Task<Status> EnsurePhysicalDirs(std::uint32_t backend, const Fid& fid);
+  sim::Task<Status> EnsurePhysicalDirs(std::uint32_t backend, Fid fid);
 
-  sim::Task<Status> RenameSubtree(const std::string& from,
-                                  const std::string& to, const Lookup& src);
+  sim::Task<Status> RenameSubtree(std::string from, std::string to,
+                                  Lookup src);
 
   vfs::FileAttr AttrFromDir(const MetaRecord& record,
                             const zk::ZnodeStat& stat) const;

@@ -9,7 +9,7 @@ DufsFsck::DufsFsck(DufsClient& client, zk::ZkClient& zk,
     : client_(client), zk_(zk), backends_(std::move(backends)) {}
 
 sim::Task<Status> DufsFsck::WalkNamespace(
-    std::string virtual_path, FsckReport& report,
+    std::string virtual_path, FsckReport& report,  // dufs-lint: allow(coro-ref-param)
     std::vector<std::pair<std::uint32_t, Fid>>& referenced) {
   const std::string ns_root = client_.config().meta_prefix + "/ns";
   const std::string znode =
@@ -55,7 +55,7 @@ sim::Task<Status> DufsFsck::WalkNamespace(
 }
 
 sim::Task<Status> DufsFsck::WalkBackend(
-    std::uint32_t backend, std::string dir, int level, FsckReport& report,
+    std::uint32_t backend, std::string dir, int level, FsckReport& report,  // dufs-lint: allow(coro-ref-param)
     std::vector<std::pair<std::uint32_t, Fid>>& referenced) {
   auto entries = co_await backends_[backend]->ReadDir(dir);
   if (entries.code() == StatusCode::kNotFound) co_return Status::Ok();

@@ -53,12 +53,14 @@ class DufsFsck {
   sim::Task<Result<FsckReport>> Repair();
 
  private:
+  // Out-param accumulators: report/referenced live in Check()/Repair(),
+  // which co_await every walk frame to completion before returning.
   sim::Task<Status> WalkNamespace(std::string virtual_path,
-                                  FsckReport& report,
+                                  FsckReport& report,  // dufs-lint: allow(coro-ref-param)
                                   std::vector<std::pair<std::uint32_t,
                                                         Fid>>& referenced);
   sim::Task<Status> WalkBackend(std::uint32_t backend, std::string dir,
-                                int level, FsckReport& report,
+                                int level, FsckReport& report,  // dufs-lint: allow(coro-ref-param)
                                 std::vector<std::pair<std::uint32_t, Fid>>&
                                     referenced);
 

@@ -76,13 +76,14 @@ std::optional<Fid> FidFromPhysicalPath(std::string_view path) {
   for (std::size_t level = 0; level < kDirLevels; ++level) {
     if (path[pos] != '/') return std::nullopt;
     ++pos;
-    const auto group = path.substr(pos, kGroup);
-    hex.replace(32 - (level + 1) * kGroup, kGroup, group);
+    for (std::size_t k = 0; k < kGroup; ++k) {
+      hex[32 - (level + 1) * kGroup + k] = path[pos + k];
+    }
     pos += kGroup;
   }
   if (path[pos] != '/') return std::nullopt;
   ++pos;
-  hex.replace(0, kNameLen, path.substr(pos, kNameLen));
+  for (std::size_t k = 0; k < kNameLen; ++k) hex[k] = path[pos + k];
   return Fid::FromHex(hex);
 }
 

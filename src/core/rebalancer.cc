@@ -15,9 +15,9 @@ Rebalancer::Rebalancer(zk::ZkClient& zk,
       old_policy_(old_policy),
       new_policy_(new_policy) {}
 
-sim::Task<Status> Rebalancer::MoveFile(const Fid& fid, std::uint32_t from,
+sim::Task<Status> Rebalancer::MoveFile(Fid fid, std::uint32_t from,
                                        std::uint32_t to,
-                                       RebalanceStats& stats) {
+                                       RebalanceStats& stats) {  // dufs-lint: allow(coro-ref-param)
   const std::string path = PhysicalPathForFid(fid);
   auto src = co_await backends_[from]->Open(path, vfs::kRead);
   if (!src.ok()) co_return src.status();
@@ -64,7 +64,7 @@ sim::Task<Status> Rebalancer::MoveFile(const Fid& fid, std::uint32_t from,
 }
 
 sim::Task<Status> Rebalancer::Walk(std::string virtual_path,
-                                   RebalanceStats& stats) {
+                                   RebalanceStats& stats) {  // dufs-lint: allow(coro-ref-param)
   const std::string znode =
       virtual_path == "/" ? "/dufs/ns" : "/dufs/ns" + virtual_path;
   auto got = co_await zk_.Get(znode);

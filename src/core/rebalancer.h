@@ -31,9 +31,12 @@ class Rebalancer {
   sim::Task<Result<RebalanceStats>> Run();
 
  private:
+  // `stats` is an out-param accumulator owned by Run(), which co_awaits
+  // every Walk/MoveFile frame to completion before returning it.
+  // dufs-lint: allow(coro-ref-param)
   sim::Task<Status> Walk(std::string virtual_path, RebalanceStats& stats);
-  sim::Task<Status> MoveFile(const Fid& fid, std::uint32_t from,
-                             std::uint32_t to, RebalanceStats& stats);
+  sim::Task<Status> MoveFile(Fid fid, std::uint32_t from, std::uint32_t to,
+                             RebalanceStats& stats);  // dufs-lint: allow(coro-ref-param)
 
   zk::ZkClient& zk_;
   std::vector<vfs::FileSystem*> backends_;

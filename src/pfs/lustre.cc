@@ -63,8 +63,10 @@ void LustreMds::Start() {
 
   for (std::uint16_t m = lustre_method::kGetAttr;
        m <= lustre_method::kStatFs; ++m) {
+    // Handler closures are stored in the endpoint's handler map, which this
+    // MDS owns for its whole lifetime — `this` outlives every invocation.
     endpoint_.RegisterHandler(
-        m, [this, m](net::NodeId from,
+        m, [this, m](net::NodeId from,  // dufs-lint: allow(coro-capture-ref)
                      net::Payload req) -> sim::Task<net::RpcResult> {
           ++inflight_;
           ++ops_served_;
@@ -407,8 +409,9 @@ LustreOss::LustreOss(net::RpcEndpoint& endpoint, LustrePerfModel perf)
 void LustreOss::Start() {
   for (std::uint16_t m = lustre_method::kObjRead;
        m <= lustre_method::kObjDestroy; ++m) {
+    // Stored in the endpoint's handler map; `this` outlives every call.
     endpoint_.RegisterHandler(
-        m, [this, m](net::NodeId,
+        m, [this, m](net::NodeId,  // dufs-lint: allow(coro-capture-ref)
                      net::Payload req) -> sim::Task<net::RpcResult> {
           co_return co_await Handle(m, std::move(req));
         });

@@ -44,8 +44,9 @@ void PvfsServer::Start() {
   trove_disk_ = std::make_unique<sim::Resource>(endpoint_.sim(), 1);
   for (std::uint16_t m = pvfs_method::kLookup; m <= pvfs_method::kStatFsObj;
        ++m) {
+    // Stored in the endpoint's handler map; `this` outlives every call.
     endpoint_.RegisterHandler(
-        m, [this, m](net::NodeId,
+        m, [this, m](net::NodeId,  // dufs-lint: allow(coro-capture-ref)
                      net::Payload req) -> sim::Task<net::RpcResult> {
           co_return co_await Handle(m, std::move(req));
         });

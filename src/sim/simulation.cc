@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "sim/audit.h"
+
 namespace dufs::sim {
 
 namespace {
@@ -35,6 +37,9 @@ CurrentSimulationScope::~CurrentSimulationScope() { g_current = saved_; }
 void Simulation::ScheduleHandle(Duration delay, std::coroutine_handle<> h) {
   DUFS_CHECK(delay >= 0);
   DUFS_CHECK(h != nullptr);
+  // Double-resume and resume-after-completion are caught here, at schedule
+  // time, before the corrupted resume would actually execute.
+  audit::HandleScheduled(h.address());
   queue_.push(Event{now_ + delay, next_seq_++, h, nullptr});
 }
 
@@ -53,11 +58,13 @@ std::uint64_t Simulation::Run(SimTime until) {
     // reference.
     Event ev = top;
     queue_.pop();
+    if (ev.at < now_) audit::ClockRegression(now_, ev.at);
     DUFS_CHECK(ev.at >= now_);
     now_ = ev.at;
     ++processed;
     ++events_processed_;
     if (ev.handle) {
+      audit::HandleResumed(ev.handle.address());
       ev.handle.resume();
     } else if (ev.fn) {
       ev.fn();
@@ -75,8 +82,14 @@ void Simulation::Shutdown() {
   CurrentSimulationScope scope(this);
   // Drop pending events first: the frames they reference are owned either by
   // the detached registry (destroyed below) or by parent frames reachable
-  // from it.
-  while (!queue_.empty()) queue_.pop();
+  // from it. The audit hook also clears each frame's pending-schedule mark so
+  // the detached destruction below is not misreported as
+  // destroyed-while-scheduled.
+  while (!queue_.empty()) {
+    const Event& ev = queue_.top();
+    audit::EventDroppedAtShutdown(ev.handle ? ev.handle.address() : nullptr);
+    queue_.pop();
+  }
   // Destroying a frame runs destructors of its locals, which recursively
   // destroys owned child tasks — but never other *detached* frames, so a
   // snapshot of the registry is safe to iterate.
@@ -85,6 +98,7 @@ void Simulation::Shutdown() {
   for (void* frame : frames) {
     std::coroutine_handle<>::from_address(frame).destroy();
   }
+  audit::SimTeardown();
   shut_down_ = false;  // allow reuse (tests run several workloads per sim)
 }
 

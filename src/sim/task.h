@@ -17,6 +17,7 @@
 #include <utility>
 
 #include "common/log.h"
+#include "sim/audit.h"
 #include "sim/simulation.h"
 
 namespace dufs::sim {
@@ -28,6 +29,23 @@ struct TaskPromiseBase {
   std::coroutine_handle<> continuation;
   bool detached = false;
   std::exception_ptr exception;
+
+#ifdef DUFS_AUDIT
+  // The pointer returned here is the frame start — the same address
+  // coroutine_handle<>::address() reports — so the audit registry can match
+  // schedule/resume/destroy events to allocations. Audit-only: the promise
+  // layout is identical either way (ODR safety is enforced by defining
+  // DUFS_AUDIT globally in CMake, never per target).
+  static void* operator new(std::size_t bytes) {
+    void* frame = ::operator new(bytes);
+    audit::FrameAllocated(frame, bytes);
+    return frame;
+  }
+  static void operator delete(void* frame, std::size_t bytes) {
+    audit::FrameFreed(frame);
+    ::operator delete(frame, bytes);
+  }
+#endif
 
   std::suspend_always initial_suspend() noexcept { return {}; }
 
@@ -46,6 +64,7 @@ struct TaskFinalAwaiter {
   std::coroutine_handle<> await_suspend(
       std::coroutine_handle<Promise> h) noexcept {
     auto& p = h.promise();
+    audit::FrameCompleted(h.address());
     if (p.detached) {
       Simulation* sim = p.sim;
       if (sim != nullptr) sim->UnregisterDetached(h.address());

@@ -2,20 +2,30 @@
 
 namespace dufs::vfs {
 
+// Each mutation hands Fanout a value-capturing lambda coroutine (the frame
+// must not reference this function's locals — see the coro-capture-ref lint
+// rule). The closure is always bound to a named local first: GCC 12
+// miscompiles a *temporary* closure with non-trivially-destructible
+// captures passed straight into a coroutine parameter (the capture is
+// destroyed twice; glibc aborts with "munmap_chunk(): invalid pointer").
+// An lvalue argument takes the plain copy-construction path and is fine.
+
 sim::Task<Result<FileAttr>> NaiveMirrorFs::GetAttr(std::string path) {
   co_return co_await backends_[0]->GetAttr(std::move(path));
 }
 
 sim::Task<Status> NaiveMirrorFs::Mkdir(std::string path, Mode mode) {
-  co_return co_await Fanout([&](FileSystem& fs) -> sim::Task<Status> {
+  auto op = [path, mode](FileSystem& fs) -> sim::Task<Status> {
     co_return co_await fs.Mkdir(path, mode);
-  });
+  };
+  co_return co_await Fanout(op);
 }
 
 sim::Task<Status> NaiveMirrorFs::Rmdir(std::string path) {
-  co_return co_await Fanout([&](FileSystem& fs) -> sim::Task<Status> {
+  auto op = [path](FileSystem& fs) -> sim::Task<Status> {
     co_return co_await fs.Rmdir(path);
-  });
+  };
+  co_return co_await Fanout(op);
 }
 
 sim::Task<Result<FileAttr>> NaiveMirrorFs::Create(std::string path,
@@ -33,9 +43,10 @@ sim::Task<Result<FileAttr>> NaiveMirrorFs::Create(std::string path,
 }
 
 sim::Task<Status> NaiveMirrorFs::Unlink(std::string path) {
-  co_return co_await Fanout([&](FileSystem& fs) -> sim::Task<Status> {
+  auto op = [path](FileSystem& fs) -> sim::Task<Status> {
     co_return co_await fs.Unlink(path);
-  });
+  };
+  co_return co_await Fanout(op);
 }
 
 sim::Task<Result<std::vector<DirEntry>>> NaiveMirrorFs::ReadDir(
@@ -44,36 +55,41 @@ sim::Task<Result<std::vector<DirEntry>>> NaiveMirrorFs::ReadDir(
 }
 
 sim::Task<Status> NaiveMirrorFs::Rename(std::string from, std::string to) {
-  co_return co_await Fanout([&](FileSystem& fs) -> sim::Task<Status> {
+  auto op = [from, to](FileSystem& fs) -> sim::Task<Status> {
     co_return co_await fs.Rename(from, to);
-  });
+  };
+  co_return co_await Fanout(op);
 }
 
 sim::Task<Status> NaiveMirrorFs::Chmod(std::string path, Mode mode) {
-  co_return co_await Fanout([&](FileSystem& fs) -> sim::Task<Status> {
+  auto op = [path, mode](FileSystem& fs) -> sim::Task<Status> {
     co_return co_await fs.Chmod(path, mode);
-  });
+  };
+  co_return co_await Fanout(op);
 }
 
 sim::Task<Status> NaiveMirrorFs::Utimens(std::string path, std::int64_t atime,
                                          std::int64_t mtime) {
-  co_return co_await Fanout([&](FileSystem& fs) -> sim::Task<Status> {
+  auto op = [path, atime, mtime](FileSystem& fs) -> sim::Task<Status> {
     co_return co_await fs.Utimens(path, atime, mtime);
-  });
+  };
+  co_return co_await Fanout(op);
 }
 
 sim::Task<Status> NaiveMirrorFs::Truncate(std::string path,
                                           std::uint64_t size) {
-  co_return co_await Fanout([&](FileSystem& fs) -> sim::Task<Status> {
+  auto op = [path, size](FileSystem& fs) -> sim::Task<Status> {
     co_return co_await fs.Truncate(path, size);
-  });
+  };
+  co_return co_await Fanout(op);
 }
 
 sim::Task<Status> NaiveMirrorFs::Symlink(std::string target,
                                          std::string link_path) {
-  co_return co_await Fanout([&](FileSystem& fs) -> sim::Task<Status> {
+  auto op = [target, link_path](FileSystem& fs) -> sim::Task<Status> {
     co_return co_await fs.Symlink(target, link_path);
-  });
+  };
+  co_return co_await Fanout(op);
 }
 
 sim::Task<Result<std::string>> NaiveMirrorFs::ReadLink(std::string path) {

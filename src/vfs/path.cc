@@ -16,8 +16,8 @@ std::vector<std::string> SplitPath(std::string_view path) {
 }
 
 std::string JoinPath(std::string_view parent, std::string_view child) {
-  if (parent.empty() || parent == "/") return "/" + std::string(child);
-  std::string out(parent);
+  std::string out;
+  if (!(parent.empty() || parent == "/")) out = parent;
   out.push_back('/');
   out.append(child);
   return out;

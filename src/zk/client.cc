@@ -32,9 +32,10 @@ void ZkClient::AttachObs(obs::NodeObs node_obs) {
 void ZkClient::SetWatchHandler(WatchCallback cb) {
   watch_cb_ = std::move(cb);
   if (!endpoint_.HasHandler(method::kWatchEvent)) {
+    // Stored in the endpoint's handler map; `this` outlives every call.
     endpoint_.RegisterHandler(
         method::kWatchEvent,
-        [this](net::NodeId, net::Payload bytes) -> sim::Task<net::RpcResult> {
+        [this](net::NodeId, net::Payload bytes) -> sim::Task<net::RpcResult> {  // dufs-lint: allow(coro-capture-ref)
           auto ev = WatchEvent::Decode(bytes);
           if (ev.ok() && watch_cb_) watch_cb_(*ev);
           co_return net::Payload{};

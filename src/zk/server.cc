@@ -174,8 +174,11 @@ ZkServer::ZkServer(net::RpcEndpoint& endpoint, ZkEnsembleConfig config,
 void ZkServer::Start() {
   DUFS_CHECK(!started_);
   started_ = true;
+  // The bound closures live in the endpoint's handler map; `this` outlives
+  // them, and the inner lambda is not itself a coroutine (it forwards to a
+  // member coroutine whose frame holds `this` via the implicit parameter).
   auto bind = [this](auto method_fn) {
-    return [this, method_fn](net::NodeId from,
+    return [this, method_fn](net::NodeId from,  // dufs-lint: allow(coro-capture-ref)
                              net::Payload req) -> sim::Task<net::RpcResult> {
       return (this->*method_fn)(from, std::move(req));
     };
@@ -366,7 +369,7 @@ sim::Task<Result<ClientResponse>> ZkServer::SubmitWrite(Txn txn) {
 }
 
 sim::Task<Result<ClientResponse>> ZkServer::SubmitWriteTracked(Txn txn,
-                                                               Zxid& zxid) {
+                                                               Zxid& zxid) {  // dufs-lint: allow(coro-ref-param)
   if (role_ == Role::kLeading) {
     {
       // The leader's single request-processor thread: serialization +

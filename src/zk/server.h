@@ -139,6 +139,8 @@ class ZkServer {
 
   // Write-path helpers.
   sim::Task<Result<ClientResponse>> SubmitWrite(Txn txn);
+  // `zxid` is an out-param owned by the awaiting HandleRequest frame.
+  // dufs-lint: allow(coro-ref-param)
   sim::Task<Result<ClientResponse>> SubmitWriteTracked(Txn txn, Zxid& zxid);
   Zxid ProposeAsLeader(Txn txn);  // returns the assigned zxid
   // Group-commit path: drains propose_queue_ in max_journal_batch-sized

@@ -43,7 +43,8 @@ class DufsModelTest : public ::testing::TestWithParam<SoupParam> {};
 // Normalizes statuses into comparable classes (message text differs).
 StatusCode ClassOf(const Status& s) { return s.code(); }
 
-sim::Task<void> RunSoup(Testbed& tb, vfs::MemFs& oracle, Rng& rng,
+// All referents live in the test body, which drives the frame to completion.
+sim::Task<void> RunSoup(Testbed& tb, vfs::MemFs& oracle, Rng& rng,  // dufs-lint: allow(coro-ref-param)
                         int ops, int* mismatches) {
   auto& dufs = *tb.client(0).dufs;
 
@@ -150,8 +151,9 @@ sim::Task<void> RunSoup(Testbed& tb, vfs::MemFs& oracle, Rng& rng,
   }
 }
 
-// Recursively compares the visible namespace.
-sim::Task<void> CompareTrees(core::DufsClient& dufs, vfs::MemFs& oracle,
+// Recursively compares the visible namespace. `dufs`/`oracle` live in the
+// test body, which drives the frame to completion.
+sim::Task<void> CompareTrees(core::DufsClient& dufs, vfs::MemFs& oracle,  // dufs-lint: allow(coro-ref-param)
                              std::string path) {
   auto a = co_await dufs.ReadDir(path);
   auto b = co_await oracle.ReadDir(path);

@@ -29,7 +29,7 @@ TestbedConfig FailoverConfig() {
 
 // Drives mkdir ops while faults are injected; returns the set of paths the
 // client believes were acknowledged.
-sim::Task<void> Workload(Testbed& tb, int count, sim::Duration gap,
+sim::Task<void> Workload(Testbed& tb, int count, sim::Duration gap,  // dufs-lint: allow(coro-ref-param)
                          std::set<std::string>* acked) {
   for (int i = 0; i < count; ++i) {
     const std::string path = "/w" + std::to_string(i);
@@ -39,7 +39,8 @@ sim::Task<void> Workload(Testbed& tb, int count, sim::Duration gap,
   }
 }
 
-sim::Task<void> VerifyAcked(Testbed& tb, const std::set<std::string>& acked) {
+// `tb`/`acked` live in the test body, which runs the sim to completion.
+sim::Task<void> VerifyAcked(Testbed& tb, const std::set<std::string>& acked) {  // dufs-lint: allow(coro-ref-param)
   for (const auto& path : acked) {
     auto attr = co_await tb.client(1).dufs->GetAttr(path);
     EXPECT_TRUE(attr.ok()) << "acknowledged dir lost: " << path;

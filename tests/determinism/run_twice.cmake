@@ -1,0 +1,42 @@
+# Determinism regression gate: run the ablation bench twice with the same
+# seed and require the metrics and trace exports to be byte-identical.
+#
+# Invoked by ctest as:
+#   cmake -DBENCH=<ablation_fastpath> -DWORKDIR=<dir> -P run_twice.cmake
+#
+# Any divergence means process entropy leaked into the simulation (exactly
+# what the sim-time-source lint rule and the DUFS_AUDIT layer exist to keep
+# out), so the test fails hard with the first differing file.
+
+if(NOT DEFINED BENCH OR NOT DEFINED WORKDIR)
+  message(FATAL_ERROR "usage: cmake -DBENCH=... -DWORKDIR=... -P run_twice.cmake")
+endif()
+
+file(MAKE_DIRECTORY "${WORKDIR}")
+
+# Small sizes keep the gate fast; the seed is arbitrary but fixed.
+set(ARGS --seed=7 --width=8 --files=4 --rounds=2 --procs=8 --items=4)
+
+foreach(run 1 2)
+  execute_process(
+    COMMAND "${BENCH}" ${ARGS}
+      --metrics-json=${WORKDIR}/metrics_${run}.json
+      --trace=${WORKDIR}/trace_${run}.json
+    OUTPUT_QUIET
+    RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "run ${run} of ${BENCH} failed with exit code ${rc}")
+  endif()
+endforeach()
+
+foreach(kind metrics trace)
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files
+      "${WORKDIR}/${kind}_1.json" "${WORKDIR}/${kind}_2.json"
+    RESULT_VARIABLE diff)
+  if(NOT diff EQUAL 0)
+    message(FATAL_ERROR
+      "${kind} export differs between two runs with --seed=7: the "
+      "simulation is no longer deterministic")
+  endif()
+endforeach()

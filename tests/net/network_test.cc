@@ -174,13 +174,15 @@ struct RpcFixture {
     b = net.AddNode("server");
     ep_a = std::make_unique<RpcEndpoint>(net, a);
     ep_b = std::make_unique<RpcEndpoint>(net, b);
+    // The fixture owns ep_b (and so the handler closures) and outlives
+    // every sim.Run() that can invoke them.
     ep_b->RegisterHandler(kEcho,
-                          [this](NodeId, Payload req) -> sim::Task<RpcResult> {
+                          [this](NodeId, Payload req) -> sim::Task<RpcResult> {  // dufs-lint: allow(coro-capture-ref)
                             co_await net.node(b).Compute(sim::Us(10));
                             co_return req;  // echo
                           });
     ep_b->RegisterHandler(kSlow,
-                          [this](NodeId, Payload req) -> sim::Task<RpcResult> {
+                          [this](NodeId, Payload req) -> sim::Task<RpcResult> {  // dufs-lint: allow(coro-capture-ref)
                             co_await sim.Delay(sim::Sec(10));
                             co_return req;
                           });
@@ -253,7 +255,8 @@ TEST(RpcTest, ConcurrentCallsAllComplete) {
 TEST(RpcTest, NotifyDeliversWithoutResponse) {
   RpcFixture f;
   int notified = 0;
-  f.ep_b->RegisterHandler(7, [&](NodeId, Payload) -> sim::Task<RpcResult> {
+  // `notified` and the handler closure both outlive the sim.Run() below.
+  f.ep_b->RegisterHandler(7, [&](NodeId, Payload) -> sim::Task<RpcResult> {  // dufs-lint: allow(coro-capture-default)
     ++notified;
     co_return Payload{};
   });

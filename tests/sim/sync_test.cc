@@ -9,7 +9,8 @@
 namespace dufs::sim {
 namespace {
 
-Task<void> UseResource(Simulation& sim, Resource& res, Duration hold,
+// `res`/`spans` live in the test body, which runs the sim to completion.
+Task<void> UseResource(Simulation& sim, Resource& res, Duration hold,  // dufs-lint: allow(coro-ref-param)
                        std::vector<std::pair<SimTime, SimTime>>& spans) {
   auto guard = co_await res.Acquire();
   const SimTime start = sim.now();

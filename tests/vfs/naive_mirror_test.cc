@@ -1,0 +1,88 @@
+// NaiveMirrorFs is the paper's Fig. 1 strawman: every mutation fans out to
+// each backend in order with no coordination. These tests pin down the
+// fan-out semantics (all replicas see the mutation; reads come from
+// backend 0) and — just as importantly — execute every Fanout call site.
+// Each one hands a value-capturing lambda coroutine to Fanout, the exact
+// shape a GCC 12 codegen bug double-destroys when the closure is passed as
+// a temporary (see the comment atop naive_mirror.cc); a regression shows
+// up here as a glibc abort, not a failed expectation.
+#include "vfs/naive_mirror.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulation.h"
+#include "sim/task.h"
+#include "vfs/memfs.h"
+
+namespace dufs::vfs {
+namespace {
+
+class NaiveMirrorTest : public ::testing::Test {
+ protected:
+  NaiveMirrorTest()
+      : sim_(7),
+        a_(sim_, "mdsA", {sim::Us(80)}),
+        b_(sim_, "mdsB", {sim::Us(120)}),
+        fs_({&a_, &b_}) {}
+
+  // True iff `path` exists on the given replica.
+  bool ExistsOn(MemFs& replica, std::string path) {
+    bool found = false;
+    sim::RunTask(sim_, [](MemFs& m, std::string p,
+                          bool& out) -> sim::Task<void> {
+      // Out-param: `found` lives in ExistsOn, which blocks on RunTask.
+      out = (co_await m.GetAttr(p)).ok();
+    }(replica, std::move(path), found));  // dufs-lint: allow(coro-ref-param)
+    return found;
+  }
+
+  sim::Simulation sim_;
+  MemFs a_;
+  MemFs b_;
+  NaiveMirrorFs fs_;
+};
+
+TEST_F(NaiveMirrorTest, MutationsReachEveryReplica) {
+  sim::RunTask(sim_, [](NaiveMirrorFs& fs) -> sim::Task<void> {
+    EXPECT_TRUE((co_await fs.Mkdir("/d", 0755)).ok());
+    EXPECT_TRUE((co_await fs.Create("/d/f", 0644)).ok());
+    EXPECT_TRUE((co_await fs.Chmod("/d/f", 0600)).ok());
+    EXPECT_TRUE((co_await fs.Utimens("/d/f", 5, 6)).ok());
+    EXPECT_TRUE((co_await fs.Truncate("/d/f", 128)).ok());
+    EXPECT_TRUE((co_await fs.Symlink("/d/f", "/d/l")).ok());
+    EXPECT_TRUE((co_await fs.Rename("/d/f", "/d/g")).ok());
+  }(fs_));
+
+  for (const char* path : {"/d", "/d/g", "/d/l"}) {
+    EXPECT_TRUE(ExistsOn(a_, path)) << path;
+    EXPECT_TRUE(ExistsOn(b_, path)) << path;
+  }
+  EXPECT_FALSE(ExistsOn(a_, "/d/f"));
+  EXPECT_FALSE(ExistsOn(b_, "/d/f"));
+}
+
+TEST_F(NaiveMirrorTest, UnlinkAndRmdirRemoveFromEveryReplica) {
+  sim::RunTask(sim_, [](NaiveMirrorFs& fs) -> sim::Task<void> {
+    EXPECT_TRUE((co_await fs.Mkdir("/d", 0755)).ok());
+    EXPECT_TRUE((co_await fs.Create("/d/f", 0644)).ok());
+    EXPECT_TRUE((co_await fs.Unlink("/d/f")).ok());
+    EXPECT_TRUE((co_await fs.Rmdir("/d")).ok());
+  }(fs_));
+  EXPECT_FALSE(ExistsOn(a_, "/d"));
+  EXPECT_FALSE(ExistsOn(b_, "/d"));
+}
+
+TEST_F(NaiveMirrorTest, FanoutReportsBackendFailure) {
+  // Rmdir of a non-empty directory must fail on every replica, and the
+  // fan-out must surface that failure instead of swallowing it.
+  sim::RunTask(sim_, [](NaiveMirrorFs& fs) -> sim::Task<void> {
+    EXPECT_TRUE((co_await fs.Mkdir("/d", 0755)).ok());
+    EXPECT_TRUE((co_await fs.Create("/d/f", 0644)).ok());
+    EXPECT_FALSE((co_await fs.Rmdir("/d")).ok());
+  }(fs_));
+  EXPECT_TRUE(ExistsOn(a_, "/d/f"));
+  EXPECT_TRUE(ExistsOn(b_, "/d/f"));
+}
+
+}  // namespace
+}  // namespace dufs::vfs

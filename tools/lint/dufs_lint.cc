@@ -1,0 +1,217 @@
+// dufs_lint — repo-specific static analysis for the DUFS tree.
+//
+//   dufs_lint [--root=DIR] [--format=text|json] [--rule=a,b] [--explain]
+//             [paths...]
+//
+// With no explicit paths, walks src/, bench/, and tests/ under --root
+// (default: current directory) over *.h/*.cc, applies every rule in
+// rules.cc, and prints findings. Exit status: 0 clean, 1 findings, 2 usage
+// or I/O error. `--format=json` emits a machine-readable findings array;
+// `--explain` documents each rule with a bad/good example and exits.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "rules.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+using dufs::lint::Finding;
+using dufs::lint::Linter;
+using dufs::lint::RuleDocs;
+
+struct Options {
+  std::string root = ".";
+  std::string format = "text";
+  std::set<std::string> rule_filter;  // empty = all rules
+  bool explain = false;
+  std::vector<std::string> paths;
+};
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: dufs_lint [--root=DIR] [--format=text|json] [--rule=a,b] "
+      "[--explain] [paths...]\n");
+  return 2;
+}
+
+bool ParseArgs(int argc, char** argv, Options* opt) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&arg](const char* key) -> const char* {
+      const std::size_t n = std::strlen(key);
+      if (arg.compare(0, n, key) == 0 && arg.size() > n && arg[n] == '=') {
+        return arg.c_str() + n + 1;
+      }
+      return nullptr;
+    };
+    if (const char* v = value("--root")) {
+      opt->root = v;
+    } else if (const char* v = value("--format")) {
+      opt->format = v;
+      if (opt->format != "text" && opt->format != "json") return false;
+    } else if (const char* v = value("--rule")) {
+      std::string rule;
+      for (const char* p = v;; ++p) {
+        if (*p == ',' || *p == '\0') {
+          if (!rule.empty()) opt->rule_filter.insert(rule);
+          rule.clear();
+          if (*p == '\0') break;
+        } else {
+          rule += *p;
+        }
+      }
+    } else if (arg == "--explain") {
+      opt->explain = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      return false;
+    } else {
+      opt->paths.push_back(arg);
+    }
+  }
+  return true;
+}
+
+void Explain() {
+  std::printf("dufs_lint rules\n===============\n");
+  for (const auto& doc : RuleDocs()) {
+    std::printf("\n%s — %s\n", doc.id, doc.summary);
+    std::printf("  %s\n", doc.rationale);
+    std::printf("  bad:  %s\n", doc.bad);
+    std::printf("  good: %s\n", doc.good);
+  }
+  std::printf(
+      "\nSuppress a finding with `// dufs-lint: allow(<rule>)` on the "
+      "offending line or alone on the line above (give a reason).\n");
+}
+
+bool IsSourceFile(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".cc";
+}
+
+// Repo-relative with forward slashes, so findings and path-scoped rules are
+// stable regardless of how the tool was invoked.
+std::string RelativePath(const fs::path& p, const fs::path& root) {
+  std::error_code ec;
+  fs::path rel = fs::relative(p, root, ec);
+  std::string s = (ec ? p : rel).generic_string();
+  while (s.rfind("./", 0) == 0) s = s.substr(2);
+  return s;
+}
+
+std::vector<std::string> CollectFiles(const Options& opt) {
+  const fs::path root(opt.root);
+  std::vector<std::string> files;
+  auto add_tree = [&files](const fs::path& dir) {
+    if (!fs::exists(dir)) return;
+    for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+      if (entry.is_regular_file() && IsSourceFile(entry.path())) {
+        files.push_back(entry.path().string());
+      }
+    }
+  };
+  if (opt.paths.empty()) {
+    add_tree(root / "src");
+    add_tree(root / "bench");
+    add_tree(root / "tests");
+  } else {
+    for (const auto& p : opt.paths) {
+      if (fs::is_directory(p)) {
+        add_tree(p);
+      } else {
+        files.push_back(p);
+      }
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!ParseArgs(argc, argv, &opt)) return Usage();
+  if (opt.explain) {
+    Explain();
+    return 0;
+  }
+
+  const fs::path root(opt.root);
+  Linter linter;
+  const std::vector<std::string> files = CollectFiles(opt);
+  if (files.empty()) {
+    std::fprintf(stderr, "dufs_lint: no source files under %s\n",
+                 opt.root.c_str());
+    return 2;
+  }
+  for (const auto& file : files) {
+    std::ifstream in(file, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "dufs_lint: cannot read %s\n", file.c_str());
+      return 2;
+    }
+    std::ostringstream content;
+    content << in.rdbuf();
+    linter.AddFile(RelativePath(file, root), content.str());
+  }
+
+  std::vector<Finding> findings = linter.Run();
+  if (!opt.rule_filter.empty()) {
+    std::erase_if(findings, [&opt](const Finding& f) {
+      return opt.rule_filter.count(f.rule) == 0;
+    });
+  }
+
+  if (opt.format == "json") {
+    std::string out = "{\"findings\":[";
+    for (std::size_t i = 0; i < findings.size(); ++i) {
+      const Finding& f = findings[i];
+      if (i > 0) out += ',';
+      out += "{\"file\":\"" + JsonEscape(f.file) + "\"";
+      out += ",\"line\":" + std::to_string(f.line);
+      out += ",\"rule\":\"" + JsonEscape(f.rule) + "\"";
+      out += ",\"message\":\"" + JsonEscape(f.message) + "\"}";
+    }
+    out += "],\"files_scanned\":" + std::to_string(files.size()) + "}\n";
+    std::fputs(out.c_str(), stdout);
+  } else {
+    for (const Finding& f : findings) {
+      std::printf("%s:%d: [%s] %s\n", f.file.c_str(), f.line, f.rule.c_str(),
+                  f.message.c_str());
+    }
+    std::fprintf(stderr, "dufs_lint: %zu finding(s) in %zu file(s)\n",
+                 findings.size(), files.size());
+  }
+  return findings.empty() ? 0 : 1;
+}

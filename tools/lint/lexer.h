@@ -1,0 +1,56 @@
+// Lightweight C++ lexer for dufs_lint. Not a full front end — just enough
+// token structure (identifiers, literals, multi-char punctuators, comment and
+// preprocessor tracking) for the repo-specific rules in rules.h. No libclang
+// dependency by design: the linter must build everywhere the tree builds.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace dufs::lint {
+
+enum class TokKind {
+  kIdentifier,  // foo, co_await, int (keywords are identifiers to the lexer)
+  kNumber,      // 0x1f, 1.5e3, 42ull
+  kString,      // "...", R"(...)", 'c' (char literals included)
+  kPunct,       // ::, ->, &&, >>, single chars
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  int line = 0;
+};
+
+// One `#include` directive, as written (quotes/brackets stripped).
+struct Include {
+  std::string path;
+  bool angled = false;  // <...> vs "..."
+  int line = 0;
+};
+
+// One `// dufs-lint: allow(rule-a, rule-b)` suppression comment.
+struct Suppression {
+  std::vector<std::string> rules;
+  int line = 0;        // line the comment appears on
+  bool alone = false;  // comment is the only thing on its line
+};
+
+struct LexedFile {
+  std::string path;
+  std::vector<Token> tokens;
+  std::vector<Include> includes;
+  std::vector<Suppression> suppressions;
+  // First line carrying anything other than comments/whitespace; 0 if none.
+  int first_code_line = 0;
+  bool has_pragma_once = false;
+  int pragma_once_line = 0;
+};
+
+// Tokenizes `content`. Preprocessor directives are consumed whole (with
+// continuation-line handling) and surfaced only through `includes` /
+// `has_pragma_once`; comments only through `suppressions`.
+LexedFile Lex(std::string path, const std::string& content);
+
+}  // namespace dufs::lint

@@ -1,0 +1,722 @@
+#include "rules.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <set>
+#include <utility>
+
+namespace dufs::lint {
+
+namespace {
+
+constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+
+bool IsId(const Token& t, const char* s) {
+  return t.kind == TokKind::kIdentifier && t.text == s;
+}
+bool IsPunct(const Token& t, const char* s) {
+  return t.kind == TokKind::kPunct && t.text == s;
+}
+
+bool IsCoroKeyword(const Token& t) {
+  return t.kind == TokKind::kIdentifier &&
+         (t.text == "co_await" || t.text == "co_return" ||
+          t.text == "co_yield");
+}
+
+// Keywords that can directly precede a call expression; an identifier from
+// this set before `Name(` does not make `Name` a declaration.
+bool IsExprKeyword(const std::string& s) {
+  static const std::set<std::string> kSet = {
+      "return", "co_return", "co_await", "co_yield", "throw", "new",
+      "delete", "else",      "case",     "do",       "sizeof", "typedef",
+      "using",  "if",        "while",    "for",      "switch", "operator",
+      "goto",   "not",       "and",      "or"};
+  return kSet.count(s) > 0;
+}
+
+// Wall-clock / entropy identifiers that are banned on sight in sim code.
+bool IsBannedTimeSourceType(const std::string& s) {
+  static const std::set<std::string> kSet = {
+      "random_device",   "system_clock", "steady_clock",
+      "high_resolution_clock", "gettimeofday", "clock_gettime",
+      "timespec_get",    "localtime",    "gmtime",
+      "mktime",          "mt19937",      "mt19937_64",
+      "default_random_engine"};
+  return kSet.count(s) > 0;
+}
+
+// Banned only when called (`rand()`), since the bare names are common as
+// fields and locals (`Txn::time`).
+bool IsBannedTimeSourceCall(const std::string& s) {
+  return s == "rand" || s == "srand" || s == "clock" || s == "time";
+}
+
+// Index just past the `>` matching tokens[open] == `<`, or kNpos when the
+// angles do not close within the statement (then `<` was a comparison).
+// `>>` closes two levels.
+std::size_t MatchAngle(const std::vector<Token>& toks, std::size_t open) {
+  int depth = 0;
+  const std::size_t limit = std::min(toks.size(), open + 400);
+  for (std::size_t i = open; i < limit; ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokKind::kPunct) continue;
+    if (t.text == "<") {
+      ++depth;
+    } else if (t.text == ">") {
+      if (--depth == 0) return i + 1;
+    } else if (t.text == ">>") {
+      depth -= 2;
+      if (depth <= 0) return i + 1;
+    } else if (t.text == ";" || t.text == "{" || t.text == "}") {
+      return kNpos;
+    }
+  }
+  return kNpos;
+}
+
+// Index just past the `)` matching tokens[open] == `(`, or kNpos.
+std::size_t MatchParen(const std::vector<Token>& toks, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokKind::kPunct) continue;
+    if (t.text == "(") ++depth;
+    if (t.text == ")" && --depth == 0) return i + 1;
+  }
+  return kNpos;
+}
+
+// Index just past the `}` matching tokens[open] == `{`, or kNpos.
+std::size_t MatchBrace(const std::vector<Token>& toks, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokKind::kPunct) continue;
+    if (t.text == "{") ++depth;
+    if (t.text == "}" && --depth == 0) return i + 1;
+  }
+  return kNpos;
+}
+
+// First `&` in the parameter list `tokens[open]=='('` .. its matching `)`
+// that binds a parameter by reference (prev token is a type-ish identifier
+// or `>`), at paren depth 1. Returns its line, or 0 when none.
+// `Simulation&` parameters are exempt: a coroutine frame cannot outlive the
+// Simulation that drives it (RunTask runs it to completion; Shutdown()
+// destroys detached frames before the Simulation dies).
+int FindRefParamLine(const std::vector<Token>& toks, std::size_t open,
+                     std::size_t close) {
+  int depth = 0;
+  for (std::size_t i = open; i < close; ++i) {
+    const Token& t = toks[i];
+    if (t.kind == TokKind::kPunct) {
+      if (t.text == "(") ++depth;
+      if (t.text == ")") --depth;
+    }
+    if (depth != 1 || i == open) continue;
+    if (IsPunct(t, "&")) {
+      const Token& prev = toks[i - 1];
+      if (prev.kind == TokKind::kIdentifier && prev.text == "Simulation") {
+        continue;
+      }
+      if ((prev.kind == TokKind::kIdentifier && !IsExprKeyword(prev.text)) ||
+          IsPunct(prev, ">") || IsPunct(prev, ">>")) {
+        return t.line;
+      }
+    }
+  }
+  return 0;
+}
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+bool IsHeaderPath(const std::string& p) { return EndsWith(p, ".h"); }
+
+// Strips quotes/prefix from a lexed string token ("x", u8"x", R"(x)").
+std::string StringValue(const std::string& raw) {
+  std::size_t b = raw.find('"');
+  if (b == std::string::npos) return raw;
+  if (b > 0 && raw[b - 1] == 'R') {
+    const auto open = raw.find('(', b);
+    const auto close = raw.rfind(')');
+    if (open != std::string::npos && close != std::string::npos &&
+        close > open) {
+      return raw.substr(open + 1, close - open - 1);
+    }
+  }
+  std::size_t e = raw.rfind('"');
+  if (e <= b) return raw;
+  return raw.substr(b + 1, e - b - 1);
+}
+
+bool IsValidObsName(const std::string& name) {
+  if (name.empty()) return false;
+  if (name[0] < 'a' || name[0] > 'z') return false;
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                    c == '.' || c == '_' || c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Lambda structure
+// ---------------------------------------------------------------------------
+
+struct Lambda {
+  int line = 0;
+  bool default_ref_capture = false;    // [&] or [&, x]
+  bool default_copy_capture = false;   // [=] or [=, &x]
+  bool explicit_ref_capture = false;   // [&x] (incl. [&x = init])
+  bool captures_this = false;          // [this]
+  int ref_param_line = 0;              // 0 = none
+  bool returns_task = false;           // -> sim::Task<...> / Future
+  bool body_has_co = false;            // co_await / co_return / co_yield
+  bool IsCoroutine() const { return returns_task || body_has_co; }
+};
+
+// True when the `[` at `i` opens a lambda capture list (vs subscript or
+// attribute). Heuristic: a subscript follows a value (identifier, `)`, `]`,
+// literal); an attribute is `[[`.
+bool IsLambdaIntro(const std::vector<Token>& toks, std::size_t i) {
+  if (i + 1 < toks.size() && IsPunct(toks[i + 1], "[")) return false;
+  if (i == 0) return true;
+  const Token& prev = toks[i - 1];
+  switch (prev.kind) {
+    case TokKind::kIdentifier:
+      return IsExprKeyword(prev.text);
+    case TokKind::kNumber:
+    case TokKind::kString:
+      return false;
+    case TokKind::kPunct:
+      return !(prev.text == ")" || prev.text == "]");
+  }
+  return false;
+}
+
+// Parses the lambda whose `[` is at `i`; advances to just past its body so
+// nested lambdas are only reported once (the caller recurses via re-scan of
+// body tokens — body token range is returned through `body_begin/end`).
+bool ParseLambda(const std::vector<Token>& toks, std::size_t i, Lambda* out,
+                 std::size_t* body_begin, std::size_t* body_end) {
+  out->line = toks[i].line;
+  // Capture list.
+  std::size_t j = i + 1;
+  int depth = 1;
+  bool at_item_start = true;  // just after `[` or a top-level `,`
+  for (; j < toks.size() && depth > 0; ++j) {
+    const Token& t = toks[j];
+    if (t.kind == TokKind::kPunct) {
+      if (t.text == "[" || t.text == "(") ++depth;
+      if (t.text == "]" || t.text == ")") {
+        --depth;
+        continue;
+      }
+    }
+    if (depth != 1) continue;
+    if (IsPunct(t, ",")) {
+      at_item_start = true;
+      continue;
+    }
+    if (at_item_start) {
+      if (IsPunct(t, "&")) {
+        const bool bare = j + 1 < toks.size() &&
+                          (IsPunct(toks[j + 1], ",") ||
+                           IsPunct(toks[j + 1], "]"));
+        if (bare) {
+          out->default_ref_capture = true;
+        } else {
+          out->explicit_ref_capture = true;
+        }
+      } else if (IsPunct(t, "=")) {
+        const bool bare = j + 1 < toks.size() &&
+                          (IsPunct(toks[j + 1], ",") ||
+                           IsPunct(toks[j + 1], "]"));
+        if (bare) out->default_copy_capture = true;
+      } else if (IsId(t, "this")) {
+        out->captures_this = true;
+      }
+      at_item_start = false;
+    }
+  }
+  if (depth > 0) return false;  // unterminated; not a lambda after all
+
+  // Optional parameter list.
+  if (j < toks.size() && IsPunct(toks[j], "(")) {
+    const std::size_t close = MatchParen(toks, j);
+    if (close == kNpos) return false;
+    out->ref_param_line = FindRefParamLine(toks, j, close - 1);
+    j = close;
+  }
+  // Specifiers / trailing return type, up to the body `{`.
+  for (; j < toks.size(); ++j) {
+    const Token& t = toks[j];
+    if (IsPunct(t, "{")) break;
+    if (IsPunct(t, ";") || IsPunct(t, ")") || IsPunct(t, ",") ||
+        IsPunct(t, "]") || IsPunct(t, "}")) {
+      return false;  // e.g. `[]` used as an empty attribute-like construct
+    }
+    if (IsId(t, "Task") || IsId(t, "Future")) out->returns_task = true;
+  }
+  if (j >= toks.size()) return false;
+  const std::size_t end = MatchBrace(toks, j);
+  if (end == kNpos) return false;
+  *body_begin = j + 1;
+  *body_end = end - 1;
+  for (std::size_t k = *body_begin; k < *body_end; ++k) {
+    if (IsCoroKeyword(toks[k])) {
+      out->body_has_co = true;
+      break;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Rule documentation (--explain)
+// ---------------------------------------------------------------------------
+
+const std::vector<RuleDoc>& RuleDocs() {
+  static const std::vector<RuleDoc> kDocs = {
+      {"coro-capture-default",
+       "no [&]/[=] default captures in coroutine lambdas",
+       "A lambda coroutine stores its captures in the closure object, not in "
+       "the coroutine frame. If the closure is destroyed before the frame "
+       "finishes (it usually is: temporaries die at the end of the full "
+       "expression that started the coroutine), every capture dangles after "
+       "the first co_await. Default captures make the hazard invisible at "
+       "the call site, so they are banned outright in any lambda that "
+       "contains co_await/co_return/co_yield or returns sim::Task/"
+       "sim::Future.",
+       "sim->Spawn([&]() -> sim::Task<void> { co_await sim->Delay(d); }());",
+       "pass state as coroutine parameters: "
+       "sim->Spawn([](Simulation* s, Duration d) -> sim::Task<void> { "
+       "co_await s->Delay(d); }(sim, d));"},
+      {"coro-capture-ref",
+       "no by-reference or `this` captures in coroutine lambdas",
+       "Same lifetime hazard as coro-capture-default, with the reference "
+       "spelled out: `[&x]` and `[this]` live in the closure object, which "
+       "rarely outlives the first suspension point. Capture by value, or "
+       "pass the object as an explicit coroutine parameter (parameters are "
+       "copied/moved into the frame and live exactly as long as it does).",
+       "auto t = [&cfg]() -> sim::Task<int> { co_return cfg.n; }();",
+       "auto t = [](const Config cfg) -> sim::Task<int> { co_return cfg.n; "
+       "}(cfg);"},
+      {"coro-ref-param",
+       "no reference parameters on named coroutine functions",
+       "A coroutine's reference parameter is stored in the frame as a "
+       "reference; the referent must outlive every suspension of the frame, "
+       "which the caller cannot see from the signature. Take parameters by "
+       "value (strings and small structs move cheaply) so the frame owns "
+       "them. Out-parameters that provably outlive the frame may be "
+       "annotated `// dufs-lint: allow(coro-ref-param)` with a reason. "
+       "Two exemptions: lambda parameters (an immediately-invoked coroutine "
+       "lambda whose caller drives it to completion is the blessed way to "
+       "pass state without capturing) and `Simulation&` (no frame outlives "
+       "the Simulation that drives it).",
+       "sim::Task<Status> Lookup(const std::string& path);",
+       "sim::Task<Status> Lookup(std::string path);"},
+      {"sim-time-source",
+       "no wall-clock or process entropy in sim code",
+       "The simulator must replay bit-for-bit from a seed: metrics and trace "
+       "exports are compared byte-for-byte in CI. std::random_device, "
+       "rand()/srand(), system_clock/steady_clock and friends smuggle "
+       "process-global nondeterminism into the run. Use the owning "
+       "Simulation's Rng (src/common/rng.h) and sim time "
+       "(Simulation::now()) instead; src/common/rng.* is the only file "
+       "allowed to touch platform entropy.",
+       "auto jitter = rand() % 10;",
+       "auto jitter = sim.rng().NextBelow(10);"},
+      {"task-discard",
+       "no discarded sim::Task return values",
+       "A sim::Task is lazy: dropping one on the floor destroys the frame "
+       "before it ever runs, silently skipping the work ([[nodiscard]] "
+       "catches plain calls; this rule also covers member calls and macro "
+       "expansions the attribute misses). co_await it, Spawn() it, or hold "
+       "it.",
+       "client.Mkdir(\"/a\", 0755);",
+       "co_await client.Mkdir(\"/a\", 0755);  // or sim.Spawn(...)"},
+      {"include-hygiene",
+       "#pragma once in headers, self-include first, no ../ includes",
+       "Headers must open with #pragma once before any code. A src/ .cc "
+       "file that has a same-named header must include it first (proves the "
+       "header is self-contained). Includes must not path-escape with "
+       "\"../\" — spell the project-relative path. Headers must not contain "
+       "`using namespace`.",
+       "#include \"../common/log.h\"",
+       "#include \"common/log.h\""},
+      {"trace-span-name",
+       "span/metric names are lower-case dotted literals",
+       "Span and metric names are compared byte-for-byte across runs and "
+       "land in exported JSON keys; they follow [a-z][a-z0-9._-]* "
+       "(\"zk-rpc\", \"op.stat_ns\"). Upper case, spaces, or empty names "
+       "break the convention and the export diffing tools.",
+       "obs::Span span(obs_, \"ZK RPC\", \"zk\");",
+       "obs::Span span(obs_, \"zk-rpc\", \"zk\");"},
+  };
+  return kDocs;
+}
+
+// ---------------------------------------------------------------------------
+// Pass 1: declaration collection
+// ---------------------------------------------------------------------------
+
+void Linter::AddFile(std::string path, const std::string& content) {
+  FileFacts facts;
+  facts.lexed = Lex(std::move(path), content);
+  CollectDeclarations(facts);
+  files_.push_back(std::move(facts));
+}
+
+void Linter::CollectDeclarations(FileFacts& facts) {
+  const auto& toks = facts.lexed.tokens;
+  std::set<std::size_t> claimed;
+
+  // Task/Future-returning function declarations:
+  //   [sim::] Task < ... > [Qualified::]Name ( params ) {;|{|const|...}
+  for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+    if (!(IsId(toks[i], "Task") || IsId(toks[i], "Future"))) continue;
+    if (!IsPunct(toks[i + 1], "<")) continue;
+    std::size_t j = MatchAngle(toks, i + 1);
+    if (j == kNpos || j >= toks.size()) continue;
+    // Qualified declarator name.
+    std::size_t name_tok = kNpos;
+    while (j + 1 < toks.size() && toks[j].kind == TokKind::kIdentifier &&
+           !IsExprKeyword(toks[j].text)) {
+      name_tok = j;
+      if (IsPunct(toks[j + 1], "::")) {
+        j += 2;
+      } else {
+        ++j;
+        break;
+      }
+    }
+    if (name_tok == kNpos || j >= toks.size() || !IsPunct(toks[j], "(")) {
+      continue;
+    }
+    claimed.insert(name_tok);
+    facts.task_decl_name_tokens.push_back(name_tok);
+    task_fn_names_.push_back(toks[name_tok].text);
+  }
+
+  // Non-Task declarations of the same shape (`Type Name(`): names seen here
+  // are ambiguous for task-discard and get dropped from the set.
+  for (std::size_t i = 1; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdentifier || IsExprKeyword(toks[i].text)) {
+      continue;
+    }
+    if (!IsPunct(toks[i + 1], "(")) continue;
+    if (claimed.count(i) > 0) continue;
+    const Token& prev = toks[i - 1];
+    const bool type_before =
+        (prev.kind == TokKind::kIdentifier && !IsExprKeyword(prev.text)) ||
+        IsPunct(prev, ">") || IsPunct(prev, ">>") || IsPunct(prev, "*") ||
+        IsPunct(prev, "&");
+    if (type_before) non_task_fn_names_.push_back(toks[i].text);
+  }
+}
+
+std::vector<std::string> Linter::TaskFunctionNames() const {
+  std::set<std::string> names(task_fn_names_.begin(), task_fn_names_.end());
+  for (const auto& n : non_task_fn_names_) names.erase(n);
+  return {names.begin(), names.end()};
+}
+
+// ---------------------------------------------------------------------------
+// Pass 2: rules
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class FileLint {
+ public:
+  FileLint(const LexedFile& f, const std::set<std::string>& task_fns)
+      : f_(f), task_fns_(task_fns) {}
+
+  void Run(std::vector<Finding>* out) {
+    Lambdas();
+    CoroutineSignatures();
+    TimeSources();
+    TaskDiscards();
+    IncludeHygiene();
+    ObsNames();
+    Filter(out);
+  }
+
+ private:
+  void Add(int line, const char* rule, std::string message) {
+    raw_.push_back(Finding{f_.path, line, rule, std::move(message)});
+  }
+
+  void Lambdas() {
+    const auto& toks = f_.tokens;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      if (!IsPunct(toks[i], "[") || !IsLambdaIntro(toks, i)) continue;
+      Lambda lam;
+      std::size_t body_begin = 0, body_end = 0;
+      if (!ParseLambda(toks, i, &lam, &body_begin, &body_end)) continue;
+      if (!lam.IsCoroutine()) continue;
+      if (lam.default_ref_capture) {
+        Add(lam.line, "coro-capture-default",
+            "[&] default capture in a coroutine lambda: captures live in "
+            "the closure object and dangle after the first suspension");
+      }
+      if (lam.default_copy_capture) {
+        Add(lam.line, "coro-capture-default",
+            "[=] default capture in a coroutine lambda: the closure object "
+            "(and its copies) dies before the frame; capture nothing and "
+            "pass parameters instead");
+      }
+      if (lam.explicit_ref_capture) {
+        Add(lam.line, "coro-capture-ref",
+            "by-reference capture in a coroutine lambda: the reference "
+            "lives in the closure object, not the frame");
+      }
+      if (lam.captures_this) {
+        Add(lam.line, "coro-capture-ref",
+            "`this` capture in a coroutine lambda: the closure object dies "
+            "before the frame; pass the object as a parameter");
+      }
+      // Lambda parameters are deliberately exempt from coro-ref-param:
+      // the repo's blessed pattern is an immediately-invoked lambda whose
+      // referents are pinned by the caller that drives it (RunTask), and
+      // parameters are exactly where the capture rules send state.
+    }
+  }
+
+  void CoroutineSignatures() {
+    const auto& toks = f_.tokens;
+    for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+      if (!(IsId(toks[i], "Task") || IsId(toks[i], "Future"))) continue;
+      if (!IsPunct(toks[i + 1], "<")) continue;
+      std::size_t j = MatchAngle(toks, i + 1);
+      if (j == kNpos || j >= toks.size()) continue;
+      std::size_t name_tok = kNpos;
+      while (j + 1 < toks.size() && toks[j].kind == TokKind::kIdentifier &&
+             !IsExprKeyword(toks[j].text)) {
+        name_tok = j;
+        if (IsPunct(toks[j + 1], "::")) {
+          j += 2;
+        } else {
+          ++j;
+          break;
+        }
+      }
+      if (name_tok == kNpos || j >= toks.size() || !IsPunct(toks[j], "(")) {
+        continue;
+      }
+      const std::size_t close = MatchParen(toks, j);
+      if (close == kNpos) continue;
+      const int ref_line = FindRefParamLine(toks, j, close - 1);
+      if (ref_line != 0) {
+        Add(ref_line, "coro-ref-param",
+            "reference parameter on coroutine function `" +
+                toks[name_tok].text +
+                "`: the referent must outlive every suspension of the "
+                "frame; take it by value (or annotate a provably-safe "
+                "out-param)");
+      }
+    }
+  }
+
+  void TimeSources() {
+    if (f_.path.find("common/rng.") != std::string::npos) return;
+    const auto& toks = f_.tokens;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      const Token& t = toks[i];
+      if (t.kind != TokKind::kIdentifier) continue;
+      if (IsBannedTimeSourceType(t.text)) {
+        Add(t.line, "sim-time-source",
+            "`" + t.text +
+                "` is wall-clock/process entropy; sim code must use "
+                "Simulation::now()/rng() (src/common/rng.h)");
+        continue;
+      }
+      if (IsBannedTimeSourceCall(t.text) && i + 1 < toks.size() &&
+          IsPunct(toks[i + 1], "(")) {
+        const bool member_call =
+            i > 0 && (IsPunct(toks[i - 1], ".") || IsPunct(toks[i - 1], "->"));
+        if (!member_call) {
+          Add(t.line, "sim-time-source",
+              "`" + t.text +
+                  "()` is wall-clock/process entropy; sim code must use "
+                  "Simulation::now()/rng() (src/common/rng.h)");
+        }
+      }
+    }
+  }
+
+  void TaskDiscards() {
+    const auto& toks = f_.tokens;
+    bool at_stmt_start = true;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      const Token& t = toks[i];
+      if (IsPunct(t, ";") || IsPunct(t, "{") || IsPunct(t, "}") ||
+          IsId(t, "else")) {
+        at_stmt_start = true;
+        continue;
+      }
+      if (!at_stmt_start) continue;
+      at_stmt_start = false;
+      // Walk a call chain `a.b->c::Name(` from the statement start.
+      std::size_t j = i;
+      std::size_t last_name = kNpos;
+      while (j < toks.size()) {
+        if (toks[j].kind == TokKind::kIdentifier &&
+            !IsExprKeyword(toks[j].text)) {
+          last_name = j;
+          ++j;
+          if (j < toks.size() &&
+              (IsPunct(toks[j], ".") || IsPunct(toks[j], "->") ||
+               IsPunct(toks[j], "::"))) {
+            ++j;
+            continue;
+          }
+        }
+        break;
+      }
+      if (last_name == kNpos || j != last_name + 1) continue;
+      if (j >= toks.size() || !IsPunct(toks[j], "(")) continue;
+      if (task_fns_.count(toks[last_name].text) == 0) continue;
+      const std::size_t close = MatchParen(toks, j);
+      if (close == kNpos || close >= toks.size()) continue;
+      if (IsPunct(toks[close], ";")) {
+        Add(toks[last_name].line, "task-discard",
+            "result of Task-returning `" + toks[last_name].text +
+                "` is discarded: the coroutine frame is destroyed before "
+                "it runs; co_await it, Spawn() it, or hold it");
+      }
+    }
+  }
+
+  void IncludeHygiene() {
+    const bool is_header = IsHeaderPath(f_.path);
+    if (is_header) {
+      if (!f_.has_pragma_once) {
+        Add(1, "include-hygiene", "header is missing #pragma once");
+      } else if (f_.first_code_line != 0 &&
+                 f_.pragma_once_line > f_.first_code_line) {
+        Add(f_.pragma_once_line, "include-hygiene",
+            "#pragma once must precede all code in the header");
+      }
+      const auto& toks = f_.tokens;
+      for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+        if (IsId(toks[i], "using") && IsId(toks[i + 1], "namespace")) {
+          Add(toks[i].line, "include-hygiene",
+              "`using namespace` in a header leaks into every includer");
+        }
+      }
+    }
+    for (const auto& inc : f_.includes) {
+      if (inc.path.find("../") != std::string::npos) {
+        Add(inc.line, "include-hygiene",
+            "include path escapes with \"../\"; spell the project-relative "
+            "path");
+      }
+    }
+    // Self-include-first for src/ implementation files.
+    if (!is_header && EndsWith(f_.path, ".cc") &&
+        f_.path.rfind("src/", 0) == 0 && !f_.includes.empty()) {
+      std::string self = f_.path.substr(4);  // drop "src/"
+      self.replace(self.size() - 3, 3, ".h");
+      for (std::size_t k = 0; k < f_.includes.size(); ++k) {
+        if (f_.includes[k].path == self && k != 0) {
+          Add(f_.includes[k].line, "include-hygiene",
+              "self header \"" + self +
+                  "\" must be the first include (proves it is "
+                  "self-contained)");
+        }
+      }
+    }
+  }
+
+  void ObsNames() {
+    const auto& toks = f_.tokens;
+    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+      const Token& t = toks[i];
+      if (t.kind != TokKind::kIdentifier) continue;
+      std::size_t open = kNpos;
+      if (t.text == "counter" || t.text == "timer" || t.text == "gauge" ||
+          t.text == "histogram") {
+        if (IsPunct(toks[i + 1], "(")) open = i + 1;
+      } else if (t.text == "Span" || t.text == "Root") {
+        if (t.text == "Root" &&
+            !(i >= 2 && IsPunct(toks[i - 1], "::") && IsId(toks[i - 2], "Span"))) {
+          continue;
+        }
+        if (IsPunct(toks[i + 1], "(")) {
+          open = i + 1;  // direct construction / Span::Root call
+        } else if (i + 2 < toks.size() &&
+                   toks[i + 1].kind == TokKind::kIdentifier &&
+                   IsPunct(toks[i + 2], "(")) {
+          open = i + 2;  // `Span span(...)` variable declaration
+        }
+      }
+      if (open == kNpos) continue;
+      const std::size_t close = MatchParen(toks, open);
+      if (close == kNpos) continue;
+      int depth = 0;
+      for (std::size_t k = open; k < close; ++k) {
+        const Token& a = toks[k];
+        if (a.kind == TokKind::kPunct) {
+          if (a.text == "(") ++depth;
+          if (a.text == ")") --depth;
+        }
+        if (depth != 1 || a.kind != TokKind::kString) continue;
+        if (a.text.empty() || a.text[0] == '\'') continue;  // char literal
+        const std::string value = StringValue(a.text);
+        if (!IsValidObsName(value)) {
+          Add(a.line, "trace-span-name",
+              "span/metric name \"" + value +
+                  "\" must match [a-z][a-z0-9._-]* (lower-case dotted)");
+        }
+      }
+    }
+  }
+
+  // Applies `// dufs-lint: allow(...)` suppressions: a trailing comment
+  // covers its own line; a comment alone on a line covers the next line.
+  void Filter(std::vector<Finding>* out) {
+    for (auto& finding : raw_) {
+      bool suppressed = false;
+      for (const auto& sup : f_.suppressions) {
+        const int covered = sup.alone ? sup.line + 1 : sup.line;
+        if (covered != finding.line) continue;
+        for (const auto& rule : sup.rules) {
+          if (rule == "all" || rule == finding.rule) {
+            suppressed = true;
+            break;
+          }
+        }
+        if (suppressed) break;
+      }
+      if (!suppressed) out->push_back(std::move(finding));
+    }
+  }
+
+  const LexedFile& f_;
+  const std::set<std::string>& task_fns_;
+  std::vector<Finding> raw_;
+};
+
+}  // namespace
+
+std::vector<Finding> Linter::Run() {
+  std::vector<Finding> out;
+  const auto names = TaskFunctionNames();
+  const std::set<std::string> task_fns(names.begin(), names.end());
+  for (const auto& facts : files_) {
+    FileLint(facts.lexed, task_fns).Run(&out);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace dufs::lint

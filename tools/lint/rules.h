@@ -1,0 +1,78 @@
+// Repo-specific static-analysis rules for the DUFS tree.
+//
+// The rules encode the two invariants the simulator's credibility rests on:
+// coroutine lifetime safety (nothing captured or referenced across a
+// co_await may die before the frame does) and determinism (no wall-clock or
+// process-global entropy in sim code). See `dufs_lint --explain` or
+// DESIGN.md §8 for the rule-by-rule rationale.
+//
+// Suppression: append `// dufs-lint: allow(<rule>[, <rule>...])` to the
+// offending line, or place it alone on the line directly above. The rule
+// name `all` suppresses every rule.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lexer.h"
+
+namespace dufs::lint {
+
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+
+  bool operator<(const Finding& o) const {
+    if (file != o.file) return file < o.file;
+    if (line != o.line) return line < o.line;
+    return rule < o.rule;
+  }
+  bool operator==(const Finding& o) const {
+    return file == o.file && line == o.line && rule == o.rule;
+  }
+};
+
+struct RuleDoc {
+  const char* id;
+  const char* summary;
+  const char* rationale;
+  const char* bad;   // minimal example that fires
+  const char* good;  // the conforming rewrite
+};
+
+// Every rule the linter knows, in stable order (the --explain output).
+const std::vector<RuleDoc>& RuleDocs();
+
+// Two-pass linter: AddFile() lexes and collects cross-file facts (the set of
+// Task-returning function names for task-discard); Run() applies every rule
+// to every added file and returns suppression-filtered findings sorted by
+// (file, line, rule). Paths should be repo-relative ("src/zk/server.cc") so
+// path-scoped rules (sim-time-source's rng exemption, header rules) work.
+class Linter {
+ public:
+  void AddFile(std::string path, const std::string& content);
+  std::vector<Finding> Run();
+
+  // Names that pass 1 decided are Task/Future-returning functions (minus
+  // names that also appear with non-coroutine-looking declarations).
+  // Exposed for tests.
+  std::vector<std::string> TaskFunctionNames() const;
+
+ private:
+  struct FileFacts {
+    LexedFile lexed;
+    // Token indices pass 1 identified as Task-fn declaration names; the
+    // ambiguity scan must not re-classify them.
+    std::vector<std::size_t> task_decl_name_tokens;
+  };
+
+  void CollectDeclarations(FileFacts& facts);
+
+  std::vector<FileFacts> files_;
+  std::vector<std::string> task_fn_names_;       // sorted unique
+  std::vector<std::string> non_task_fn_names_;   // sorted unique
+};
+
+}  // namespace dufs::lint
