@@ -111,13 +111,17 @@ bench::HotPathCounters MeasureStats(std::uint64_t seed, bool cache,
 bench::HotPathCounters MeasureCreates(std::uint64_t seed, bool group_commit,
                                       std::size_t procs, std::size_t items,
                                       const bench::ObsOptions* obs = nullptr,
-                                      std::string* registry_json = nullptr) {
+                                      std::string* registry_json = nullptr,
+                                      std::string* timeline_json = nullptr) {
   auto config = BaseConfig(seed);
   config.client_nodes = 4;
   config.zk_group_commit = group_commit;
   config.enable_trace = obs != nullptr && obs->trace_enabled();
   Testbed tb(config);
   tb.MountAll();
+  if (obs != nullptr && obs->timeline) {
+    tb.StartTimeline(obs->timeline_interval_ns());
+  }
   MdtestConfig mc;
   mc.processes = procs;
   mc.items_per_proc = items;
@@ -148,6 +152,9 @@ bench::HotPathCounters MeasureCreates(std::uint64_t seed, bool group_commit,
   if (registry_json != nullptr) {
     *registry_json = tb.obs().metrics().ToJson();
   }
+  if (timeline_json != nullptr && obs != nullptr && obs->timeline) {
+    *timeline_json = tb.timeline().ToJson();
+  }
   return c;
 }
 
@@ -158,7 +165,7 @@ int main(int argc, char** argv) {
       argc, argv,
       "ablation_fastpath [--seed=N] [--width=64] [--files=32] [--rounds=8] "
       "[--procs=128] [--items=10] [--ops=N] [--metrics-json=PATH] "
-      "[--trace=PATH]");
+      "[--trace=PATH] [--timeline] [--timeline-us=200] [--baseline=PATH]");
   const auto seed = static_cast<std::uint64_t>(flags.Int("seed", 1));
   const auto width = static_cast<std::size_t>(flags.Int("width", 64));
   const auto files = static_cast<std::size_t>(flags.Int("files", 32));
@@ -201,13 +208,13 @@ int main(int argc, char** argv) {
               "%zu processes x %zu items\n",
               procs, items);
   bench::PrintHotPathHeader();
-  std::string registry_json;
+  std::string registry_json, timeline_json;
   const auto gc_off = MeasureCreates(seed, false, procs, items);
-  // The trace (if requested) covers the group_commit=on run — the
-  // configuration whose span chain (op → zk-rpc → quorum-round →
+  // The trace and timeline (if requested) cover the group_commit=on run —
+  // the configuration whose span chain (op → zk-rpc → quorum-round →
   // fsync-batch) the ablation is about.
   const auto gc_on = MeasureCreates(seed, true, procs, items, &obs_opts,
-                                    &registry_json);
+                                    &registry_json, &timeline_json);
   bench::PrintHotPathRow("group_commit=off", gc_off);
   bench::PrintHotPathRow("group_commit=on", gc_on);
   std::printf("create throughput: %.0f -> %.0f ops/s (%.2fx)\n",
@@ -222,9 +229,24 @@ int main(int argc, char** argv) {
     out.AddCounters("cache=on", cache_on);
     out.AddCounters("group_commit=off", gc_off);
     out.AddCounters("group_commit=on", gc_on);
+    out.SetTimelineJson(timeline_json);
     out.SetRegistryJson(registry_json);
     if (out.WriteFile(obs_opts.metrics_path)) {
       std::printf("metrics written: %s\n", obs_opts.metrics_path.c_str());
+    }
+  }
+
+  if (obs_opts.baseline_enabled()) {
+    bench::BaselineWriter base("ablation_fastpath");
+    base.AddLowerBetter("readdir.seq.us", seq_us);
+    base.AddLowerBetter("readdir.par.us", par_us);
+    base.AddLowerBetter("stat.cache_off.zk_req_per_op", off_per_op);
+    base.AddLowerBetter("stat.cache_on.zk_req_per_op", on_per_op);
+    base.AddHigherBetter("create.gc_off.ops_per_s",
+                         gc_off.ops / gc_off.seconds);
+    base.AddHigherBetter("create.gc_on.ops_per_s", gc_on.ops / gc_on.seconds);
+    if (base.WriteFile(obs_opts.baseline_path)) {
+      std::printf("baseline written: %s\n", obs_opts.baseline_path.c_str());
     }
   }
 

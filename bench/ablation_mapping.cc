@@ -59,9 +59,14 @@ double MovedPct(core::PlacementPolicy& policy, const std::vector<Fid>& fids,
 }  // namespace
 
 int main(int argc, char** argv) {
-  bench::Flags flags(argc, argv, "ablation_mapping [--fids=N]");
+  // No simulation here, so --trace would be empty by construction; only the
+  // metrics export is wired.
+  bench::Flags flags(argc, argv,
+                     "ablation_mapping [--fids=N] [--metrics-json=PATH]");
   const auto fids = MakeFids(
       static_cast<std::size_t>(flags.Int("fids", 200'000)));
+  const auto obs_opts = bench::ObsOptions::FromFlags(flags);
+  bench::MetricsJsonWriter out;
 
   std::printf("Ablation: FID placement policies over %zu FIDs\n",
               fids.size());
@@ -71,10 +76,20 @@ int main(int argc, char** argv) {
   for (std::size_t n : {2, 3, 4, 8, 12, 16}) {
     Md5ModNPlacement md5(n);
     ConsistentHashPlacement chash(n);
-    std::printf("%-4zu %22.2f %22.2f %20.1f %20.1f\n", n,
-                ImbalancePct(md5, fids), ImbalancePct(chash, fids),
-                MovedPct(md5, fids, n, n + 1),
-                MovedPct(chash, fids, n, n + 1));
+    const double md5_imb = ImbalancePct(md5, fids);
+    const double chash_imb = ImbalancePct(chash, fids);
+    const double md5_moved = MovedPct(md5, fids, n, n + 1);
+    const double chash_moved = MovedPct(chash, fids, n, n + 1);
+    std::printf("%-4zu %22.2f %22.2f %20.1f %20.1f\n", n, md5_imb, chash_imb,
+                md5_moved, chash_moved);
+    const std::string suffix = "@" + std::to_string(n);
+    out.AddValue("md5.imbalance_pct" + suffix, md5_imb);
+    out.AddValue("chash.imbalance_pct" + suffix, chash_imb);
+    out.AddValue("md5.moved_pct" + suffix, md5_moved);
+    out.AddValue("chash.moved_pct" + suffix, chash_moved);
+  }
+  if (obs_opts.metrics_enabled()) {
+    out.WriteFile(obs_opts.metrics_path);
   }
   std::printf("\nTakeaway: mod-N balances slightly better, but a back-end "
               "change relocates\nnearly all files; the ring bounds "

@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <string>
 #include <utility>
 #include <vector>
@@ -209,21 +210,32 @@ class SeriesTable {
   std::vector<std::pair<long, std::vector<double>>> rows_;
 };
 
-// The two observability flags every bench shares:
+// The observability flags every bench shares:
 //   --metrics-json=PATH   write counters + the merged registry as JSON
 //   --trace=PATH          record spans, write Chrome trace_event JSON
+//   --timeline            sample gauges into a "timeline" metrics section
+//   --timeline-us=N       sim-time sampling period (default 200us)
+//   --baseline=PATH       write the BENCH_<name>.json regression baseline
 struct ObsOptions {
   std::string metrics_path;
   std::string trace_path;
+  std::string baseline_path;
+  bool timeline = false;
+  long timeline_us = 200;
 
   static ObsOptions FromFlags(const Flags& flags) {
     ObsOptions o;
     o.metrics_path = flags.Str("metrics-json", "");
     o.trace_path = flags.Str("trace", "");
+    o.baseline_path = flags.Str("baseline", "");
+    o.timeline = flags.Bool("timeline");
+    o.timeline_us = flags.Int("timeline-us", 200);
     return o;
   }
   bool trace_enabled() const { return !trace_path.empty(); }
   bool metrics_enabled() const { return !metrics_path.empty(); }
+  bool baseline_enabled() const { return !baseline_path.empty(); }
+  long timeline_interval_ns() const { return timeline_us * 1000; }
 };
 
 // Accumulates everything a bench prints into one machine-readable document:
@@ -266,6 +278,9 @@ class MetricsJsonWriter {
   // `json` is a complete JSON object (obs::MetricsRegistry::ToJson()).
   void SetRegistryJson(std::string json) { registry_ = std::move(json); }
 
+  // `json` is a complete JSON object (obs::TimelineSampler::ToJson()).
+  void SetTimelineJson(std::string json) { timeline_ = std::move(json); }
+
   std::string ToJson() const {
     std::string out = "{\"configs\":[";
     for (std::size_t i = 0; i < configs_.size(); ++i) {
@@ -284,6 +299,10 @@ class MetricsJsonWriter {
         out += tables_[i];
       }
       out += '}';
+    }
+    if (!timeline_.empty()) {
+      out += ",\"timeline\":";
+      out += timeline_;
     }
     if (!registry_.empty()) {
       out += ",\"registry\":";
@@ -311,7 +330,70 @@ class MetricsJsonWriter {
   std::vector<std::string> configs_;
   std::vector<std::string> values_;
   std::vector<std::string> tables_;
+  std::string timeline_;
   std::string registry_;
+};
+
+// The perf-regression baseline: a flat map of headline scalars with a
+// direction, diffable by `tracestats --compare`. Keys sort (std::map) and
+// numbers print with %.17g, so a re-run of the same commit with the same
+// flags produces a byte-identical file.
+//
+//   {"bench":"ablation_fastpath","schema":1,
+//    "metrics":{"create.gc_on.ops_per_s":{"value":...,"better":"higher"},..}}
+class BaselineWriter {
+ public:
+  explicit BaselineWriter(std::string bench) : bench_(std::move(bench)) {}
+
+  // `higher` == true: bigger is better (throughput); false: smaller is
+  // better (latency, zk requests per op).
+  void Add(const std::string& key, double value, bool higher) {
+    metrics_[key] = {value, higher};
+  }
+  void AddHigherBetter(const std::string& key, double value) {
+    Add(key, value, true);
+  }
+  void AddLowerBetter(const std::string& key, double value) {
+    Add(key, value, false);
+  }
+
+  std::string ToJson() const {
+    std::string out = "{\"bench\":\"" + JsonEscape(bench_) +
+                      "\",\"schema\":1,\"metrics\":{";
+    bool first = true;
+    for (const auto& [key, m] : metrics_) {
+      if (!first) out += ',';
+      first = false;
+      out += '"' + JsonEscape(key) + "\":{\"value\":";
+      AppendJsonNumber(&out, m.value);
+      out += ",\"better\":\"";
+      out += m.higher ? "higher" : "lower";
+      out += "\"}";
+    }
+    out += "}}";
+    return out;
+  }
+
+  bool WriteFile(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write baseline json: %s\n", path.c_str());
+      return false;
+    }
+    const std::string json = ToJson();
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    return true;
+  }
+
+ private:
+  struct Metric {
+    double value = 0;
+    bool higher = true;
+  };
+  std::string bench_;
+  std::map<std::string, Metric> metrics_;
 };
 
 }  // namespace dufs::bench

@@ -10,6 +10,8 @@
 
 #include "bench/bench_util.h"
 #include "net/rpc.h"
+#include "obs/obs.h"
+#include "obs/timeline.h"
 #include "sim/task.h"
 #include "zk/client.h"
 #include "zk/server.h"
@@ -18,6 +20,9 @@ namespace dufs {
 namespace {
 
 struct RawEnsemble {
+  // Declared before everything that holds metric/span handles into it, so
+  // it is destroyed last (same layout rule as mdtest::Testbed).
+  obs::Observability obs;
   sim::Simulation sim;
   net::Network net{sim};
   zk::ZkEnsembleConfig config;
@@ -26,7 +31,11 @@ struct RawEnsemble {
   std::vector<std::unique_ptr<net::RpcEndpoint>> client_eps;
   std::vector<std::unique_ptr<zk::ZkClient>> clients;
 
-  RawEnsemble(std::size_t n_servers, std::size_t n_client_nodes) {
+  RawEnsemble(std::size_t n_servers, std::size_t n_client_nodes,
+              bool enable_trace = false) {
+    obs.tracer().Bind(&sim);
+    obs.tracer().SetEnabled(enable_trace);
+    net.AttachObs(&obs);
     for (std::size_t i = 0; i < n_servers; ++i) {
       config.servers.push_back(net.AddNode("zk" + std::to_string(i)));
     }
@@ -35,6 +44,7 @@ struct RawEnsemble {
           std::make_unique<net::RpcEndpoint>(net, config.servers[i]));
       servers.push_back(
           std::make_unique<zk::ZkServer>(*server_eps[i], config, i));
+      servers[i]->AttachObs(obs.Node("zk" + std::to_string(i)));
       servers[i]->Start();
     }
     for (std::size_t i = 0; i < n_client_nodes; ++i) {
@@ -44,6 +54,7 @@ struct RawEnsemble {
       cc.servers = config.servers;
       cc.attach_index = i;
       clients.push_back(std::make_unique<zk::ZkClient>(*client_eps[i], cc));
+      clients[i]->AttachObs(obs.Node("client" + std::to_string(i)));
     }
     sim::RunTask(sim, [](RawEnsemble& e) -> sim::Task<void> {
       for (auto& c : e.clients) {
@@ -61,10 +72,23 @@ constexpr const char* kOpNames[] = {"zoo_create", "zoo_delete", "zoo_set",
                                     "zoo_get"};
 
 // One measurement point: `procs` processes over 8 client nodes, each doing
-// `items` back-to-back ops. Returns aggregate ops/sec.
+// `items` back-to-back ops. Returns aggregate ops/sec. The `observed`
+// point (one per run) additionally honours --trace / --timeline and dumps
+// the registry for --metrics-json.
 double Measure(ZkOp op, std::size_t n_servers, std::size_t procs,
-               std::size_t items, std::size_t client_nodes) {
-  RawEnsemble e(n_servers, client_nodes);
+               std::size_t items, std::size_t client_nodes,
+               const bench::ObsOptions* obs_opts = nullptr,
+               bool observed = false, std::string* registry_json = nullptr,
+               std::string* timeline_json = nullptr) {
+  const bool traced =
+      observed && obs_opts != nullptr && obs_opts->trace_enabled();
+  RawEnsemble e(n_servers, client_nodes, traced);
+  obs::TimelineSampler timeline;
+  if (observed && obs_opts != nullptr && obs_opts->timeline) {
+    timeline.set_interval(obs_opts->timeline_interval_ns());
+    timeline.WatchAllGauges(e.obs.metrics());
+    timeline.Start(e.sim);
+  }
   auto path_of = [](std::size_t proc, std::size_t i) {
     return "/bench/p" + std::to_string(proc) + "-n" + std::to_string(i);
   };
@@ -134,6 +158,18 @@ double Measure(ZkOp op, std::size_t n_servers, std::size_t procs,
 
   const double secs =
       static_cast<double>(e.sim.now() - start) / sim::kSecond;
+  if (traced) {
+    e.obs.tracer().WriteChromeJson(obs_opts->trace_path);
+    std::fprintf(stderr, "[fig07] trace written: %s (%zu spans)\n",
+                 obs_opts->trace_path.c_str(), e.obs.tracer().events().size());
+  }
+  if (observed && registry_json != nullptr) {
+    *registry_json = e.obs.metrics().ToJson();
+  }
+  if (observed && timeline_json != nullptr && obs_opts != nullptr &&
+      obs_opts->timeline) {
+    *timeline_json = timeline.ToJson();
+  }
   return static_cast<double>(procs * items) / secs;
 }
 
@@ -144,14 +180,19 @@ int main(int argc, char** argv) {
   using namespace dufs;
   bench::Flags flags(argc, argv,
                      "fig07_zk_throughput [--procs=8,16,...] [--items=N] "
-                     "[--servers=1,4,8] [--client-nodes=8]");
+                     "[--servers=1,4,8] [--client-nodes=8] "
+                     "[--metrics-json=PATH] [--trace=PATH] [--timeline] "
+                     "[--timeline-us=200]");
   const auto procs = flags.IntList("procs", {8, 16, 32, 64, 128, 192, 256});
   const auto servers = flags.IntList("servers", {1, 4, 8});
   const auto items = static_cast<std::size_t>(flags.Int("items", 40));
   const auto nodes = static_cast<std::size_t>(flags.Int("client-nodes", 8));
+  const auto obs_opts = bench::ObsOptions::FromFlags(flags);
 
   std::printf("Figure 7: ZooKeeper throughput for basic operations\n");
   std::printf("(ops/sec; %zu ops/process; 8 client nodes)\n", items);
+  bench::MetricsJsonWriter out;
+  std::string registry_json, timeline_json;
   for (int op = 0; op < 4; ++op) {
     std::vector<std::string> series;
     series.reserve(servers.size());
@@ -159,17 +200,33 @@ int main(int argc, char** argv) {
       series.push_back(std::to_string(s) + " ZK server" + (s > 1 ? "s" : ""));
     }
     bench::SeriesTable table("procs", series);
-    for (long p : procs) {
+    for (std::size_t pi = 0; pi < procs.size(); ++pi) {
+      const long p = procs[pi];
       std::vector<double> row;
-      for (long s : servers) {
+      for (std::size_t si = 0; si < servers.size(); ++si) {
+        const long s = servers[si];
+        // Trace/timeline/registry follow the very last measurement point
+        // (zoo_get, largest ensemble, most processes).
+        const bool observed = op == 3 && pi + 1 == procs.size() &&
+                              si + 1 == servers.size();
         row.push_back(Measure(static_cast<ZkOp>(op),
                               static_cast<std::size_t>(s),
-                              static_cast<std::size_t>(p), items, nodes));
+                              static_cast<std::size_t>(p), items, nodes,
+                              &obs_opts, observed, &registry_json,
+                              &timeline_json));
       }
       table.AddRow(p, std::move(row));
     }
-    table.Print(std::string("Fig 7") +
-                static_cast<char>('a' + op) + ": " + kOpNames[op]);
+    const std::string title = std::string("Fig 7") +
+                              static_cast<char>('a' + op) + ": " +
+                              kOpNames[op];
+    table.Print(title);
+    out.AddTable(title, table);
+  }
+  if (obs_opts.metrics_enabled()) {
+    out.SetTimelineJson(timeline_json);
+    out.SetRegistryJson(registry_json);
+    out.WriteFile(obs_opts.metrics_path);
   }
   return 0;
 }

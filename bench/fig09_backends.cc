@@ -22,10 +22,13 @@ using mdtest::TestbedConfig;
 int main(int argc, char** argv) {
   bench::Flags flags(argc, argv,
                      "fig09_backends [--procs=64,128,256] [--items=N] "
-                     "[--backends=2,4]");
+                     "[--backends=2,4] [--metrics-json=PATH] [--trace=PATH] "
+                     "[--timeline] [--timeline-us=200]");
   const auto procs_list = flags.IntList("procs", {64, 128, 256});
   const auto backends_list = flags.IntList("backends", {2, 4});
   const auto items = static_cast<std::size_t>(flags.Int("items", 30));
+  const auto obs_opts = bench::ObsOptions::FromFlags(flags);
+  std::string registry_json, timeline_json;
 
   const std::vector<Phase> phases = {Phase::kFileCreate, Phase::kFileRemove,
                                      Phase::kFileStat};
@@ -53,13 +56,20 @@ int main(int argc, char** argv) {
     }
   }
 
-  for (long n : backends_list) {
+  for (std::size_t bi = 0; bi < backends_list.size(); ++bi) {
+    const long n = backends_list[bi];
+    // The widest merge (last in --backends) is the observed configuration.
+    const bool observed = bi + 1 == backends_list.size();
     TestbedConfig config;
     config.backend = mdtest::BackendKind::kLustre;
     config.backend_instances = static_cast<std::size_t>(n);
     config.zk_servers = 8;
+    config.enable_trace = observed && obs_opts.trace_enabled();
     Testbed tb(config);
     tb.MountAll();
+    if (observed && obs_opts.timeline) {
+      tb.StartTimeline(obs_opts.timeline_interval_ns());
+    }
     const std::string series =
         "DUFS " + std::to_string(n) + " Lustre backends";
     for (long procs : procs_list) {
@@ -74,6 +84,16 @@ int main(int argc, char** argv) {
         results[r.phase][series][procs] = r.ops_per_sec;
       }
     }
+    if (config.enable_trace) {
+      tb.obs().tracer().WriteChromeJson(obs_opts.trace_path);
+      std::fprintf(stderr, "[fig09] trace written: %s (%zu spans)\n",
+                   obs_opts.trace_path.c_str(),
+                   tb.obs().tracer().events().size());
+    }
+    if (observed) {
+      registry_json = tb.obs().metrics().ToJson();
+      if (obs_opts.timeline) timeline_json = tb.timeline().ToJson();
+    }
   }
 
   std::printf("Figure 9: file-op throughput vs #back-end storages "
@@ -83,6 +103,7 @@ int main(int argc, char** argv) {
       {Phase::kFileRemove, "Fig 9b: file-remove"},
       {Phase::kFileStat, "Fig 9c: file-stat"},
   };
+  bench::MetricsJsonWriter out;
   for (const auto& [phase, title] : figures) {
     std::vector<std::string> series = {"Basic Lustre"};
     for (long n : backends_list) {
@@ -95,6 +116,12 @@ int main(int argc, char** argv) {
       table.AddRow(procs, std::move(row));
     }
     table.Print(title);
+    out.AddTable(title, table);
+  }
+  if (obs_opts.metrics_enabled()) {
+    out.SetTimelineJson(timeline_json);
+    out.SetRegistryJson(registry_json);
+    out.WriteFile(obs_opts.metrics_path);
   }
   return 0;
 }

@@ -34,7 +34,8 @@ struct System {
 int main(int argc, char** argv) {
   bench::Flags flags(argc, argv,
                      "fig10_native_compare [--procs=16,...,256] [--items=N] "
-                     "[--quick] [--metrics-json=PATH] [--trace=PATH]");
+                     "[--quick] [--metrics-json=PATH] [--trace=PATH] "
+                     "[--timeline] [--timeline-us=200] [--baseline=PATH]");
   std::vector<long> procs_list =
       flags.IntList("procs", {16, 32, 64, 128, 192, 256});
   std::size_t items = static_cast<std::size_t>(flags.Int("items", 25));
@@ -57,6 +58,7 @@ int main(int argc, char** argv) {
                          Phase::kFileRemove, Phase::kFileStat};
 
   std::map<Phase, std::map<std::string, std::map<long, double>>> results;
+  std::string registry_json, timeline_json;
 
   for (const auto& system : systems) {
     TestbedConfig config;
@@ -66,9 +68,16 @@ int main(int argc, char** argv) {
     const bool traced = obs_opts.trace_enabled() &&
                         system.target == Target::kDufs &&
                         system.backend == BackendKind::kLustre;
+    // The timeline and registry dump follow the same designated system as
+    // the trace: DUFS over Lustre.
+    const bool observed = system.target == Target::kDufs &&
+                          system.backend == BackendKind::kLustre;
     config.enable_trace = traced;
     Testbed tb(config);
     tb.MountAll();
+    if (observed && obs_opts.timeline) {
+      tb.StartTimeline(obs_opts.timeline_interval_ns());
+    }
     for (long procs : procs_list) {
       MdtestConfig mc;
       mc.processes = static_cast<std::size_t>(procs);
@@ -95,6 +104,10 @@ int main(int argc, char** argv) {
                    obs_opts.trace_path.c_str(),
                    tb.obs().tracer().events().size());
     }
+    if (observed) {
+      registry_json = tb.obs().metrics().ToJson();
+      if (obs_opts.timeline) timeline_json = tb.timeline().ToJson();
+    }
   }
 
   std::printf("Figure 10: DUFS vs native Lustre and PVFS2 (ops/sec)\n");
@@ -115,6 +128,8 @@ int main(int argc, char** argv) {
     out.AddTable(title, table);
   }
   if (obs_opts.metrics_enabled()) {
+    out.SetTimelineJson(timeline_json);
+    out.SetRegistryJson(registry_json);
     out.WriteFile(obs_opts.metrics_path);
   }
 
@@ -134,5 +149,30 @@ int main(int argc, char** argv) {
               ratio(Phase::kFileStat, "DUFS 2xLustre", "Basic Lustre"));
   std::printf("file-stat   DUFS/PVFS:   %4.1fx  (paper  3.0x)\n",
               ratio(Phase::kFileStat, "DUFS 2xPVFS", "Basic PVFS"));
+
+  if (obs_opts.baseline_enabled()) {
+    bench::BaselineWriter base("fig10_native_compare");
+    for (const Phase phase : order) {
+      base.AddHigherBetter(
+          "dufs_lustre." + std::string(mdtest::PhaseName(phase)) +
+              ".ops_per_s",
+          results[phase]["DUFS 2xLustre"][top]);
+    }
+    base.AddHigherBetter(
+        "ratio.dir_create.dufs_over_lustre",
+        ratio(Phase::kDirCreate, "DUFS 2xLustre", "Basic Lustre"));
+    base.AddHigherBetter(
+        "ratio.dir_create.dufs_over_pvfs",
+        ratio(Phase::kDirCreate, "DUFS 2xPVFS", "Basic PVFS"));
+    base.AddHigherBetter(
+        "ratio.file_stat.dufs_over_lustre",
+        ratio(Phase::kFileStat, "DUFS 2xLustre", "Basic Lustre"));
+    base.AddHigherBetter(
+        "ratio.file_stat.dufs_over_pvfs",
+        ratio(Phase::kFileStat, "DUFS 2xPVFS", "Basic PVFS"));
+    if (base.WriteFile(obs_opts.baseline_path)) {
+      std::printf("baseline written: %s\n", obs_opts.baseline_path.c_str());
+    }
+  }
   return 0;
 }

@@ -14,9 +14,12 @@ using mdtest::TestbedConfig;
 
 int main(int argc, char** argv) {
   bench::Flags flags(argc, argv,
-                     "fig11_memory [--millions=1.0] [--samples=10]");
+                     "fig11_memory [--millions=1.0] [--samples=10] "
+                     "[--metrics-json=PATH] [--trace=PATH] [--timeline] "
+                     "[--timeline-us=200]");
   const double millions = flags.Double("millions", 1.0);
   const long samples = flags.Int("samples", 10);
+  const auto obs_opts = bench::ObsOptions::FromFlags(flags);
   const std::size_t total =
       static_cast<std::size_t>(millions * 1'000'000.0);
   const std::size_t step = total / static_cast<std::size_t>(samples);
@@ -27,8 +30,12 @@ int main(int argc, char** argv) {
   config.client_nodes = 1;
   config.backend = BackendKind::kMemFs;
   config.backend_instances = 1;
+  config.enable_trace = obs_opts.trace_enabled();
   Testbed tb(config);
   tb.MountAll();
+  if (obs_opts.timeline) {
+    tb.StartTimeline(obs_opts.timeline_interval_ns());
+  }
 
   // Dummy FUSE baseline: a FUSE mount forwarding to a local filesystem.
   vfs::MemFs local(tb.sim(), "local");
@@ -39,6 +46,8 @@ int main(int argc, char** argv) {
               "DUFS(MB)", "DummyFUSE(MB)");
 
   const double mb = 1024.0 * 1024.0;
+  bench::SeriesTable mem_table("dirs_k",
+                               {"zookeeper_mb", "dufs_mb", "dummy_fuse_mb"});
   std::size_t created = 0;
   // Batch directory creation through the full stack, sampling at each step.
   for (long sample = 0; sample <= samples; ++sample) {
@@ -63,18 +72,38 @@ int main(int argc, char** argv) {
       }(tb, dummy, created, step));
       created += step;
     }
+    const double zk_mb = static_cast<double>(tb.ZkMemoryBytes()) / mb;
+    const double dufs_mb =
+        static_cast<double>(tb.client(0).dufs->EstimateMemoryBytes() +
+                            tb.client(0).fuse->EstimateMemoryBytes()) /
+        mb;
+    const double dummy_mb =
+        static_cast<double>(dummy.EstimateMemoryBytes()) / mb;
     std::printf("%-12.2f %14.1f %12.1f %14.1f\n",
-                static_cast<double>(created) / 1e6,
-                static_cast<double>(tb.ZkMemoryBytes()) / mb,
-                static_cast<double>(
-                    tb.client(0).dufs->EstimateMemoryBytes() +
-                    tb.client(0).fuse->EstimateMemoryBytes()) / mb,
-                static_cast<double>(dummy.EstimateMemoryBytes()) / mb);
+                static_cast<double>(created) / 1e6, zk_mb, dufs_mb, dummy_mb);
+    mem_table.AddRow(static_cast<long>(created / 1000),
+                     {zk_mb, dufs_mb, dummy_mb});
   }
 
   const double per_znode =
       static_cast<double>(tb.ZkMemoryBytes()) / static_cast<double>(created);
   std::printf("\nZooKeeper bytes per znode: %.0f (paper: ~417 for 1M "
               "entries => 417 MB)\n", per_znode);
+
+  if (obs_opts.trace_enabled()) {
+    tb.obs().tracer().WriteChromeJson(obs_opts.trace_path);
+    std::printf("trace written: %s (%zu spans)\n", obs_opts.trace_path.c_str(),
+                tb.obs().tracer().events().size());
+  }
+  if (obs_opts.metrics_enabled()) {
+    bench::MetricsJsonWriter out;
+    out.AddValue("zk_bytes_per_znode", per_znode);
+    out.AddTable("Fig 11: memory growth", mem_table);
+    if (obs_opts.timeline) out.SetTimelineJson(tb.timeline().ToJson());
+    out.SetRegistryJson(tb.obs().metrics().ToJson());
+    if (out.WriteFile(obs_opts.metrics_path)) {
+      std::printf("metrics written: %s\n", obs_opts.metrics_path.c_str());
+    }
+  }
   return 0;
 }

@@ -73,6 +73,7 @@ void LatencyHistogram::Merge(const LatencyHistogram& other) {
     buckets_[i] += other.buckets_[i];
   }
   count_ += other.count_;
+  sum_ += other.sum_;
   max_sample_ = std::max(max_sample_, other.max_sample_);
 }
 

@@ -46,9 +46,13 @@ class LatencyHistogram {
     if (sample_ns < 0) sample_ns = 0;
     ++buckets_[static_cast<std::size_t>(BucketFor(sample_ns))];
     ++count_;
+    sum_ += sample_ns;
     if (sample_ns > max_sample_) max_sample_ = sample_ns;
   }
   std::uint64_t count() const { return count_; }
+  // Exact sum of all samples (not bucketed): lets offline tools cross-check
+  // a latency decomposition against the end-to-end totals.
+  std::int64_t sum() const { return sum_; }
 
   // p in [0, 100]. Returns an upper bound of the bucket containing the
   // requested rank; 0 when empty.
@@ -79,6 +83,7 @@ class LatencyHistogram {
   std::array<std::uint64_t, static_cast<std::size_t>(kSubBuckets* kOctaves)>
       buckets_{};
   std::uint64_t count_ = 0;
+  std::int64_t sum_ = 0;
   std::int64_t max_sample_ = 0;
 };
 

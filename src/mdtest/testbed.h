@@ -12,6 +12,7 @@
 #include "core/dufs_client.h"
 #include "net/rpc.h"
 #include "obs/obs.h"
+#include "obs/timeline.h"
 #include "pfs/lustre.h"
 #include "pfs/pvfs.h"
 #include "vfs/fuse_mount.h"
@@ -94,6 +95,12 @@ class Testbed {
   // Connects every ZK session and mounts every DUFS client (runs the sim).
   void MountAll();
 
+  // Starts (or restarts) a timeline sampler over every gauge currently
+  // registered — call after MountAll so all components have attached their
+  // observability. Export with timeline().ToJson().
+  void StartTimeline(sim::Duration interval);
+  obs::TimelineSampler& timeline() { return timeline_; }
+
   // Sum of EstimateMemoryBytes over live ZK replicas (Fig. 11 input).
   std::size_t ZkMemoryBytes() const;
 
@@ -104,6 +111,9 @@ class Testbed {
   obs::Observability obs_;
   std::unique_ptr<sim::Simulation> sim_;
   std::unique_ptr<net::Network> net_;
+  // After sim_: its pump coroutine is reclaimed by sim_->Shutdown() in the
+  // destructor body, before members are torn down.
+  obs::TimelineSampler timeline_;
 
   std::vector<net::NodeId> zk_nodes_;
   std::vector<std::unique_ptr<net::RpcEndpoint>> zk_endpoints_;

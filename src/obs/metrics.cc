@@ -60,6 +60,7 @@ void AppendEscaped(std::string& out, const std::string& s) {
 
 void AppendHistogram(std::string& out, const LatencyHistogram& h) {
   out += "{\"count\":" + std::to_string(h.count());
+  out += ",\"sum\":" + std::to_string(h.sum());
   out += ",\"p50\":" + std::to_string(h.Percentile(50));
   out += ",\"p95\":" + std::to_string(h.Percentile(95));
   out += ",\"p99\":" + std::to_string(h.Percentile(99));
@@ -69,10 +70,10 @@ void AppendHistogram(std::string& out, const LatencyHistogram& h) {
 
 // Shared by per-node and merged sections: three sorted sub-objects.
 template <typename Counters, typename Gauges, typename GaugeMaxes,
-          typename Histos>
+          typename GaugeMins, typename Histos>
 void AppendSection(std::string& out, const Counters& counters,
                    const Gauges& gauges, const GaugeMaxes& gauge_maxes,
-                   const Histos& histos) {
+                   const GaugeMins& gauge_mins, const Histos& histos) {
   out += "{\"counters\":{";
   bool first = true;
   for (const auto& [key, value] : counters) {
@@ -88,6 +89,7 @@ void AppendSection(std::string& out, const Counters& counters,
     first = false;
     AppendEscaped(out, key);
     out += ":{\"value\":" + std::to_string(value) +
+           ",\"min\":" + std::to_string(gauge_mins.at(key)) +
            ",\"max\":" + std::to_string(gauge_maxes.at(key)) + "}";
   }
   out += "},\"hists\":{";
@@ -138,6 +140,13 @@ MetricsRegistry::Snapshot MetricsRegistry::Merged() const {
       } else if (cell->max > it->second) {
         it->second = cell->max;
       }
+      const std::int64_t low = cell->min_seen ? cell->min : cell->value;
+      auto mit = snap.gauge_mins.find(key);
+      if (mit == snap.gauge_mins.end()) {
+        snap.gauge_mins[key] = low;
+      } else if (low < mit->second) {
+        mit->second = low;
+      }
     }
     for (const auto& [key, cell] : scope->histograms()) {
       snap.histograms[key].Merge(cell->hist);
@@ -160,21 +169,22 @@ std::string MetricsRegistry::ToJson() const {
     for (const auto& [key, cell] : scope->counters()) {
       counters[key] = cell->value;
     }
-    std::map<std::string, std::int64_t> gauges, gauge_maxes;
+    std::map<std::string, std::int64_t> gauges, gauge_maxes, gauge_mins;
     for (const auto& [key, cell] : scope->gauges()) {
       gauges[key] = cell->value;
       gauge_maxes[key] = cell->max;
+      gauge_mins[key] = cell->min_seen ? cell->min : cell->value;
     }
     std::map<std::string, LatencyHistogram> histos;
     for (const auto& [key, cell] : scope->histograms()) {
       histos.emplace(key, cell->hist);
     }
-    AppendSection(out, counters, gauges, gauge_maxes, histos);
+    AppendSection(out, counters, gauges, gauge_maxes, gauge_mins, histos);
   }
   out += "},\"merged\":";
   const Snapshot snap = Merged();
   AppendSection(out, snap.counters, snap.gauges, snap.gauge_maxes,
-                snap.histograms);
+                snap.gauge_mins, snap.histograms);
   out += "}";
   return out;
 }

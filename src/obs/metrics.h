@@ -30,6 +30,11 @@ struct CounterCell {
 struct GaugeCell {
   std::int64_t value = 0;
   std::int64_t max = 0;  // high-watermark since creation
+  // Low-watermark over *recorded* values (the implicit initial 0 is
+  // excluded, so a queue that never drained during the run reports a
+  // positive min — that is what distinguishes idle from saturated).
+  std::int64_t min = 0;
+  bool min_seen = false;
 };
 
 struct HistogramCell {
@@ -65,10 +70,18 @@ class Gauge {
   void Set(std::int64_t v) {
     cell_->value = v;
     if (v > cell_->max) cell_->max = v;
+    if (!cell_->min_seen || v < cell_->min) {
+      cell_->min = v;
+      cell_->min_seen = true;
+    }
   }
   void Add(std::int64_t delta) { Set(cell_->value + delta); }
   std::int64_t value() const { return cell_->value; }
   std::int64_t max() const { return cell_->max; }
+  // Lowest recorded value; the current value when nothing was recorded yet.
+  std::int64_t min() const {
+    return cell_->min_seen ? cell_->min : cell_->value;
+  }
 
  private:
   internal::GaugeCell* cell_;
@@ -138,11 +151,12 @@ class MetricsRegistry {
   }
 
   // Cross-node merge: counters and gauge values sum, gauge maxes take the
-  // max, histograms Merge.
+  // max, gauge mins the min over nodes that recorded one, histograms Merge.
   struct Snapshot {
     std::map<std::string, std::uint64_t> counters;
     std::map<std::string, std::int64_t> gauges;
     std::map<std::string, std::int64_t> gauge_maxes;
+    std::map<std::string, std::int64_t> gauge_mins;
     std::map<std::string, LatencyHistogram> histograms;
   };
   Snapshot Merged() const;

@@ -339,6 +339,62 @@ TEST(LintObsNameTest, NestedCallArgumentsAreNotChecked) {
   EXPECT_TRUE(f.empty());
 }
 
+// --- obs-key-literal ------------------------------------------------------
+
+TEST(LintObsKeyTest, ConcatenatedCounterKeyFires) {
+  const auto f = Lint(
+      "src/x.cc", "obs_.counter(\"op.\" + phase + \"_count\").Inc();\n");
+  ASSERT_GE(f.size(), 1u);
+  EXPECT_EQ(f[0].rule, "obs-key-literal");
+}
+
+TEST(LintObsKeyTest, VariableTimerKeyFires) {
+  const auto f = Lint("src/x.cc", "auto t = obs_.timer(key);\n");
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].rule, "obs-key-literal");
+}
+
+TEST(LintObsKeyTest, LiteralKeysAreClean) {
+  const auto f = Lint("src/x.cc",
+                      "auto c = obs_.counter(\"zk.requests\");\n"
+                      "auto g = scope->gauge(\"zk.read_queue\");\n"
+                      "auto h = reg.scope(\"a\").histogram(\"op.stat_ns\");\n");
+  EXPECT_TRUE(f.empty());
+}
+
+TEST(LintObsKeyTest, DeclarationsAndFreeFunctionsAreNotLookups) {
+  const auto f = Lint("src/x.h",
+                      "#pragma once\n"
+                      "Counter counter(const std::string& key);\n"
+                      "int n = counter(key);\n");
+  EXPECT_TRUE(f.empty());
+}
+
+TEST(LintObsKeyTest, ObsForwardersAreExempt) {
+  const auto f = Lint("src/obs/obs.h",
+                      "#pragma once\n"
+                      "Counter counter(const std::string& key) const {\n"
+                      "  return metrics->counter(key);\n"
+                      "}\n");
+  EXPECT_TRUE(f.empty());
+}
+
+TEST(LintObsKeyTest, RuntimeSpanNameFires) {
+  const auto f = Lint(
+      "src/x.cc",
+      "obs::Span span(obs_, (\"zk-\" + kind).c_str(), \"zk\");\n");
+  ASSERT_GE(f.size(), 1u);
+  EXPECT_EQ(f[0].rule, "obs-key-literal");
+}
+
+TEST(LintObsKeyTest, ForwardedSpanNameParamIsTolerated) {
+  // OpScope forwards a `const char* name` parameter; a bare identifier in a
+  // span constructor is allowed — only runtime assembly is flagged.
+  const auto f = Lint(
+      "src/x.cc", "span_ = obs::Span::Root(client.obs_, name, \"op\");\n");
+  EXPECT_TRUE(f.empty());
+}
+
 // --- suppressions ---------------------------------------------------------
 
 TEST(LintSuppressionTest, TrailingAllowSuppresses) {
@@ -395,7 +451,7 @@ TEST(LintEngineTest, FindingsSortedByFileLineRule) {
 
 TEST(LintEngineTest, EveryRuleHasDocumentation) {
   const auto& docs = RuleDocs();
-  ASSERT_EQ(docs.size(), 7u);
+  ASSERT_EQ(docs.size(), 8u);
   for (const auto& doc : docs) {
     EXPECT_NE(doc.id, nullptr);
     EXPECT_GT(std::string(doc.summary).size(), 0u);

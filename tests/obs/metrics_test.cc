@@ -44,6 +44,21 @@ TEST(MetricsTest, GaugeTracksHighWatermark) {
   EXPECT_EQ(g.max(), 10);
 }
 
+TEST(MetricsTest, GaugeTracksLowWatermark) {
+  Scope scope("node");
+  Gauge g = scope.gauge("queue");
+  // Never-set gauge reports its current value as the min.
+  EXPECT_EQ(g.min(), 0);
+  g.Set(5);
+  g.Set(12);
+  g.Set(3);
+  g.Set(8);
+  EXPECT_EQ(g.min(), 3);
+  EXPECT_EQ(g.max(), 12);
+  g.Add(-8);  // Add routes through Set: zero becomes the new low
+  EXPECT_EQ(g.min(), 0);
+}
+
 TEST(MetricsTest, TimerIsHistogram) {
   Scope scope("node");
   Timer t = scope.timer("lat");
@@ -66,6 +81,7 @@ TEST(MetricsTest, MergedSnapshotAcrossNodes) {
   EXPECT_EQ(merged.counters.at("only_b"), 1u);
   EXPECT_EQ(merged.gauges.at("q"), 6);       // values sum
   EXPECT_EQ(merged.gauge_maxes.at("q"), 5);  // maxes take max
+  EXPECT_EQ(merged.gauge_mins.at("q"), 1);   // mins take min
   EXPECT_EQ(merged.histograms.at("lat").count(), 2u);
   EXPECT_EQ(merged.histograms.at("lat").MaxSample(), 200);
 }
@@ -85,6 +101,37 @@ TEST(MetricsTest, ToJsonIsDeterministicAndStructured) {
   EXPECT_NE(a.find("\"merged\""), std::string::npos);
   EXPECT_NE(a.find("\"zk.writes\":4"), std::string::npos);
   EXPECT_NE(a.find("\"client0\""), std::string::npos);
+  // Gauges export value/min/max; histograms export count and the exact sum
+  // (tracestats cross-checks its trace decomposition against that sum).
+  EXPECT_NE(a.find("\"q\":{\"value\":2,\"min\":2,\"max\":2}"),
+            std::string::npos);
+  EXPECT_NE(a.find("\"sum\":1000"), std::string::npos);
+}
+
+TEST(MetricsTest, ToJsonIgnoresRegistrationOrder) {
+  // Node scopes and cells live in sorted maps, so the export must not
+  // depend on the order components attached — permuting registration
+  // produces byte-identical JSON.
+  auto build = [](bool reversed) {
+    MetricsRegistry reg;
+    const char* nodes[] = {"client0", "client1", "zk0", "zk1"};
+    const int n = 4;
+    for (int i = 0; i < n; ++i) {
+      const char* node = nodes[reversed ? n - 1 - i : i];
+      auto& scope = reg.scope(node);
+      if (reversed) {
+        scope.histogram("op.ns").Record(500);
+        scope.gauge("q").Set(3);
+        scope.counter("ops").Inc(2);
+      } else {
+        scope.counter("ops").Inc(2);
+        scope.gauge("q").Set(3);
+        scope.histogram("op.ns").Record(500);
+      }
+    }
+    return reg.ToJson();
+  };
+  EXPECT_EQ(build(false), build(true));
 }
 
 }  // namespace

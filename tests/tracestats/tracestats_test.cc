@@ -1,0 +1,240 @@
+// Unit tests for the tracestats analyzer library (tools/tracestats) over
+// synthetic trace/metrics/baseline documents shaped exactly like the repo's
+// own exporters emit them.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "analyze.h"
+#include "json.h"
+
+namespace dufs::tracestats {
+namespace {
+
+JsonValue Parse(const std::string& text) {
+  JsonValue v;
+  std::string error;
+  EXPECT_TRUE(ParseJson(text, &v, &error)) << error;
+  return v;
+}
+
+// One stat op, 100us end-to-end, with a zk-rpc [10,60)us, a zk-read
+// [20,30)us inside it, and a nic-tx [12,18)us whose first 2us are queue
+// wait. Categories must sum exactly to the root duration.
+const char kTrace[] = R"({"traceEvents":[
+ {"name":"thread_name","ph":"M","pid":1,"tid":1,
+  "args":{"name":"client0"}},
+ {"name":"stat","cat":"op","ph":"X","ts":0.000,"dur":100.000,"pid":1,
+  "tid":1,"args":{"trace":1,"path":"/a"}},
+ {"name":"zk-rpc","cat":"zk","ph":"X","ts":10.000,"dur":50.000,"pid":1,
+  "tid":1,"args":{"trace":1}},
+ {"name":"zk-read","cat":"zk","ph":"X","ts":20.000,"dur":10.000,"pid":1,
+  "tid":2,"args":{"trace":1}},
+ {"name":"nic-tx","cat":"net","ph":"X","ts":12.000,"dur":6.000,"pid":1,
+  "tid":1,"args":{"trace":1,"wait_ns":2000,"bytes":64}}
+],"displayTimeUnit":"ns"})";
+
+TEST(JsonTest, ParsesObjectsArraysAndRawNumbers) {
+  const JsonValue v = Parse(R"({"a":[1,2.5],"s":"x\ny","neg":-3})");
+  ASSERT_TRUE(v.is_object());
+  const JsonValue* a = v.Find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  EXPECT_EQ(a->items.size(), 2u);
+  EXPECT_EQ(a->items[0].raw, "1");
+  EXPECT_EQ(a->items[1].raw, "2.5");
+  EXPECT_EQ(v.GetString("s"), "x\ny");
+  EXPECT_EQ(v.GetInt("neg"), -3);
+}
+
+TEST(JsonTest, RejectsGarbage) {
+  JsonValue v;
+  std::string error;
+  EXPECT_FALSE(ParseJson("{\"a\":", &v, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(JsonTest, MicrosRawToNanosIsExact) {
+  // The tracer prints microseconds with exactly three decimals; the parser
+  // must reconstruct integer nanoseconds without double rounding.
+  const JsonValue v =
+      Parse(R"({"a":12.345,"b":0.001,"c":1000000.000,"d":7})");
+  EXPECT_EQ(MicrosRawToNanos(*v.Find("a")), 12'345);
+  EXPECT_EQ(MicrosRawToNanos(*v.Find("b")), 1);
+  EXPECT_EQ(MicrosRawToNanos(*v.Find("c")), 1'000'000'000);
+  EXPECT_EQ(MicrosRawToNanos(*v.Find("d")), 7'000);
+}
+
+TEST(AnalyzeTest, DecompositionSumsExactlyToRootDuration) {
+  const JsonValue trace = Parse(kTrace);
+  AnalyzeResult r;
+  std::string error;
+  ASSERT_TRUE(Analyze(trace, nullptr, 10, 0.01, &r, &error)) << error;
+  EXPECT_EQ(r.total_ops, 1u);
+  EXPECT_EQ(r.orphan_events, 0u);
+  ASSERT_EQ(r.classes.size(), 1u);
+  const ClassStats& cs = r.classes[0];
+  EXPECT_EQ(cs.op, "stat");
+  EXPECT_EQ(cs.total_ns, 100'000);
+  // Priority attribution: zk-read > nic wait/wire > zk-rpc > root.
+  EXPECT_EQ(cs.ns[static_cast<int>(Category::kClient)], 50'000);
+  EXPECT_EQ(cs.ns[static_cast<int>(Category::kRpcWait)], 34'000);
+  EXPECT_EQ(cs.ns[static_cast<int>(Category::kNicWait)], 2'000);
+  EXPECT_EQ(cs.ns[static_cast<int>(Category::kWire)], 4'000);
+  EXPECT_EQ(cs.ns[static_cast<int>(Category::kZkQueue)], 10'000);
+  std::int64_t sum = 0;
+  for (int c = 0; c < kCategoryCount; ++c) sum += cs.ns[c];
+  EXPECT_EQ(sum, cs.total_ns);  // every nanosecond attributed exactly once
+
+  // Critical path: time-ordered merged segments.
+  ASSERT_EQ(r.slowest.size(), 1u);
+  const OpBreakdown& op = r.slowest[0];
+  EXPECT_EQ(op.path, "/a");
+  ASSERT_GE(op.segments.size(), 5u);
+  EXPECT_EQ(op.segments[0].first, Category::kClient);
+  EXPECT_EQ(op.segments[0].second, 10'000);
+}
+
+TEST(AnalyzeTest, UntracedEventsAreOrphans) {
+  const JsonValue trace = Parse(
+      R"({"traceEvents":[
+       {"name":"nic-tx","cat":"net","ph":"X","ts":1.000,"dur":2.000,
+        "pid":1,"tid":1,"args":{"wait_ns":0}}]})");
+  AnalyzeResult r;
+  std::string error;
+  ASSERT_TRUE(Analyze(trace, nullptr, 10, 0.01, &r, &error)) << error;
+  EXPECT_EQ(r.total_ops, 0u);
+  EXPECT_EQ(r.orphan_events, 1u);
+}
+
+TEST(AnalyzeTest, CrossCheckAgainstHistogramSum) {
+  const JsonValue trace = Parse(kTrace);
+  // Exact agreement: trace total 100000 ns == histogram sum.
+  const JsonValue good = Parse(
+      R"({"registry":{"merged":{"hists":{
+          "op.stat_ns":{"count":1,"sum":100000}}}}})");
+  AnalyzeResult r1;
+  std::string error;
+  ASSERT_TRUE(Analyze(trace, &good, 10, 0.01, &r1, &error)) << error;
+  EXPECT_TRUE(r1.check_ok);
+  EXPECT_EQ(r1.classes[0].hist_sum_ns, 100'000);
+  EXPECT_EQ(r1.classes[0].hist_count, 1u);
+
+  // An 11% disagreement must fail the 1% check and name the class.
+  const JsonValue bad = Parse(
+      R"({"registry":{"merged":{"hists":{
+          "op.stat_ns":{"count":1,"sum":90000}}}}})");
+  AnalyzeResult r2;
+  ASSERT_TRUE(Analyze(trace, &bad, 10, 0.01, &r2, &error)) << error;
+  EXPECT_FALSE(r2.check_ok);
+  ASSERT_EQ(r2.check_messages.size(), 1u);
+  EXPECT_NE(r2.check_messages[0].find("stat"), std::string::npos);
+}
+
+TEST(AnalyzeTest, OutputIsByteDeterministic) {
+  const JsonValue trace = Parse(kTrace);
+  AnalyzeResult r1, r2;
+  std::string error;
+  ASSERT_TRUE(Analyze(trace, nullptr, 10, 0.01, &r1, &error));
+  ASSERT_TRUE(Analyze(trace, nullptr, 10, 0.01, &r2, &error));
+  EXPECT_EQ(ResultToJson(r1), ResultToJson(r2));
+  EXPECT_EQ(ResultToText(r1), ResultToText(r2));
+  EXPECT_NE(ResultToJson(r1).find("\"critical_path\""), std::string::npos);
+}
+
+TEST(AnalyzeTest, TopKKeepsSlowestInDescendingOrder) {
+  const JsonValue trace = Parse(
+      R"({"traceEvents":[
+       {"name":"stat","cat":"op","ph":"X","ts":0.000,"dur":5.000,
+        "pid":1,"tid":1,"args":{"trace":1}},
+       {"name":"mkdir","cat":"op","ph":"X","ts":10.000,"dur":50.000,
+        "pid":1,"tid":1,"args":{"trace":2}},
+       {"name":"stat","cat":"op","ph":"X","ts":70.000,"dur":20.000,
+        "pid":1,"tid":1,"args":{"trace":3}}]})");
+  AnalyzeResult r;
+  std::string error;
+  ASSERT_TRUE(Analyze(trace, nullptr, 2, 0.01, &r, &error)) << error;
+  EXPECT_EQ(r.total_ops, 3u);
+  ASSERT_EQ(r.slowest.size(), 2u);
+  EXPECT_EQ(r.slowest[0].op, "mkdir");
+  EXPECT_EQ(r.slowest[1].dur_ns, 20'000);
+}
+
+// --- baseline comparison --------------------------------------------------
+
+const char kOldBase[] = R"({"bench":"x","schema":1,"metrics":{
+  "create.ops_per_s":{"value":1000,"better":"higher"},
+  "readdir.us":{"value":50,"better":"lower"}}})";
+
+TEST(CompareTest, IdenticalBaselinesHaveNoRegressions) {
+  CompareResult r;
+  std::string error;
+  ASSERT_TRUE(Compare(Parse(kOldBase), Parse(kOldBase), 0.05, &r, &error))
+      << error;
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(r.regressions, 0);
+  EXPECT_EQ(r.lines.size(), 2u);
+}
+
+TEST(CompareTest, DropBeyondToleranceRegressesHigherBetter) {
+  const JsonValue nw = Parse(R"({"metrics":{
+    "create.ops_per_s":{"value":900,"better":"higher"},
+    "readdir.us":{"value":50,"better":"lower"}}})");
+  CompareResult r;
+  std::string error;
+  ASSERT_TRUE(Compare(Parse(kOldBase), nw, 0.05, &r, &error)) << error;
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.regressions, 1);
+  // The report names the regressed metric on a REGRESSION line.
+  bool named = false;
+  for (const auto& line : r.lines) {
+    if (line.find("REGRESSION") != std::string::npos &&
+        line.find("create.ops_per_s") != std::string::npos) {
+      named = true;
+    }
+  }
+  EXPECT_TRUE(named);
+}
+
+TEST(CompareTest, RiseBeyondToleranceRegressesLowerBetter) {
+  const JsonValue nw = Parse(R"({"metrics":{
+    "create.ops_per_s":{"value":1000,"better":"higher"},
+    "readdir.us":{"value":60,"better":"lower"}}})");
+  CompareResult r;
+  std::string error;
+  ASSERT_TRUE(Compare(Parse(kOldBase), nw, 0.05, &r, &error)) << error;
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.regressions, 1);
+}
+
+TEST(CompareTest, WithinToleranceIsOk) {
+  const JsonValue nw = Parse(R"({"metrics":{
+    "create.ops_per_s":{"value":960,"better":"higher"},
+    "readdir.us":{"value":52,"better":"lower"}}})");
+  CompareResult r;
+  std::string error;
+  ASSERT_TRUE(Compare(Parse(kOldBase), nw, 0.05, &r, &error)) << error;
+  EXPECT_TRUE(r.ok);
+}
+
+TEST(CompareTest, MissingMetricRegressesNewMetricInforms) {
+  const JsonValue nw = Parse(R"({"metrics":{
+    "create.ops_per_s":{"value":1000,"better":"higher"},
+    "brand.new":{"value":1,"better":"higher"}}})");
+  CompareResult r;
+  std::string error;
+  ASSERT_TRUE(Compare(Parse(kOldBase), nw, 0.05, &r, &error)) << error;
+  EXPECT_FALSE(r.ok);          // readdir.us vanished
+  EXPECT_EQ(r.regressions, 1);
+  bool informed = false;
+  for (const auto& line : r.lines) {
+    if (line.find("brand.new") != std::string::npos &&
+        line.find("new metric") != std::string::npos) {
+      informed = true;
+    }
+  }
+  EXPECT_TRUE(informed);  // additions inform, never fail
+}
+
+}  // namespace
+}  // namespace dufs::tracestats

@@ -360,6 +360,20 @@ const std::vector<RuleDoc>& RuleDocs() {
        "break the convention and the export diffing tools.",
        "obs::Span span(obs_, \"ZK RPC\", \"zk\");",
        "obs::Span span(obs_, \"zk-rpc\", \"zk\");"},
+      {"obs-key-literal",
+       "metric/span keys are string literals at the call site",
+       "Registry keys and span names land in byte-compared JSON exports and "
+       "are grepped by offline tooling (tracestats classifies spans by "
+       "name). A key assembled at runtime — concatenation, to_string(), "
+       "c_str() — makes the key set data-dependent, so neither the linter "
+       "nor a reader of the call site can enumerate it, and one stray value "
+       "explodes export cardinality. Pass a fixed literal to counter()/"
+       "gauge()/histogram()/timer() and to span constructors; put the "
+       "variable part in a span arg or a per-node Scope instead. "
+       "(src/obs/ itself is exempt: its forwarding shims take the key as a "
+       "parameter by design.)",
+       "obs_.counter(\"op.\" + phase + \"_count\").Inc();",
+       "obs_.counter(\"op.stat_count\").Inc();  // one literal per phase"},
   };
   return kDocs;
 }
@@ -447,6 +461,7 @@ class FileLint {
     TaskDiscards();
     IncludeHygiene();
     ObsNames();
+    ObsKeyLiterals();
     Filter(out);
   }
 
@@ -676,6 +691,97 @@ class FileLint {
           Add(a.line, "trace-span-name",
               "span/metric name \"" + value +
                   "\" must match [a-z][a-z0-9._-]* (lower-case dotted)");
+        }
+      }
+    }
+  }
+
+  // Metric/span keys must be literals at the call site. Two shapes:
+  //  - registry lookups `x.counter("k")` / `->timer("k")` etc.: the first
+  //    argument must be exactly one string literal;
+  //  - span construction: no runtime-name indicators (`+`, c_str(),
+  //    to_string(), append(), format()) at depth 1 of the argument list.
+  //    A bare identifier is tolerated there because the blessed OpScope
+  //    helper forwards a `const char* name` parameter that is itself
+  //    always a literal at ITS call sites.
+  // src/obs/ is exempt: its shims forward `key` parameters by design.
+  void ObsKeyLiterals() {
+    if (f_.path.find("src/obs/") != std::string::npos) return;
+    const auto& toks = f_.tokens;
+    for (std::size_t i = 1; i + 1 < toks.size(); ++i) {
+      const Token& t = toks[i];
+      if (t.kind != TokKind::kIdentifier) continue;
+      if (t.text == "counter" || t.text == "gauge" || t.text == "timer" ||
+          t.text == "histogram") {
+        // Member calls only: `Counter counter(...)` declarations and free
+        // functions that happen to share the name are not registry lookups.
+        if (!IsPunct(toks[i - 1], ".") && !IsPunct(toks[i - 1], "->")) {
+          continue;
+        }
+        if (!IsPunct(toks[i + 1], "(")) continue;
+        const std::size_t open = i + 1;
+        const std::size_t close = MatchParen(toks, open);
+        if (close == kNpos) continue;
+        // First depth-1 argument: tokens in (open, first depth-1 comma).
+        std::size_t first_end = close - 1;
+        int depth = 0;
+        for (std::size_t k = open; k < close - 1; ++k) {
+          const Token& a = toks[k];
+          if (a.kind != TokKind::kPunct) continue;
+          if (a.text == "(" || a.text == "[" || a.text == "{") ++depth;
+          if (a.text == ")" || a.text == "]" || a.text == "}") --depth;
+          if (depth == 1 && a.text == "," && k > open) {
+            first_end = k;
+            break;
+          }
+        }
+        if (first_end == open + 1) continue;  // no-arg call: not a lookup
+        const bool single_literal =
+            first_end == open + 2 && toks[open + 1].kind == TokKind::kString &&
+            !toks[open + 1].text.empty() && toks[open + 1].text[0] != '\'';
+        if (!single_literal) {
+          Add(t.line, "obs-key-literal",
+              "key passed to `" + t.text +
+                  "()` must be a single string literal: runtime-built keys "
+                  "make the export key set data-dependent");
+        }
+      } else if (t.text == "Span" || t.text == "Root") {
+        if (t.text == "Root" &&
+            !(i >= 2 && IsPunct(toks[i - 1], "::") &&
+              IsId(toks[i - 2], "Span"))) {
+          continue;
+        }
+        std::size_t open = kNpos;
+        if (IsPunct(toks[i + 1], "(")) {
+          open = i + 1;
+        } else if (i + 2 < toks.size() &&
+                   toks[i + 1].kind == TokKind::kIdentifier &&
+                   IsPunct(toks[i + 2], "(")) {
+          open = i + 2;
+        }
+        if (open == kNpos) continue;
+        const std::size_t close = MatchParen(toks, open);
+        if (close == kNpos) continue;
+        int depth = 0;
+        for (std::size_t k = open; k < close; ++k) {
+          const Token& a = toks[k];
+          if (a.kind == TokKind::kPunct) {
+            if (a.text == "(") ++depth;
+            if (a.text == ")") --depth;
+          }
+          if (depth != 1) continue;
+          const bool builder =
+              IsPunct(a, "+") ||
+              (a.kind == TokKind::kIdentifier &&
+               (a.text == "c_str" || a.text == "to_string" ||
+                a.text == "append" || a.text == "format"));
+          if (builder) {
+            Add(a.line, "obs-key-literal",
+                "span name assembled at runtime (`" + a.text +
+                    "`): span names must be fixed literals; put the "
+                    "variable part in a span arg");
+            break;
+          }
         }
       }
     }

@@ -1,0 +1,56 @@
+// Minimal JSON parser for the tracestats analyzer — self-contained, same
+// philosophy as tools/lint: no third-party deps, tolerant of nothing the
+// repo's own exporters don't emit (objects, arrays, strings, numbers,
+// true/false/null; no comments, no trailing commas).
+//
+// Numbers keep their raw source text alongside the double: trace timestamps
+// are microseconds with exactly three decimals ("12.345"), and the raw text
+// lets the analyzer reconstruct integer nanoseconds exactly instead of
+// trusting double rounding.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dufs::tracestats {
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string raw;  // number source text, e.g. "12.345"
+  std::string str;
+  std::vector<JsonValue> items;                            // kArray
+  std::vector<std::pair<std::string, JsonValue>> members;  // kObject
+
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+
+  // Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(const std::string& key) const;
+
+  // Convenience getters with fallbacks (no error — absent means fallback).
+  std::string GetString(const std::string& key,
+                        const std::string& fallback = "") const;
+  double GetNumber(const std::string& key, double fallback = 0.0) const;
+  std::int64_t GetInt(const std::string& key, std::int64_t fallback = 0) const;
+};
+
+// Parses `text` into `*out`. On failure returns false and sets `*error` to
+// a message with a byte offset.
+bool ParseJson(const std::string& text, JsonValue* out, std::string* error);
+
+// Slurps a file; false (with message) when unreadable.
+bool ReadFile(const std::string& path, std::string* out, std::string* error);
+
+// "12.345" (µs with exactly 3 decimals, as the tracer prints) -> 12345 ns.
+// Falls back to rounding the double for any other numeric shape.
+std::int64_t MicrosRawToNanos(const JsonValue& v);
+
+}  // namespace dufs::tracestats
