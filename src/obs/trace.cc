@@ -2,6 +2,7 @@
 
 #include <cinttypes>
 #include <cstdio>
+#include <string_view>
 #include <utility>
 
 #include "obs/obs.h"
@@ -11,7 +12,7 @@ namespace dufs::obs {
 namespace {
 
 // Escape for JSON string contents (no surrounding quotes).
-void AppendEscaped(std::string& out, const std::string& s) {
+void AppendEscaped(std::string& out, std::string_view s) {
   for (char c : s) {
     switch (c) {
       case '"': out += "\\\""; break;
@@ -50,12 +51,12 @@ TrackId Tracer::Track(const std::string& name) {
   return static_cast<TrackId>(tracks_.size() - 1);
 }
 
-void Tracer::Complete(TrackId track, std::string name, std::string cat,
+void Tracer::Complete(TrackId track, const char* name, const char* cat,
                       sim::SimTime start, sim::Duration dur, TraceId trace,
                       std::vector<Arg> args) {
   if (!enabled_) return;
-  events_.push_back(Event{track, std::move(name), std::move(cat), start, dur,
-                          trace, std::move(args)});
+  events_.push_back(Event{track, name, cat, start, dur, trace,
+                          std::move(args)});
 }
 
 std::string Tracer::ToChromeJson() const {

@@ -62,8 +62,11 @@ class Tracer {
   TraceId current() const { return current_; }
   void SetCurrent(TraceId id) { current_ = id; }
 
+  // Names, categories, and arg keys are string literals (the obs-key-literal
+  // lint rule enforces that at every call site), so events store the pointer
+  // instead of copying — an enabled span costs no string work until export.
   struct Arg {
-    std::string key;
+    const char* key = "";
     std::string str;       // when is_string
     std::int64_t num = 0;  // otherwise
     bool is_string = false;
@@ -71,16 +74,17 @@ class Tracer {
 
   struct Event {
     TrackId track = 0;
-    std::string name;
-    std::string cat;
+    const char* name = "";
+    const char* cat = "";
     sim::SimTime start = 0;
     sim::Duration dur = 0;
     TraceId trace = 0;
     std::vector<Arg> args;
   };
 
-  // Record a complete ("X") event. No-op while disabled.
-  void Complete(TrackId track, std::string name, std::string cat,
+  // Record a complete ("X") event. No-op while disabled. `name` and `cat`
+  // must outlive the tracer (use literals).
+  void Complete(TrackId track, const char* name, const char* cat,
                 sim::SimTime start, sim::Duration dur, TraceId trace,
                 std::vector<Arg> args = {});
 

@@ -5,33 +5,36 @@
 //   Barrier  — reusable N-party barrier (mdtest phase synchronization).
 //
 // All primitives keep their state behind shared_ptr so RAII guards and
-// late-destroyed coroutine frames never touch freed memory.
+// late-destroyed coroutine frames never touch freed memory. Waiter lists and
+// mailbox items live in SmallQueue rings: short queues (the common case)
+// never allocate.
 #pragma once
 
 #include <coroutine>
-#include <deque>
 #include <memory>
 #include <optional>
 #include <utility>
-#include <vector>
 
 #include "common/log.h"
 #include "sim/simulation.h"
+#include "sim/small_queue.h"
 
 namespace dufs::sim {
 
 class Resource {
   struct State {
-    Simulation* sim;
-    std::size_t capacity;
+    Simulation* sim = nullptr;
+    std::size_t capacity = 0;
     std::size_t in_use = 0;
-    std::deque<std::coroutine_handle<>> waiters;
+    SmallQueue<std::coroutine_handle<>, 4> waiters;
   };
 
  public:
   Resource(Simulation& sim, std::size_t capacity)
-      : st_(std::make_shared<State>(State{&sim, capacity, 0, {}})) {
+      : st_(std::make_shared<State>()) {
     DUFS_CHECK(capacity > 0);
+    st_->sim = &sim;
+    st_->capacity = capacity;
   }
 
   // RAII permit. Move-only; releases on destruction (safe even if the
@@ -102,15 +105,16 @@ class Resource {
 template <typename T>
 class Mailbox {
   struct State {
-    Simulation* sim;
-    std::deque<T> items;
-    std::deque<std::coroutine_handle<>> waiters;
+    Simulation* sim = nullptr;
+    SmallQueue<T, 8> items;
+    SmallQueue<std::coroutine_handle<>, 4> waiters;
     bool closed = false;
   };
 
  public:
-  explicit Mailbox(Simulation& sim)
-      : st_(std::make_shared<State>(State{&sim, {}, {}, false})) {}
+  explicit Mailbox(Simulation& sim) : st_(std::make_shared<State>()) {
+    st_->sim = &sim;
+  }
 
   void Send(T item) {
     if (st_->closed) return;  // dropped, like a message to a dead process
@@ -162,17 +166,19 @@ class Mailbox {
 
 class Barrier {
   struct State {
-    Simulation* sim;
-    std::size_t parties;
+    Simulation* sim = nullptr;
+    std::size_t parties = 0;
     std::size_t arrived = 0;
     std::uint64_t generation = 0;
-    std::vector<std::coroutine_handle<>> waiters;
+    SmallQueue<std::coroutine_handle<>, 8> waiters;
   };
 
  public:
   Barrier(Simulation& sim, std::size_t parties)
-      : st_(std::make_shared<State>(State{&sim, parties, 0, 0, {}})) {
+      : st_(std::make_shared<State>()) {
     DUFS_CHECK(parties > 0);
+    st_->sim = &sim;
+    st_->parties = parties;
   }
 
   auto Arrive() {
@@ -183,8 +189,10 @@ class Barrier {
           // Last arriver releases everyone and does not suspend.
           st->arrived = 0;
           ++st->generation;
-          for (auto h : st->waiters) st->sim->ScheduleHandle(0, h);
-          st->waiters.clear();
+          while (!st->waiters.empty()) {
+            st->sim->ScheduleHandle(0, st->waiters.front());
+            st->waiters.pop_front();
+          }
           return true;
         }
         return false;

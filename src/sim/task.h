@@ -17,6 +17,7 @@
 #include <utility>
 
 #include "common/log.h"
+#include "sim/arena.h"
 #include "sim/audit.h"
 #include "sim/simulation.h"
 
@@ -29,23 +30,24 @@ struct TaskPromiseBase {
   std::coroutine_handle<> continuation;
   bool detached = false;
   std::exception_ptr exception;
+  // Links this frame into its Simulation's detached registry while spawned
+  // (intrusive, so Spawn/completion never touch the heap).
+  DetachedNode detached_node;
 
-#ifdef DUFS_AUDIT
-  // The pointer returned here is the frame start — the same address
-  // coroutine_handle<>::address() reports — so the audit registry can match
-  // schedule/resume/destroy events to allocations. Audit-only: the promise
-  // layout is identical either way (ODR safety is enforced by defining
-  // DUFS_AUDIT globally in CMake, never per target).
+  // Frames come from the thread-local slab arena (free cells recycle in two
+  // pointer moves; see arena.h). The pointer returned here is the frame
+  // start — the same address coroutine_handle<>::address() reports — so the
+  // DUFS_AUDIT registry can match schedule/resume/destroy events to
+  // allocations, which requires the arena to add no allocation header.
   static void* operator new(std::size_t bytes) {
-    void* frame = ::operator new(bytes);
+    void* frame = Arena::ThreadLocal().Allocate(bytes);
     audit::FrameAllocated(frame, bytes);
     return frame;
   }
   static void operator delete(void* frame, std::size_t bytes) {
     audit::FrameFreed(frame);
-    ::operator delete(frame, bytes);
+    Arena::ThreadLocal().Free(frame, bytes);
   }
-#endif
 
   std::suspend_always initial_suspend() noexcept { return {}; }
 
@@ -67,7 +69,7 @@ struct TaskFinalAwaiter {
     audit::FrameCompleted(h.address());
     if (p.detached) {
       Simulation* sim = p.sim;
-      if (sim != nullptr) sim->UnregisterDetached(h.address());
+      if (sim != nullptr) sim->UnregisterDetached(&p.detached_node);
       h.destroy();
       return std::noop_coroutine();
     }
@@ -213,7 +215,8 @@ inline void Simulation::Spawn(Task<void> task) {
   DUFS_CHECK(h != nullptr);
   h.promise().detached = true;
   h.promise().sim = this;
-  RegisterDetached(h.address());
+  h.promise().detached_node.frame = h.address();
+  RegisterDetached(&h.promise().detached_node);
   CurrentSimulationScope scope(this);
   h.resume();  // run until first suspension (or completion, which frees it)
 }

@@ -1,0 +1,41 @@
+# Determinism gate for the engine self-bench: run micro_core --selfbench
+# twice with the same seed and require the sim-side metrics export to be
+# byte-identical. Wall-clock rates naturally differ between runs, so the
+# compared file carries only simulation-deterministic values (event counts
+# and final sim clocks) — the scheduler swap must never change those.
+#
+# Invoked by ctest as:
+#   cmake -DBENCH=<micro_core> -DWORKDIR=<dir> -P selfbench_twice.cmake
+
+if(NOT DEFINED BENCH OR NOT DEFINED WORKDIR)
+  message(FATAL_ERROR
+    "usage: cmake -DBENCH=... -DWORKDIR=... -P selfbench_twice.cmake")
+endif()
+
+file(MAKE_DIRECTORY "${WORKDIR}")
+
+# Small sizes keep the gate fast; one rep is enough for the deterministic
+# fields (reps only tighten the wall-clock timings, which are not compared).
+set(ARGS --selfbench --seed=7 --reps=1 --churn-events=100000
+    --churn-timers=256 --coro-procs=64 --coro-rounds=200 --spawns=20000)
+
+foreach(run 1 2)
+  execute_process(
+    COMMAND "${BENCH}" ${ARGS}
+      --metrics-json=${WORKDIR}/selfbench_${run}.json
+    OUTPUT_QUIET
+    RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "run ${run} of ${BENCH} failed with exit code ${rc}")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+    "${WORKDIR}/selfbench_1.json" "${WORKDIR}/selfbench_2.json"
+  RESULT_VARIABLE diff)
+if(NOT diff EQUAL 0)
+  message(FATAL_ERROR
+    "self-bench sim metrics differ between two runs with --seed=7: the "
+    "engine scheduler is no longer deterministic")
+endif()

@@ -395,6 +395,54 @@ TEST(LintObsKeyTest, ForwardedSpanNameParamIsTolerated) {
   EXPECT_TRUE(f.empty());
 }
 
+// --- sim-hot-alloc --------------------------------------------------------
+
+TEST(LintHotAllocTest, StdFunctionInSimFires) {
+  const auto f = Lint("src/sim/x.h",
+                      "#pragma once\n"
+                      "struct S { std::function<void()> cb; };\n");
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].rule, "sim-hot-alloc");
+  EXPECT_EQ(f[0].line, 2);
+}
+
+TEST(LintHotAllocTest, ContainerInSimFires) {
+  const auto f =
+      Lint("src/sim/x.h",
+           "#pragma once\n"
+           "std::deque<int> a;\n"
+           "std::unordered_map<int, int> b;\n"
+           "std::priority_queue<int> c;\n");
+  EXPECT_EQ(Rules(f),
+            (std::vector<std::string>{"sim-hot-alloc", "sim-hot-alloc",
+                                      "sim-hot-alloc"}));
+}
+
+TEST(LintHotAllocTest, OutsideSimDoesNotFire) {
+  const auto f = Lint("src/zk/x.h",
+                      "#pragma once\n"
+                      "std::function<void()> cb;\n"
+                      "std::map<int, int> m;\n");
+  EXPECT_TRUE(f.empty());
+}
+
+TEST(LintHotAllocTest, VectorAndAllowedTypesDoNotFire) {
+  const auto f = Lint("src/sim/x.h",
+                      "#pragma once\n"
+                      "std::vector<int> v;\n"
+                      "std::optional<int> o;\n"
+                      "std::shared_ptr<int> p;\n");
+  EXPECT_TRUE(f.empty());
+}
+
+TEST(LintHotAllocTest, SuppressibleWithReason) {
+  const auto f = Lint(
+      "src/sim/x.h",
+      "#pragma once\n"
+      "std::map<int, int> cold;  // dufs-lint: allow(sim-hot-alloc) cold\n");
+  EXPECT_TRUE(f.empty());
+}
+
 // --- suppressions ---------------------------------------------------------
 
 TEST(LintSuppressionTest, TrailingAllowSuppresses) {
@@ -451,7 +499,7 @@ TEST(LintEngineTest, FindingsSortedByFileLineRule) {
 
 TEST(LintEngineTest, EveryRuleHasDocumentation) {
   const auto& docs = RuleDocs();
-  ASSERT_EQ(docs.size(), 8u);
+  ASSERT_EQ(docs.size(), 9u);
   for (const auto& doc : docs) {
     EXPECT_NE(doc.id, nullptr);
     EXPECT_GT(std::string(doc.summary).size(), 0u);

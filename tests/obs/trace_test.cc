@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "mdtest/testbed.h"
@@ -85,7 +86,7 @@ TEST(TraceChainTest, CreateSpansChainThroughStack) {
 
   const auto& events = tb.obs().tracer().events();
   ASSERT_FALSE(events.empty());
-  auto find_name = [&](const char* name) {
+  auto find_name = [&](std::string_view name) {
     return std::find_if(events.begin(), events.end(),
                         [&](const obs::Tracer::Event& e) {
                           return e.name == name;
@@ -96,7 +97,7 @@ TEST(TraceChainTest, CreateSpansChainThroughStack) {
   const obs::TraceId trace = create->trace;
   ASSERT_NE(trace, 0u);
 
-  for (const char* name :
+  for (std::string_view name :
        {"zk-rpc", "zk-write", "quorum-round", "fsync-batch"}) {
     auto it = std::find_if(events.begin(), events.end(),
                            [&](const obs::Tracer::Event& e) {

@@ -1,0 +1,233 @@
+// Scheduler-structure tests for the hierarchical timing wheel behind
+// Simulation: FIFO tie-break per tick, cascading across level boundaries,
+// far-future overflow promotion, the early map behind a parked cursor, and
+// run-twice determinism of the pop order.
+#include "sim/simulation.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/timeline.h"
+#include "sim/task.h"
+#include "sim/time.h"
+
+namespace dufs {
+namespace {
+
+TEST(WheelTest, SameTimestampPopsInScheduleOrderAtScale) {
+  sim::Simulation sim;
+  std::vector<int> order;
+  // Schedule from interleaved origins so the slot list is appended to from
+  // several ScheduleFn batches, not one monotone loop.
+  for (int batch = 0; batch < 4; ++batch) {
+    for (int i = 0; i < 64; ++i) {
+      const int id = batch * 64 + i;
+      sim.ScheduleFn(sim::Ms(1), [&order, id] { order.push_back(id); });
+    }
+  }
+  sim.Run();
+  ASSERT_EQ(order.size(), 256u);
+  for (int i = 0; i < 256; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(WheelTest, MixedDelaysPopInTimeThenScheduleOrder) {
+  sim::Simulation sim;
+  std::vector<std::pair<sim::SimTime, int>> fired;
+  // Delays straddling every wheel level: sub-slot, level-0 window (4096ns),
+  // each upper-level boundary, and beyond.
+  const std::array<sim::Duration, 10> delays = {
+      1,        3,         4'095,      4'096,        262'143,
+      262'144,  16'777'216, sim::Ms(1), sim::Sec(1),  sim::Sec(60)};
+  int id = 0;
+  for (sim::Duration d : delays) {
+    for (int rep = 0; rep < 3; ++rep) {
+      const int me = id++;
+      sim.ScheduleFn(d, [&fired, &sim, me] {
+        fired.push_back({sim.now(), me});
+      });
+    }
+  }
+  sim.Run();
+  ASSERT_EQ(fired.size(), 30u);
+  for (std::size_t i = 1; i < fired.size(); ++i) {
+    // Non-decreasing time; FIFO (schedule order) within equal timestamps.
+    EXPECT_LE(fired[i - 1].first, fired[i].first);
+    if (fired[i - 1].first == fired[i].first) {
+      EXPECT_LT(fired[i - 1].second, fired[i].second);
+    }
+  }
+}
+
+TEST(WheelTest, FarFutureOverflowPromotion) {
+  sim::Simulation sim;
+  std::vector<int> order;
+  // The wheel spans 2^36 ns ≈ 68.7s past the cursor; these sit in the sorted
+  // overflow level until the wheel drains, then promote in blocks.
+  sim.ScheduleFn(sim::Sec(300), [&order] { order.push_back(3); });
+  sim.ScheduleFn(sim::Sec(100), [&order] { order.push_back(1); });
+  sim.ScheduleFn(sim::Sec(200), [&order] { order.push_back(2); });
+  sim.ScheduleFn(sim::Ms(5), [&order] { order.push_back(0); });
+  EXPECT_EQ(sim.pending_events(), 4u);
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(sim.now(), sim::Sec(300));
+}
+
+TEST(WheelTest, OverflowRescheduleChainsAcrossSpans) {
+  sim::Simulation sim;
+  // Each firing re-arms beyond the wheel span again, forcing a fresh
+  // promotion per hop; the chain must keep strict time order.
+  struct Chain {
+    sim::Simulation* sim;
+    int hops = 0;
+    sim::SimTime last_at = -1;
+    void Arm() {
+      sim->ScheduleFn(sim::Sec(90), [this] {
+        EXPECT_GT(sim->now(), last_at);
+        last_at = sim->now();
+        if (++hops < 5) Arm();
+      });
+    }
+  } chain{&sim};
+  chain.Arm();
+  sim.Run();
+  EXPECT_EQ(chain.hops, 5);
+  EXPECT_EQ(sim.now(), 5 * sim::Sec(90));
+}
+
+TEST(WheelTest, ScheduleBehindParkedCursorStillRunsInOrder) {
+  sim::Simulation sim;
+  std::vector<int> order;
+  // Park the cursor: the only pending event is far in the future, and
+  // Run(until) stops at the horizon after peeking toward it.
+  sim.ScheduleFn(sim::Sec(50), [&order] { order.push_back(9); });
+  sim.Run(sim::Ms(1));
+  EXPECT_EQ(sim.now(), sim::Ms(1));
+  // Now schedule events earlier than anything the wheel may have advanced
+  // toward; they must still fire before the far event, oldest first.
+  sim.ScheduleFn(sim::Ms(2), [&order] { order.push_back(1); });
+  sim.ScheduleFn(sim::Ms(1), [&order] { order.push_back(0); });
+  sim.ScheduleFn(sim::Sec(1), [&order] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 9}));
+}
+
+TEST(WheelTest, RunUntilHorizonLeavesEventsIntact) {
+  sim::Simulation sim;
+  int fired = 0;
+  for (int i = 0; i < 100; ++i) {
+    sim.ScheduleFn(sim::Us(10) * (i + 1), [&fired] { ++fired; });
+  }
+  EXPECT_EQ(sim.Run(sim::Us(10) * 50), 50u);
+  EXPECT_EQ(fired, 50);
+  EXPECT_EQ(sim.pending_events(), 50u);
+  EXPECT_EQ(sim.Run(), 50u);
+  EXPECT_EQ(fired, 100);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(WheelTest, OversizeCallbackCaptureStillRuns) {
+  sim::Simulation sim;
+  // > 32-byte capture takes the boxed (heap trampoline) path of InlineFn.
+  std::array<std::int64_t, 8> big = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::int64_t sum = 0;
+  sim.ScheduleFn(1, [big, &sum] {
+    for (std::int64_t v : big) sum += v;
+  });
+  sim.Run();
+  EXPECT_EQ(sum, 36);
+}
+
+TEST(WheelTest, ShutdownDropsEveryWheelStructure) {
+  sim::Simulation sim;
+  // Wheel-resident, overflow-resident, and early-map events.
+  sim.ScheduleFn(sim::Ms(1), [] { FAIL() << "dropped event ran"; });
+  sim.ScheduleFn(sim::Sec(100), [] { FAIL() << "dropped event ran"; });
+  sim.ScheduleFn(sim::Sec(50), [] {});
+  sim.Run(sim::Us(1));  // park the cursor without firing anything
+  sim.ScheduleFn(sim::Us(2), [] { FAIL() << "dropped event ran"; });
+  EXPECT_GT(sim.pending_events(), 0u);
+  sim.Shutdown();
+  EXPECT_EQ(sim.pending_events(), 0u);
+  // The simulation stays usable after Shutdown (tests reuse one sim).
+  bool ran = false;
+  sim.ScheduleFn(1, [&ran] { ran = true; });
+  sim.Run();
+  EXPECT_TRUE(ran);
+}
+
+TEST(WheelTest, TimelineGenerationCancelsStalePump) {
+  sim::Simulation sim;
+  obs::MetricsRegistry registry;
+  auto& scope = registry.scope("node0");
+  obs::Gauge g = scope.gauge("depth");
+  obs::TimelineSampler sampler({sim::Ms(1), 64});
+  sampler.WatchGauge("node0/depth", g);
+
+  sampler.Start(sim);
+  sim.ScheduleFn(sim::Ms(10), [&sim] { sim.RequestStop(); });
+  sim.Run();
+  sim.ClearStop();
+  const std::size_t after_first = sampler.samples();
+  EXPECT_GT(after_first, 1u);
+
+  // Stop bumps the generation: the pump coroutine still scheduled in the
+  // wheel wakes once, sees the stale generation, and exits without sampling.
+  sampler.Stop();
+  sim.ScheduleFn(sim::Ms(10), [&sim] { sim.RequestStop(); });
+  sim.Run();
+  sim.ClearStop();
+  EXPECT_EQ(sampler.samples(), after_first);
+
+  // Restarting samples again under a fresh generation (plus one immediate
+  // sample at Start).
+  sampler.Start(sim);
+  sim.ScheduleFn(sim::Ms(5), [&sim] { sim.RequestStop(); });
+  sim.Run();
+  sim.ClearStop();
+  EXPECT_GT(sampler.samples(), after_first + 1);
+}
+
+// A randomized storm, run twice from the same seed: the pop order (and so
+// every now() observed by callbacks) must match event for event.
+std::vector<std::pair<sim::SimTime, std::uint64_t>> Storm(std::uint64_t seed) {
+  sim::Simulation sim(seed);
+  std::vector<std::pair<sim::SimTime, std::uint64_t>> log;
+  struct Churn {
+    sim::Simulation* sim;
+    std::vector<std::pair<sim::SimTime, std::uint64_t>>* log;
+    std::uint64_t scheduled = 0;
+    void Arm(std::uint64_t id) {
+      sim::Duration d;
+      if (sim->rng().NextBelow(64) == 0) {
+        d = sim::Sec(1) + static_cast<sim::Duration>(
+                              sim->rng().NextBelow(sim::Sec(89)));
+      } else {
+        d = 1 + static_cast<sim::Duration>(sim->rng().NextBelow(sim::Ms(1)));
+      }
+      sim->ScheduleFn(d, [this, id] {
+        log->push_back({sim->now(), id});
+        if (scheduled < 3000) Arm(scheduled++);
+      });
+    }
+  } churn{&sim, &log};
+  for (std::uint64_t i = 0; i < 32; ++i) churn.Arm(churn.scheduled++);
+  sim.Run();
+  return log;
+}
+
+TEST(WheelTest, RandomStormIsDeterministicAcrossRuns) {
+  const auto a = Storm(42);
+  const auto b = Storm(42);
+  ASSERT_GE(a.size(), 3000u);
+  EXPECT_EQ(a, b);
+  const auto c = Storm(43);
+  EXPECT_NE(a, c);  // the seed actually matters
+}
+
+}  // namespace
+}  // namespace dufs

@@ -52,6 +52,22 @@ bool IsBannedTimeSourceCall(const std::string& s) {
   return s == "rand" || s == "srand" || s == "clock" || s == "time";
 }
 
+// Allocating std:: types banned (as `std::X`) in src/sim/ hot-path code:
+// type-erased callables and node/map containers whose construction or
+// insertion heap-allocates per operation. The event loop runs these methods
+// millions of times per simulated second; use the slab arena (sim/arena.h),
+// SmallQueue (sim/small_queue.h), or intrusive lists instead — or suppress
+// with a reason for genuinely cold paths.
+bool IsHotAllocBannedType(const std::string& s) {
+  static const std::set<std::string> kSet = {
+      "function",      "deque",         "list",
+      "forward_list",  "priority_queue", "queue",
+      "map",           "multimap",      "set",
+      "multiset",      "unordered_map", "unordered_multimap",
+      "unordered_set", "unordered_multiset"};
+  return kSet.count(s) > 0;
+}
+
 // Index just past the `>` matching tokens[open] == `<`, or kNpos when the
 // angles do not close within the statement (then `<` was a comparison).
 // `>>` closes two levels.
@@ -374,6 +390,17 @@ const std::vector<RuleDoc>& RuleDocs() {
        "parameter by design.)",
        "obs_.counter(\"op.\" + phase + \"_count\").Inc();",
        "obs_.counter(\"op.stat_count\").Inc();  // one literal per phase"},
+      {"sim-hot-alloc",
+       "no std::function or node/heap containers in src/sim/",
+       "The simulator core executes tens of millions of events per wall "
+       "second; a std::function construction, deque block, or map/set node "
+       "per event puts a general-purpose heap allocation on the hot path "
+       "and erases the gains of the slab arena. In src/sim/, use the arena "
+       "(sim/arena.h), SmallQueue (sim/small_queue.h), intrusive lists, or "
+       "a template parameter for callables. Genuinely cold uses (teardown, "
+       "far-future overflow levels) may suppress with a stated reason.",
+       "std::deque<std::coroutine_handle<>> waiters;  // in src/sim/",
+       "SmallQueue<std::coroutine_handle<>, 4> waiters;"},
   };
   return kDocs;
 }
@@ -462,6 +489,7 @@ class FileLint {
     IncludeHygiene();
     ObsNames();
     ObsKeyLiterals();
+    SimHotAllocs();
     Filter(out);
   }
 
@@ -784,6 +812,26 @@ class FileLint {
           }
         }
       }
+    }
+  }
+
+  // std::function / allocating-container use inside the simulator core.
+  // Path-scoped: every method in src/sim/ is hot-path by default (the event
+  // loop or something it inlines); cold spots suppress with a reason.
+  void SimHotAllocs() {
+    if (f_.path.find("src/sim/") == std::string::npos) return;
+    const auto& toks = f_.tokens;
+    for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+      if (!IsId(toks[i], "std") || !IsPunct(toks[i + 1], "::")) continue;
+      const Token& t = toks[i + 2];
+      if (t.kind != TokKind::kIdentifier || !IsHotAllocBannedType(t.text)) {
+        continue;
+      }
+      Add(t.line, "sim-hot-alloc",
+          "`std::" + t.text +
+              "` heap-allocates per operation; in src/sim/ use the slab "
+              "arena (sim/arena.h), SmallQueue (sim/small_queue.h), an "
+              "intrusive list, or a template callable parameter");
     }
   }
 
