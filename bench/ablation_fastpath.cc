@@ -112,12 +112,16 @@ bench::HotPathCounters MeasureCreates(std::uint64_t seed, bool group_commit,
                                       std::size_t procs, std::size_t items,
                                       const bench::ObsOptions* obs = nullptr,
                                       std::string* registry_json = nullptr,
-                                      std::string* timeline_json = nullptr) {
+                                      std::string* timeline_json = nullptr,
+                                      std::string* incidents_json = nullptr) {
   auto config = BaseConfig(seed);
   config.client_nodes = 4;
   config.zk_group_commit = group_commit;
   config.enable_trace = obs != nullptr && obs->trace_enabled();
   Testbed tb(config);
+  if (obs != nullptr) {
+    DUFS_CHECK(bench::ConfigureIncidents(tb.obs(), *obs));
+  }
   tb.MountAll();
   if (obs != nullptr && obs->timeline) {
     tb.StartTimeline(obs->timeline_interval_ns());
@@ -155,6 +159,9 @@ bench::HotPathCounters MeasureCreates(std::uint64_t seed, bool group_commit,
   if (timeline_json != nullptr && obs != nullptr && obs->timeline) {
     *timeline_json = tb.timeline().ToJson();
   }
+  if (incidents_json != nullptr && obs != nullptr) {
+    *incidents_json = bench::FinishIncidents(tb.obs(), *obs);
+  }
   return c;
 }
 
@@ -165,7 +172,9 @@ int main(int argc, char** argv) {
       argc, argv,
       "ablation_fastpath [--seed=N] [--width=64] [--files=32] [--rounds=8] "
       "[--procs=128] [--items=10] [--ops=N] [--metrics-json=PATH] "
-      "[--trace=PATH] [--timeline] [--timeline-us=200] [--baseline=PATH]");
+      "[--trace=PATH] [--timeline] [--timeline-us=200] [--baseline=PATH] "
+      "[--slo=op:target:budget] [--flight-dump-dir=DIR] [--slo-window-us=N] "
+      "[--flight-capacity=N]");
   const auto seed = static_cast<std::uint64_t>(flags.Int("seed", 1));
   const auto width = static_cast<std::size_t>(flags.Int("width", 64));
   const auto files = static_cast<std::size_t>(flags.Int("files", 32));
@@ -208,13 +217,14 @@ int main(int argc, char** argv) {
               "%zu processes x %zu items\n",
               procs, items);
   bench::PrintHotPathHeader();
-  std::string registry_json, timeline_json;
+  std::string registry_json, timeline_json, incidents_json;
   const auto gc_off = MeasureCreates(seed, false, procs, items);
-  // The trace and timeline (if requested) cover the group_commit=on run —
-  // the configuration whose span chain (op → zk-rpc → quorum-round →
-  // fsync-batch) the ablation is about.
+  // The trace, timeline, and incident engine (if requested) cover the
+  // group_commit=on run — the configuration whose span chain (op → zk-rpc →
+  // quorum-round → fsync-batch) the ablation is about.
   const auto gc_on = MeasureCreates(seed, true, procs, items, &obs_opts,
-                                    &registry_json, &timeline_json);
+                                    &registry_json, &timeline_json,
+                                    &incidents_json);
   bench::PrintHotPathRow("group_commit=off", gc_off);
   bench::PrintHotPathRow("group_commit=on", gc_on);
   std::printf("create throughput: %.0f -> %.0f ops/s (%.2fx)\n",
@@ -230,6 +240,7 @@ int main(int argc, char** argv) {
     out.AddCounters("group_commit=off", gc_off);
     out.AddCounters("group_commit=on", gc_on);
     out.SetTimelineJson(timeline_json);
+    out.SetIncidentsJson(incidents_json);
     out.SetRegistryJson(registry_json);
     if (out.WriteFile(obs_opts.metrics_path)) {
       std::printf("metrics written: %s\n", obs_opts.metrics_path.c_str());

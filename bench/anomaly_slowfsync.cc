@@ -1,0 +1,121 @@
+// Anomaly injection — a ZooKeeper journal disk that degrades mid-run.
+//
+// A standalone (1-server) ensemble runs a steady stream of creates; at
+// --degrade-at-us the server's journal fsync latency is multiplied by
+// --degrade-factor. With one server the leader's self-ack keeps its own
+// fsync on the commit critical path (a quorum majority of faster peers
+// would mask it), so the fault surfaces directly in create latency.
+//
+// This is the incident-observability gate's workload: the fsync-stall
+// detector must fire, dump the flight recorder, and
+// `tracestats --explain-dump` must attribute the latency growth to fsync —
+// byte-identically across runs (tests/determinism/slo_gate.cmake).
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "mdtest/testbed.h"
+
+using namespace dufs;
+using mdtest::BackendKind;
+using mdtest::Testbed;
+using mdtest::TestbedConfig;
+
+int main(int argc, char** argv) {
+  bench::Flags flags(
+      argc, argv,
+      "anomaly_slowfsync [--seed=N] [--files=60] [--degrade-at-us=150000] "
+      "[--degrade-factor=15] [--expect-anomaly=TYPE] [--metrics-json=PATH] "
+      "[--trace=PATH] [--slo=op:target:budget] [--flight-dump-dir=DIR] "
+      "[--slo-window-us=N] [--flight-capacity=N]");
+  const auto seed = static_cast<std::uint64_t>(flags.Int("seed", 1));
+  // Creates per client; sized so the run extends well past the fault.
+  const auto files = static_cast<std::size_t>(flags.Int("files", 120));
+  const auto degrade_at = sim::Us(flags.Int("degrade-at-us", 150000));
+  const double factor = flags.Double("degrade-factor", 15.0);
+  const std::string expect = flags.Str("expect-anomaly", "");
+  const auto obs_opts = bench::ObsOptions::FromFlags(flags);
+
+  TestbedConfig config;
+  config.seed = seed;
+  config.zk_servers = 1;
+  // One client stream: concurrent writers would queue behind each other's
+  // journal batch and smear the attribution across quorum wait; a single
+  // stream pins the injected latency on the fsync category itself.
+  config.client_nodes = 1;
+  config.backend = BackendKind::kMemFs;
+  config.backend_instances = 1;
+  config.zk_group_commit = false;  // one fsync per create
+  config.enable_trace = obs_opts.trace_enabled();
+  Testbed tb(config);
+  DUFS_CHECK(bench::ConfigureIncidents(tb.obs(), obs_opts));
+  tb.MountAll();
+
+  // The fault: DiskWrite reads the node model at call time, so mutating it
+  // mid-run takes effect on the next journal batch.
+  tb.sim().Spawn([](Testbed& t, sim::Duration at,
+                    double mult) -> sim::Task<void> {
+    co_await t.sim().Delay(at);
+    auto& disk = t.net().node(t.zk_nodes()[0]).mutable_model().disk;
+    disk.sync_latency = static_cast<sim::Duration>(
+        static_cast<double>(disk.sync_latency) * mult);
+    std::printf("[anomaly] t=%lldns zk0 fsync degraded %.1fx\n",
+                static_cast<long long>(t.sim().now()), mult);
+  }(tb, degrade_at, factor));
+
+  const auto start = tb.sim().now();
+  sim::RunTask(tb.sim(), [](Testbed& t, std::size_t n) -> sim::Task<void> {
+    sim::Barrier done(t.sim(), t.client_count() + 1);
+    for (std::size_t c = 0; c < t.client_count(); ++c) {
+      t.sim().Spawn([](Testbed& t2, std::size_t client, std::size_t n2,
+                       sim::Barrier b) -> sim::Task<void> {
+        auto& dufs = *t2.client(client).dufs;
+        const std::string dir = "/c" + std::to_string(client);
+        DUFS_CHECK((co_await dufs.Mkdir(dir, 0755)).ok());
+        for (std::size_t i = 0; i < n2; ++i) {
+          auto r = co_await dufs.Create(dir + "/f" + std::to_string(i), 0644);
+          DUFS_CHECK(r.ok());
+        }
+        co_await b.Arrive();
+      }(t, c, n, done));
+    }
+    co_await done.Arrive();
+  }(tb, files));
+  const double secs =
+      static_cast<double>(tb.sim().now() - start) / sim::kSecond;
+  const double ops = static_cast<double>(files * tb.client_count());
+  std::printf("creates: %.0f in %.3f s sim (%.0f ops/s)\n", ops, secs,
+              ops / secs);
+
+  if (obs_opts.trace_enabled()) {
+    tb.obs().tracer().WriteChromeJson(obs_opts.trace_path);
+    std::printf("trace written: %s (%zu spans)\n", obs_opts.trace_path.c_str(),
+                tb.obs().tracer().events().size());
+  }
+  const std::string incidents_json = bench::FinishIncidents(tb.obs(), obs_opts);
+  if (obs_opts.metrics_enabled()) {
+    bench::MetricsJsonWriter out;
+    out.AddValue("create_ops_per_s", ops / secs);
+    out.SetIncidentsJson(incidents_json);
+    out.SetRegistryJson(tb.obs().metrics().ToJson());
+    if (out.WriteFile(obs_opts.metrics_path)) {
+      std::printf("metrics written: %s\n", obs_opts.metrics_path.c_str());
+    }
+  }
+
+  if (!expect.empty()) {
+    bool fired = false;
+    for (const auto& a : tb.obs().incidents().anomalies()) {
+      if (expect == a.type) fired = true;
+    }
+    if (!fired) {
+      std::fprintf(stderr,
+                   "anomaly_slowfsync: expected a %s anomaly; none fired\n",
+                   expect.c_str());
+      return 1;
+    }
+    std::printf("expected anomaly fired: %s\n", expect.c_str());
+  }
+  return 0;
+}

@@ -8,10 +8,14 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <map>
+#include <system_error>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "obs/obs.h"
 
 namespace dufs::bench {
 
@@ -210,18 +214,42 @@ class SeriesTable {
   std::vector<std::pair<long, std::vector<double>>> rows_;
 };
 
+// "500us" / "2ms" / "1s" / "250" (bare = ns) -> nanoseconds; -1 on parse
+// failure.
+inline std::int64_t ParseDurationNs(const std::string& s) {
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end == s.c_str() || v < 0) return -1;
+  const std::string unit(end);
+  if (unit.empty() || unit == "ns") return static_cast<std::int64_t>(v);
+  if (unit == "us") return static_cast<std::int64_t>(v * 1e3);
+  if (unit == "ms") return static_cast<std::int64_t>(v * 1e6);
+  if (unit == "s") return static_cast<std::int64_t>(v * 1e9);
+  return -1;
+}
+
 // The observability flags every bench shares:
 //   --metrics-json=PATH   write counters + the merged registry as JSON
 //   --trace=PATH          record spans, write Chrome trace_event JSON
 //   --timeline            sample gauges into a "timeline" metrics section
 //   --timeline-us=N       sim-time sampling period (default 200us)
 //   --baseline=PATH       write the BENCH_<name>.json regression baseline
+//   --slo=SPEC[,SPEC...]  arm the SLO evaluator; SPEC = op:target:budget,
+//                         e.g. create:2ms:0.01 (1% of creates may miss 2ms)
+//   --flight-dump-dir=DIR arm the anomaly detectors; dumps the flight
+//                         recorder to DIR/dump_<seq>_<type>.json on firing
+//   --slo-window-us=N     detector/SLO window on sim time (default 10ms)
+//   --flight-capacity=N   flight-recorder spans kept per node (default 512)
 struct ObsOptions {
   std::string metrics_path;
   std::string trace_path;
   std::string baseline_path;
   bool timeline = false;
   long timeline_us = 200;
+  std::string slo;
+  std::string flight_dump_dir;
+  long slo_window_us = 10000;
+  long flight_capacity = 0;
 
   static ObsOptions FromFlags(const Flags& flags) {
     ObsOptions o;
@@ -230,13 +258,97 @@ struct ObsOptions {
     o.baseline_path = flags.Str("baseline", "");
     o.timeline = flags.Bool("timeline");
     o.timeline_us = flags.Int("timeline-us", 200);
+    o.slo = flags.Str("slo", "");
+    o.flight_dump_dir = flags.Str("flight-dump-dir", "");
+    o.slo_window_us = flags.Int("slo-window-us", 10000);
+    o.flight_capacity = flags.Int("flight-capacity", 0);
     return o;
   }
   bool trace_enabled() const { return !trace_path.empty(); }
   bool metrics_enabled() const { return !metrics_path.empty(); }
   bool baseline_enabled() const { return !baseline_path.empty(); }
+  bool incidents_enabled() const {
+    return !slo.empty() || !flight_dump_dir.empty();
+  }
   long timeline_interval_ns() const { return timeline_us * 1000; }
 };
+
+// Arm the incident engine (detectors + SLOs) from the shared flags. The
+// engine must already be bound to the sim (Testbed does this; standalone
+// benches call obs.BindIncidents(&sim) first). Returns false after warning
+// on a malformed --slo clause; a no-op (true) when incidents are off.
+inline bool ConfigureIncidents(obs::Observability& obs, const ObsOptions& o) {
+  if (!o.incidents_enabled()) return true;
+  if (o.flight_capacity > 0) {
+    obs.flight().SetCapacity(static_cast<std::uint32_t>(o.flight_capacity));
+  }
+  if (!o.flight_dump_dir.empty()) {
+    // The dump writer fopen()s into this directory and silently skips the
+    // dump when it is missing; create it up front so a bare
+    // --flight-dump-dir=dumps works without a pre-made directory.
+    std::error_code ec;
+    std::filesystem::create_directories(o.flight_dump_dir, ec);
+    if (ec) {
+      std::fprintf(stderr, "cannot create --flight-dump-dir %s: %s\n",
+                   o.flight_dump_dir.c_str(), ec.message().c_str());
+      return false;
+    }
+  }
+  obs::AnomalyConfig cfg;
+  cfg.window_ns = o.slo_window_us * 1000;
+  cfg.dump_dir = o.flight_dump_dir;
+  obs.incidents().Configure(cfg);
+  // --slo=op:target:budget[,op:target:budget...]
+  std::size_t start = 0;
+  while (start < o.slo.size()) {
+    auto end = o.slo.find(',', start);
+    if (end == std::string::npos) end = o.slo.size();
+    const std::string clause = o.slo.substr(start, end - start);
+    start = end + 1;
+    if (clause.empty()) continue;
+    const auto c1 = clause.find(':');
+    const auto c2 = c1 == std::string::npos ? std::string::npos
+                                            : clause.find(':', c1 + 1);
+    if (c2 == std::string::npos) {
+      std::fprintf(stderr, "--slo: want op:target:budget, got \"%s\"\n",
+                   clause.c_str());
+      return false;
+    }
+    const char* op = obs::Incidents::CanonicalOpName(clause.substr(0, c1));
+    const std::int64_t target =
+        ParseDurationNs(clause.substr(c1 + 1, c2 - c1 - 1));
+    const double budget = std::strtod(clause.c_str() + c2 + 1, nullptr);
+    if (op == nullptr || target < 0 || budget <= 0.0 || budget > 1.0) {
+      std::fprintf(stderr, "--slo: bad clause \"%s\"\n", clause.c_str());
+      return false;
+    }
+    obs.incidents().AddSlo(obs::SloSpec{op, target, budget});
+  }
+  return true;
+}
+
+// Close the final window, print a per-anomaly summary, and return the
+// incident report JSON for MetricsJsonWriter::SetIncidentsJson. Returns ""
+// (and prints nothing) when incidents are off.
+inline std::string FinishIncidents(obs::Observability& obs,
+                                   const ObsOptions& o) {
+  if (!o.incidents_enabled()) return std::string();
+  obs.incidents().Flush();
+  const auto& anomalies = obs.incidents().anomalies();
+  std::printf("[incidents] %zu anomalies (%llu suppressed by cooldown)\n",
+              anomalies.size(),
+              static_cast<unsigned long long>(obs.incidents().suppressed()));
+  for (const auto& a : anomalies) {
+    std::printf("[incidents]   #%llu t=%lldns %s on %s value=%lld "
+                "threshold=%lld%s%s\n",
+                static_cast<unsigned long long>(a.seq),
+                static_cast<long long>(a.t), a.type, a.node.c_str(),
+                static_cast<long long>(a.value),
+                static_cast<long long>(a.threshold),
+                a.dump_path.empty() ? "" : " dump=", a.dump_path.c_str());
+  }
+  return obs.incidents().ReportJson();
+}
 
 // Accumulates everything a bench prints into one machine-readable document:
 //
@@ -281,6 +393,9 @@ class MetricsJsonWriter {
   // `json` is a complete JSON object (obs::TimelineSampler::ToJson()).
   void SetTimelineJson(std::string json) { timeline_ = std::move(json); }
 
+  // `json` is a complete JSON object (obs::Incidents::ReportJson()).
+  void SetIncidentsJson(std::string json) { incidents_ = std::move(json); }
+
   std::string ToJson() const {
     std::string out = "{\"configs\":[";
     for (std::size_t i = 0; i < configs_.size(); ++i) {
@@ -303,6 +418,10 @@ class MetricsJsonWriter {
     if (!timeline_.empty()) {
       out += ",\"timeline\":";
       out += timeline_;
+    }
+    if (!incidents_.empty()) {
+      out += ",\"incidents\":";
+      out += incidents_;
     }
     if (!registry_.empty()) {
       out += ",\"registry\":";
@@ -331,6 +450,7 @@ class MetricsJsonWriter {
   std::vector<std::string> values_;
   std::vector<std::string> tables_;
   std::string timeline_;
+  std::string incidents_;
   std::string registry_;
 };
 

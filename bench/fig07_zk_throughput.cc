@@ -79,10 +79,15 @@ double Measure(ZkOp op, std::size_t n_servers, std::size_t procs,
                std::size_t items, std::size_t client_nodes,
                const bench::ObsOptions* obs_opts = nullptr,
                bool observed = false, std::string* registry_json = nullptr,
-               std::string* timeline_json = nullptr) {
+               std::string* timeline_json = nullptr,
+               std::string* incidents_json = nullptr) {
   const bool traced =
       observed && obs_opts != nullptr && obs_opts->trace_enabled();
   RawEnsemble e(n_servers, client_nodes, traced);
+  if (observed && obs_opts != nullptr) {
+    e.obs.BindIncidents(&e.sim);
+    DUFS_CHECK(bench::ConfigureIncidents(e.obs, *obs_opts));
+  }
   obs::TimelineSampler timeline;
   if (observed && obs_opts != nullptr && obs_opts->timeline) {
     timeline.set_interval(obs_opts->timeline_interval_ns());
@@ -170,6 +175,9 @@ double Measure(ZkOp op, std::size_t n_servers, std::size_t procs,
       obs_opts->timeline) {
     *timeline_json = timeline.ToJson();
   }
+  if (observed && incidents_json != nullptr && obs_opts != nullptr) {
+    *incidents_json = bench::FinishIncidents(e.obs, *obs_opts);
+  }
   return static_cast<double>(procs * items) / secs;
 }
 
@@ -182,7 +190,9 @@ int main(int argc, char** argv) {
                      "fig07_zk_throughput [--procs=8,16,...] [--items=N] "
                      "[--servers=1,4,8] [--client-nodes=8] "
                      "[--metrics-json=PATH] [--trace=PATH] [--timeline] "
-                     "[--timeline-us=200]");
+                     "[--timeline-us=200] [--slo=op:target:budget] "
+                     "[--flight-dump-dir=DIR] [--slo-window-us=N] "
+                     "[--flight-capacity=N]");
   const auto procs = flags.IntList("procs", {8, 16, 32, 64, 128, 192, 256});
   const auto servers = flags.IntList("servers", {1, 4, 8});
   const auto items = static_cast<std::size_t>(flags.Int("items", 40));
@@ -192,7 +202,7 @@ int main(int argc, char** argv) {
   std::printf("Figure 7: ZooKeeper throughput for basic operations\n");
   std::printf("(ops/sec; %zu ops/process; 8 client nodes)\n", items);
   bench::MetricsJsonWriter out;
-  std::string registry_json, timeline_json;
+  std::string registry_json, timeline_json, incidents_json;
   for (int op = 0; op < 4; ++op) {
     std::vector<std::string> series;
     series.reserve(servers.size());
@@ -213,7 +223,7 @@ int main(int argc, char** argv) {
                               static_cast<std::size_t>(s),
                               static_cast<std::size_t>(p), items, nodes,
                               &obs_opts, observed, &registry_json,
-                              &timeline_json));
+                              &timeline_json, &incidents_json));
       }
       table.AddRow(p, std::move(row));
     }
@@ -225,6 +235,7 @@ int main(int argc, char** argv) {
   }
   if (obs_opts.metrics_enabled()) {
     out.SetTimelineJson(timeline_json);
+    out.SetIncidentsJson(incidents_json);
     out.SetRegistryJson(registry_json);
     out.WriteFile(obs_opts.metrics_path);
   }

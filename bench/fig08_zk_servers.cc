@@ -23,12 +23,14 @@ int main(int argc, char** argv) {
   bench::Flags flags(argc, argv,
                      "fig08_zk_servers [--procs=64,128,256] [--items=N] "
                      "[--zk=1,4,8] [--metrics-json=PATH] [--trace=PATH] "
-                     "[--timeline] [--timeline-us=200]");
+                     "[--timeline] [--timeline-us=200] "
+                     "[--slo=op:target:budget] [--flight-dump-dir=DIR] "
+                     "[--slo-window-us=N] [--flight-capacity=N]");
   const auto procs_list = flags.IntList("procs", {64, 128, 256});
   const auto zk_list = flags.IntList("zk", {1, 4, 8});
   const auto items = static_cast<std::size_t>(flags.Int("items", 30));
   const auto obs_opts = bench::ObsOptions::FromFlags(flags);
-  std::string registry_json, timeline_json;
+  std::string registry_json, timeline_json, incidents_json;
 
   const std::vector<Phase> phases = {Phase::kDirCreate, Phase::kDirRemove,
                                      Phase::kDirStat, Phase::kFileCreate,
@@ -72,6 +74,9 @@ int main(int argc, char** argv) {
     config.backend_instances = 2;
     config.enable_trace = observed && obs_opts.trace_enabled();
     Testbed tb(config);
+    if (observed) {
+      DUFS_CHECK(bench::ConfigureIncidents(tb.obs(), obs_opts));
+    }
     tb.MountAll();
     if (observed && obs_opts.timeline) {
       tb.StartTimeline(obs_opts.timeline_interval_ns());
@@ -101,6 +106,7 @@ int main(int argc, char** argv) {
     if (observed) {
       registry_json = tb.obs().metrics().ToJson();
       if (obs_opts.timeline) timeline_json = tb.timeline().ToJson();
+      incidents_json = bench::FinishIncidents(tb.obs(), obs_opts);
     }
   }
 
@@ -127,6 +133,7 @@ int main(int argc, char** argv) {
   }
   if (obs_opts.metrics_enabled()) {
     out.SetTimelineJson(timeline_json);
+    out.SetIncidentsJson(incidents_json);
     out.SetRegistryJson(registry_json);
     out.WriteFile(obs_opts.metrics_path);
   }

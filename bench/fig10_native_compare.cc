@@ -35,7 +35,9 @@ int main(int argc, char** argv) {
   bench::Flags flags(argc, argv,
                      "fig10_native_compare [--procs=16,...,256] [--items=N] "
                      "[--quick] [--metrics-json=PATH] [--trace=PATH] "
-                     "[--timeline] [--timeline-us=200] [--baseline=PATH]");
+                     "[--timeline] [--timeline-us=200] [--baseline=PATH] "
+                     "[--slo=op:target:budget] [--flight-dump-dir=DIR] "
+                     "[--slo-window-us=N] [--flight-capacity=N]");
   std::vector<long> procs_list =
       flags.IntList("procs", {16, 32, 64, 128, 192, 256});
   std::size_t items = static_cast<std::size_t>(flags.Int("items", 25));
@@ -58,7 +60,7 @@ int main(int argc, char** argv) {
                          Phase::kFileRemove, Phase::kFileStat};
 
   std::map<Phase, std::map<std::string, std::map<long, double>>> results;
-  std::string registry_json, timeline_json;
+  std::string registry_json, timeline_json, incidents_json;
 
   for (const auto& system : systems) {
     TestbedConfig config;
@@ -74,6 +76,9 @@ int main(int argc, char** argv) {
                           system.backend == BackendKind::kLustre;
     config.enable_trace = traced;
     Testbed tb(config);
+    if (observed) {
+      DUFS_CHECK(bench::ConfigureIncidents(tb.obs(), obs_opts));
+    }
     tb.MountAll();
     if (observed && obs_opts.timeline) {
       tb.StartTimeline(obs_opts.timeline_interval_ns());
@@ -107,6 +112,7 @@ int main(int argc, char** argv) {
     if (observed) {
       registry_json = tb.obs().metrics().ToJson();
       if (obs_opts.timeline) timeline_json = tb.timeline().ToJson();
+      incidents_json = bench::FinishIncidents(tb.obs(), obs_opts);
     }
   }
 
@@ -129,6 +135,7 @@ int main(int argc, char** argv) {
   }
   if (obs_opts.metrics_enabled()) {
     out.SetTimelineJson(timeline_json);
+    out.SetIncidentsJson(incidents_json);
     out.SetRegistryJson(registry_json);
     out.WriteFile(obs_opts.metrics_path);
   }

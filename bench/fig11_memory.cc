@@ -16,7 +16,9 @@ int main(int argc, char** argv) {
   bench::Flags flags(argc, argv,
                      "fig11_memory [--millions=1.0] [--samples=10] "
                      "[--metrics-json=PATH] [--trace=PATH] [--timeline] "
-                     "[--timeline-us=200]");
+                     "[--timeline-us=200] [--slo=op:target:budget] "
+                     "[--flight-dump-dir=DIR] [--slo-window-us=N] "
+                     "[--flight-capacity=N]");
   const double millions = flags.Double("millions", 1.0);
   const long samples = flags.Int("samples", 10);
   const auto obs_opts = bench::ObsOptions::FromFlags(flags);
@@ -32,6 +34,7 @@ int main(int argc, char** argv) {
   config.backend_instances = 1;
   config.enable_trace = obs_opts.trace_enabled();
   Testbed tb(config);
+  DUFS_CHECK(bench::ConfigureIncidents(tb.obs(), obs_opts));
   tb.MountAll();
   if (obs_opts.timeline) {
     tb.StartTimeline(obs_opts.timeline_interval_ns());
@@ -95,11 +98,13 @@ int main(int argc, char** argv) {
     std::printf("trace written: %s (%zu spans)\n", obs_opts.trace_path.c_str(),
                 tb.obs().tracer().events().size());
   }
+  const std::string incidents_json = bench::FinishIncidents(tb.obs(), obs_opts);
   if (obs_opts.metrics_enabled()) {
     bench::MetricsJsonWriter out;
     out.AddValue("zk_bytes_per_znode", per_znode);
     out.AddTable("Fig 11: memory growth", mem_table);
     if (obs_opts.timeline) out.SetTimelineJson(tb.timeline().ToJson());
+    out.SetIncidentsJson(incidents_json);
     out.SetRegistryJson(tb.obs().metrics().ToJson());
     if (out.WriteFile(obs_opts.metrics_path)) {
       std::printf("metrics written: %s\n", obs_opts.metrics_path.c_str());

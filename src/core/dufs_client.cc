@@ -32,6 +32,7 @@ class OpScope {
           const std::string& path)
       : client_(client),
         timer_(timer),
+        name_(name),
         start_(client.zk_.sim().now()),
         hits_before_(client.c_cache_hits_.value()),
         span_(obs::Span::Root(client.obs_, name, "op")) {
@@ -49,7 +50,13 @@ class OpScope {
   void Finish() {
     if (finished_) return;
     finished_ = true;
-    timer_.Record(client_.zk_.sim().now() - start_);
+    const sim::Duration latency = client_.zk_.sim().now() - start_;
+    timer_.Record(latency);
+    if (client_.obs_.incidents != nullptr) {
+      // `name_` is the op-class literal ("stat", "create", ...) — exactly
+      // the canonical class names the incident engine registers.
+      client_.obs_.incidents->RecordOp(name_, client_.obs_.track, latency);
+    }
     if (span_.active()) {
       span_.ArgInt("cache_hits",
                    static_cast<std::int64_t>(client_.c_cache_hits_.value() -
@@ -61,6 +68,7 @@ class OpScope {
  private:
   DufsClient& client_;
   obs::Timer timer_;
+  const char* name_;
   sim::SimTime start_;
   std::uint64_t hits_before_;
   obs::Span span_;
@@ -187,6 +195,9 @@ sim::Task<Result<DufsClient::Lookup>> DufsClient::LookupPath(
   if (config_.enable_meta_cache) {
     if (const MetaCache::Entry* hit = meta_cache_.Lookup(znode)) {
       c_cache_hits_.Inc();
+      if (obs_.incidents != nullptr) {
+        obs_.incidents->RecordCacheProbe(obs_.track, /*hit=*/true);
+      }
       if (hit->negative) co_return Status(StatusCode::kNotFound, virtual_path);
       Lookup out;
       out.record = hit->record;
@@ -194,6 +205,9 @@ sim::Task<Result<DufsClient::Lookup>> DufsClient::LookupPath(
       co_return out;
     }
     c_cache_misses_.Inc();
+    if (obs_.incidents != nullptr) {
+      obs_.incidents->RecordCacheProbe(obs_.track, /*hit=*/false);
+    }
   }
   // Cache miss: fetch with a one-shot watch so the filled entry is dropped
   // on any remote change. The watch is registered even when the node is

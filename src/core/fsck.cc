@@ -3,6 +3,25 @@
 #include <algorithm>
 
 namespace dufs::core {
+namespace {
+
+// Unwind point for the iterative walks below. With a zero-latency backend
+// (MemFs) nothing in the loop body ever suspends, so every co_await resumes
+// its continuation on the native stack; at -O0 the compiler does not turn
+// symmetric transfer into a tail call and thousands of synchronous
+// iterations overflow the stack (caught under ASan). A zero-duration Delay
+// always routes through the event queue, unwinding to the scheduler without
+// advancing sim time or perturbing the walk order.
+constexpr int kYieldEvery = 64;
+
+sim::Task<void> MaybeYield(int& budget) {  // dufs-lint: allow(coro-ref-param) caller awaits inline
+  if (--budget <= 0) {
+    budget = kYieldEvery;
+    co_await sim::Simulation::Current()->Delay(sim::Duration{0});
+  }
+}
+
+}  // namespace
 
 DufsFsck::DufsFsck(DufsClient& client, zk::ZkClient& zk,
                    std::vector<vfs::FileSystem*> backends)
@@ -12,43 +31,52 @@ sim::Task<Status> DufsFsck::WalkNamespace(
     std::string virtual_path, FsckReport& report,  // dufs-lint: allow(coro-ref-param)
     std::vector<std::pair<std::uint32_t, Fid>>& referenced) {
   const std::string ns_root = client_.config().meta_prefix + "/ns";
-  const std::string znode =
-      virtual_path == "/" ? ns_root : ns_root + virtual_path;
-  auto got = co_await zk_.Get(znode);
-  if (!got.ok()) co_return got.status();
-  auto record = MetaRecord::Decode(got->data);
-  if (!record.ok()) {
-    report.corrupt_records.push_back(virtual_path);
-    co_return Status::Ok();
-  }
-  switch (record->type) {
-    case vfs::FileType::kDirectory: {
-      ++report.directories;
-      auto children = co_await zk_.GetChildren(znode);
-      if (!children.ok()) co_return children.status();
-      for (const auto& name : *children) {
-        const std::string child =
-            virtual_path == "/" ? "/" + name : virtual_path + "/" + name;
-        auto st = co_await WalkNamespace(child, report, referenced);
-        if (!st.ok()) co_return st;
-      }
-      break;
+  // Explicit DFS stack instead of recursion: a namespace is as deep as users
+  // make it, and a recursive coroutine walk overflows the stack on deep
+  // chains (caught under ASan). Children are pushed in reverse so the pop
+  // order matches the recursive preorder exactly — the report vectors are
+  // order-sensitive.
+  std::vector<std::string> stack;
+  stack.push_back(std::move(virtual_path));
+  int yield_budget = kYieldEvery;
+  while (!stack.empty()) {
+    const std::string path = std::move(stack.back());
+    stack.pop_back();
+    co_await MaybeYield(yield_budget);
+    const std::string znode = path == "/" ? ns_root : ns_root + path;
+    auto got = co_await zk_.Get(znode);
+    if (!got.ok()) co_return got.status();
+    auto record = MetaRecord::Decode(got->data);
+    if (!record.ok()) {
+      report.corrupt_records.push_back(path);
+      continue;
     }
-    case vfs::FileType::kSymlink:
-      ++report.symlinks;
-      break;
-    case vfs::FileType::kRegular: {
-      ++report.files;
-      const std::uint32_t backend = client_.placement().Place(record->fid);
-      referenced.emplace_back(backend, record->fid);
-      auto attr = co_await backends_[backend]->GetAttr(
-          PhysicalPathForFid(record->fid));
-      if (attr.code() == StatusCode::kNotFound) {
-        report.dangling.push_back(virtual_path);
-      } else if (!attr.ok()) {
-        co_return attr.status();
+    switch (record->type) {
+      case vfs::FileType::kDirectory: {
+        ++report.directories;
+        auto children = co_await zk_.GetChildren(znode);
+        if (!children.ok()) co_return children.status();
+        for (auto it = children->rbegin(); it != children->rend(); ++it) {
+          stack.push_back(path == "/" ? "/" + *it : path + "/" + *it);
+        }
+        break;
       }
-      break;
+      case vfs::FileType::kSymlink:
+        ++report.symlinks;
+        break;
+      case vfs::FileType::kRegular: {
+        ++report.files;
+        const std::uint32_t backend = client_.placement().Place(record->fid);
+        referenced.emplace_back(backend, record->fid);
+        auto attr = co_await backends_[backend]->GetAttr(
+            PhysicalPathForFid(record->fid));
+        if (attr.code() == StatusCode::kNotFound) {
+          report.dangling.push_back(path);
+        } else if (!attr.ok()) {
+          co_return attr.status();
+        }
+        break;
+      }
     }
   }
   co_return Status::Ok();
@@ -57,26 +85,47 @@ sim::Task<Status> DufsFsck::WalkNamespace(
 sim::Task<Status> DufsFsck::WalkBackend(
     std::uint32_t backend, std::string dir, int level, FsckReport& report,  // dufs-lint: allow(coro-ref-param)
     std::vector<std::pair<std::uint32_t, Fid>>& referenced) {
-  auto entries = co_await backends_[backend]->ReadDir(dir);
-  if (entries.code() == StatusCode::kNotFound) co_return Status::Ok();
-  if (!entries.ok()) co_return entries.status();
-  for (const auto& entry : *entries) {
-    const std::string path =
-        dir == "/" ? "/" + entry.name : dir + "/" + entry.name;
-    if (entry.type == vfs::FileType::kDirectory && level < 3) {
-      auto st = co_await WalkBackend(backend, path, level + 1, report,
-                                     referenced);
-      if (!st.ok()) co_return st;
+  // Same iterative-DFS conversion as WalkNamespace. Every entry (file or
+  // directory) becomes a work item so files are still visited at their
+  // parent's iteration point, in listing order — identical preorder to the
+  // old recursion.
+  struct Item {
+    std::string path;
+    vfs::FileType type;
+    int level;
+  };
+  std::vector<Item> stack;
+  stack.push_back(Item{std::move(dir), vfs::FileType::kDirectory, level});
+  int yield_budget = kYieldEvery;
+  while (!stack.empty()) {
+    const Item item = std::move(stack.back());
+    stack.pop_back();
+    co_await MaybeYield(yield_budget);
+    if (item.type == vfs::FileType::kDirectory) {
+      auto entries = co_await backends_[backend]->ReadDir(item.path);
+      if (entries.code() == StatusCode::kNotFound) continue;
+      if (!entries.ok()) co_return entries.status();
+      for (auto it = entries->rbegin(); it != entries->rend(); ++it) {
+        if (it->type == vfs::FileType::kDirectory && item.level >= 3) {
+          continue;  // the FID hierarchy is 3 levels deep by construction
+        }
+        if (it->type != vfs::FileType::kDirectory &&
+            it->type != vfs::FileType::kRegular) {
+          continue;
+        }
+        const std::string path = item.path == "/" ? "/" + it->name
+                                                  : item.path + "/" + it->name;
+        stack.push_back(Item{path, it->type, item.level + 1});
+      }
       continue;
     }
-    if (entry.type != vfs::FileType::kRegular) continue;
     ++report.physical_files;
-    auto fid = FidFromPhysicalPath(path);
+    auto fid = FidFromPhysicalPath(item.path);
     const bool known =
         fid.has_value() &&
         std::find(referenced.begin(), referenced.end(),
                   std::make_pair(backend, *fid)) != referenced.end();
-    if (!known) report.orphans.emplace_back(backend, path);
+    if (!known) report.orphans.emplace_back(backend, item.path);
   }
   co_return Status::Ok();
 }
@@ -86,8 +135,8 @@ sim::Task<Result<FsckReport>> DufsFsck::Check() {
   std::vector<std::pair<std::uint32_t, Fid>> referenced;
   auto st = co_await WalkNamespace("/", report, referenced);
   if (!st.ok()) co_return st;
-  // Sort for binary-search-free std::find? Linear is fine for tool usage,
-  // but sorting keeps the orphan scan O(F log F) on big volumes.
+  // Sorted so the WalkBackend orphan scan could binary-search; linear
+  // std::find is fine at tool scale but keeps a deterministic order cheap.
   std::sort(referenced.begin(), referenced.end());
   for (std::uint32_t b = 0; b < backends_.size(); ++b) {
     auto walk = co_await WalkBackend(b, "/", 0, report, referenced);

@@ -7,10 +7,12 @@ Testbed::Testbed(TestbedConfig config) : config_(std::move(config)) {
   net_ = std::make_unique<net::Network>(*sim_);
 
   // --- observability -------------------------------------------------------
-  // Metrics are always on (handle updates are cheap); span recording only
-  // when asked — it allocates one Event per span.
+  // Metrics and the flight recorder are always on (handle updates and ring
+  // admissions are cheap); the full span log only when asked — it allocates
+  // one Event per span.
   obs_.tracer().Bind(sim_.get());
   obs_.tracer().SetEnabled(config_.enable_trace);
+  obs_.BindIncidents(sim_.get());
   net_->AttachObs(&obs_);
 
   // --- coordination service ----------------------------------------------

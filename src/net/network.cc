@@ -83,8 +83,9 @@ sim::Task<void> Network::Transfer(Message msg) {
   // Spawned synchronously from Send, so the sender's armed trace id is
   // still current here. The Node (and its NicObs handles) is stable
   // storage, safe to reference across suspensions.
-  const bool traced = obs_ != nullptr && obs_->tracer().enabled();
-  const obs::TraceId trace = traced ? obs_->tracer().current() : 0;
+  const bool recording = obs_ != nullptr && obs_->tracer().recording();
+  const bool traced = recording && obs_->tracer().enabled();
+  const obs::TraceId trace = recording ? obs_->tracer().current() : 0;
   Node::NicObs& src_obs = src.nic_obs();
 
   const std::size_t wire = msg.WireSize();
@@ -96,12 +97,18 @@ sim::Task<void> Network::Transfer(Message msg) {
     co_await sim_.Delay(src.model().nic.TxTime(wire));
     src_obs.tx_wait.Record(sent_at - t0);
     src_obs.tx_time.Record(sim_.now() - sent_at);
-    if (traced) {
-      obs_->tracer().Complete(
-          src_obs.node.track, "nic-tx", "net", t0, sim_.now() - t0, trace,
-          {{"wait_ns", {}, sent_at - t0, false},
-           {"tx_ns", {}, sim_.now() - sent_at, false},
-           {"bytes", {}, static_cast<std::int64_t>(wire), false}});
+    if (recording) {
+      // wait_ns also rides the Complete tail so flight records keep the
+      // nic-wait/wire split without an arg vector.
+      std::vector<obs::Tracer::Arg> args;
+      if (traced) {
+        args = {{"wait_ns", {}, sent_at - t0, false},
+                {"tx_ns", {}, sim_.now() - sent_at, false},
+                {"bytes", {}, static_cast<std::int64_t>(wire), false}};
+      }
+      obs_->tracer().Complete(src_obs.node.track, "nic-tx", "net", t0,
+                              sim_.now() - t0, trace, std::move(args),
+                              /*wait_ns=*/sent_at - t0);
     }
   }
   ++src.messages_sent;
@@ -126,11 +133,15 @@ sim::Task<void> Network::Transfer(Message msg) {
     const sim::SimTime rx_at = sim_.now();
     co_await sim_.Delay(dst.model().nic.TxTime(wire));
     dst_obs.rx_wait.Record(rx_at - t0);
-    if (traced) {
-      obs_->tracer().Complete(
-          dst_obs.node.track, "nic-rx", "net", t0, sim_.now() - t0, trace,
-          {{"wait_ns", {}, rx_at - t0, false},
-           {"bytes", {}, static_cast<std::int64_t>(wire), false}});
+    if (recording) {
+      std::vector<obs::Tracer::Arg> args;
+      if (traced) {
+        args = {{"wait_ns", {}, rx_at - t0, false},
+                {"bytes", {}, static_cast<std::int64_t>(wire), false}};
+      }
+      obs_->tracer().Complete(dst_obs.node.track, "nic-rx", "net", t0,
+                              sim_.now() - t0, trace, std::move(args),
+                              /*wait_ns=*/rx_at - t0);
     }
   }
   if (!dst.up() || Partitioned(msg.src, msg.dst)) {

@@ -28,6 +28,10 @@ class Node {
   NodeId id() const { return id_; }
   const std::string& name() const { return name_; }
   const NodeModel& model() const { return model_; }
+  // Mutable access for mid-run fault injection (e.g. a degrading disk):
+  // DiskWrite/TxTime read the model at call time, so changes take effect
+  // for every subsequent I/O on this node.
+  NodeModel& mutable_model() { return model_; }
 
   bool up() const { return up_; }
   std::uint64_t incarnation() const { return incarnation_; }

@@ -8,17 +8,22 @@
 
 #include <string>
 
+#include "obs/flight.h"
+#include "obs/incident.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace dufs::obs {
 
-// What one instrumented component needs: where its metrics live and which
-// trace track ("thread") its spans land on.
+// What one instrumented component needs: where its metrics live, which
+// trace track ("thread") its spans land on, and where incident hooks go.
 struct NodeObs {
   Scope* metrics = nullptr;
   Tracer* tracer = nullptr;
   TrackId track = 0;
+  // Anomaly-detector hooks; disarmed engines ignore every call, so holders
+  // may invoke hooks unconditionally after a null check.
+  Incidents* incidents = nullptr;
 
   Counter counter(const std::string& key) const {
     return metrics != nullptr ? metrics->counter(key) : Counter();
@@ -34,18 +39,34 @@ struct NodeObs {
 
 class Observability {
  public:
+  // The flight recorder is attached from birth: span recording is on (rings
+  // only — the full event log still needs SetEnabled) in every run, which is
+  // exactly the "always-on" property the incident subsystem needs.
+  Observability() { tracer_.AttachFlight(&flight_); }
+
   MetricsRegistry& metrics() { return metrics_; }
   Tracer& tracer() { return tracer_; }
+  FlightRecorder& flight() { return flight_; }
+  Incidents& incidents() { return incidents_; }
+
+  // Wire the incident engine's clock + dump sources; idempotent. Call after
+  // tracer().Bind(sim) (the testbed constructor does).
+  void BindIncidents(sim::Simulation* sim) {
+    incidents_.Bind(sim, &tracer_, &flight_);
+  }
 
   // Get-or-create the bundle for a named sim node; idempotent, so callers
   // that share a node name share a scope and a track.
   NodeObs Node(const std::string& name) {
-    return NodeObs{&metrics_.scope(name), &tracer_, tracer_.Track(name)};
+    return NodeObs{&metrics_.scope(name), &tracer_, tracer_.Track(name),
+                   &incidents_};
   }
 
  private:
   MetricsRegistry metrics_;
   Tracer tracer_;
+  FlightRecorder flight_;
+  Incidents incidents_;
 };
 
 }  // namespace dufs::obs

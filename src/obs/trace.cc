@@ -5,14 +5,15 @@
 #include <string_view>
 #include <utility>
 
+#include "obs/flight.h"
 #include "obs/obs.h"
 
 namespace dufs::obs {
 
-namespace {
+namespace detail {
 
 // Escape for JSON string contents (no surrounding quotes).
-void AppendEscaped(std::string& out, std::string_view s) {
+void AppendJsonEscaped(std::string& out, std::string_view s) {
   for (char c : s) {
     switch (c) {
       case '"': out += "\\\""; break;
@@ -34,13 +35,18 @@ void AppendEscaped(std::string& out, std::string_view s) {
 // Chrome traces use microsecond timestamps; the sim is nanosecond-grained.
 // Print exactly three decimals ("12.345") so nothing is lost and equal
 // inputs always format identically (no float rounding involved).
-void AppendMicros(std::string& out, std::int64_t ns) {
+void AppendJsonMicros(std::string& out, std::int64_t ns) {
   char buf[40];
   std::snprintf(buf, sizeof(buf), "%" PRId64 ".%03" PRId64, ns / 1000,
                 ns % 1000);
   out += buf;
 }
 
+}  // namespace detail
+
+namespace {
+using detail::AppendJsonEscaped;
+using detail::AppendJsonMicros;
 }  // namespace
 
 TrackId Tracer::Track(const std::string& name) {
@@ -53,10 +59,14 @@ TrackId Tracer::Track(const std::string& name) {
 
 void Tracer::Complete(TrackId track, const char* name, const char* cat,
                       sim::SimTime start, sim::Duration dur, TraceId trace,
-                      std::vector<Arg> args) {
-  if (!enabled_) return;
-  events_.push_back(Event{track, name, cat, start, dur, trace,
-                          std::move(args)});
+                      std::vector<Arg> args, std::int64_t wait_ns) {
+  if (enabled_) {
+    events_.push_back(Event{track, name, cat, start, dur, trace,
+                            std::move(args)});
+  }
+  if (flight_ != nullptr) {
+    flight_->Admit(track, name, cat, start, dur, trace, wait_ns);
+  }
 }
 
 std::string Tracer::ToChromeJson() const {
@@ -70,7 +80,7 @@ std::string Tracer::ToChromeJson() const {
     first = false;
     out += "{\"ph\":\"M\",\"pid\":1,\"tid\":" + std::to_string(i + 1) +
            ",\"name\":\"thread_name\",\"args\":{\"name\":\"";
-    AppendEscaped(out, tracks_[i]);
+    AppendJsonEscaped(out, tracks_[i]);
     out += "\"}}";
   }
   for (const Event& e : events_) {
@@ -78,13 +88,13 @@ std::string Tracer::ToChromeJson() const {
     first = false;
     out += "{\"ph\":\"X\",\"pid\":1,\"tid\":" + std::to_string(e.track + 1) +
            ",\"name\":\"";
-    AppendEscaped(out, e.name);
+    AppendJsonEscaped(out, e.name);
     out += "\",\"cat\":\"";
-    AppendEscaped(out, e.cat);
+    AppendJsonEscaped(out, e.cat);
     out += "\",\"ts\":";
-    AppendMicros(out, e.start);
+    AppendJsonMicros(out, e.start);
     out += ",\"dur\":";
-    AppendMicros(out, e.dur);
+    AppendJsonMicros(out, e.dur);
     out += ",\"args\":{";
     if (e.trace != 0) {
       out += "\"trace\":" + std::to_string(e.trace);
@@ -92,11 +102,11 @@ std::string Tracer::ToChromeJson() const {
     for (const Arg& a : e.args) {
       if (out.back() != '{') out += ',';
       out += '"';
-      AppendEscaped(out, a.key);
+      AppendJsonEscaped(out, a.key);
       out += "\":";
       if (a.is_string) {
         out += '"';
-        AppendEscaped(out, a.str);
+        AppendJsonEscaped(out, a.str);
         out += '"';
       } else {
         out += std::to_string(a.num);
@@ -120,7 +130,7 @@ Span::Span(const NodeObs& obs, const char* name, const char* cat)
     : Span(obs.tracer, obs.track, name, cat) {}
 
 Span Span::Root(const NodeObs& obs, const char* name, const char* cat) {
-  if (obs.tracer == nullptr || !obs.tracer->enabled()) return Span();
+  if (obs.tracer == nullptr || !obs.tracer->recording()) return Span();
   Span s(obs.tracer, obs.track, name, cat, obs.tracer->NewTrace());
   s.root_ = true;
   s.Arm();
@@ -130,7 +140,7 @@ Span Span::Root(const NodeObs& obs, const char* name, const char* cat) {
 void Span::Emit() {
   const sim::SimTime end = tracer_->now();
   tracer_->Complete(track_, name_, cat_, start_, end - start_, trace_,
-                    std::move(args_));
+                    std::move(args_), wait_ns_);
   if (root_ && tracer_->current() == trace_) tracer_->SetCurrent(0);
   tracer_ = nullptr;
 }

@@ -22,13 +22,20 @@
 // asserted in tests/obs/trace_determinism_test.cc). Keep process-global
 // values — session ids, pointers, host time — out of span names and args.
 //
-// Everything no-ops when disabled: Span construction checks enabled() once
+// Everything no-ops when disabled: Span construction checks recording() once
 // and stores nullptr, so the hot-path cost of a compiled-in span is one
 // branch.
+//
+// Flight recording: attaching a FlightRecorder (flight.h) keeps spans live
+// even while the full event log is disabled — completed spans go into the
+// recorder's bounded per-track rings instead of events_. Span args are only
+// collected when the full log is enabled (flight records are POD); the one
+// arg the decomposition needs, wait_ns, travels via Span::WaitNs.
 #pragma once
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "sim/simulation.h"
@@ -39,6 +46,16 @@ namespace dufs::obs {
 using TraceId = std::uint64_t;  // 0 = untraced
 using TrackId = std::uint32_t;  // one per sim node ("thread" in the export)
 
+class FlightRecorder;  // flight.h
+
+namespace detail {
+// JSON fragment helpers shared by the tracer export and the flight-recorder
+// dump (defined in trace.cc): string escaping and the fixed three-decimal
+// microsecond formatting that keeps exports byte-stable.
+void AppendJsonEscaped(std::string& out, std::string_view s);
+void AppendJsonMicros(std::string& out, std::int64_t ns);
+}  // namespace detail
+
 class Tracer {
  public:
   Tracer() = default;
@@ -48,10 +65,30 @@ class Tracer {
 
   // The tracer reads timestamps from this simulation. Must be called before
   // Enable().
-  void Bind(sim::Simulation* sim) { sim_ = sim; }
+  void Bind(sim::Simulation* sim) {
+    sim_ = sim;
+    UpdateRecording();
+  }
 
-  void SetEnabled(bool on) { enabled_ = on && sim_ != nullptr; }
+  void SetEnabled(bool on) {
+    enabled_ = on && sim_ != nullptr;
+    UpdateRecording();
+  }
   bool enabled() const { return enabled_; }
+
+  // Flight recorder attachment: completed spans are additionally (or, when
+  // the full log is disabled, only) admitted into `flight`'s rings. Pass
+  // nullptr to detach.
+  void AttachFlight(FlightRecorder* flight) {
+    flight_ = flight;
+    UpdateRecording();
+  }
+  FlightRecorder* flight() const { return flight_; }
+
+  // True when spans should stay live: the full event log is enabled or a
+  // flight recorder is attached (and a sim provides timestamps). This is the
+  // guard every span construction and instrumentation site uses.
+  bool recording() const { return recording_; }
 
   // Get-or-create a track by node name. Track ids are assigned in
   // registration order (construction order of the testbed — deterministic).
@@ -82,11 +119,13 @@ class Tracer {
     std::vector<Arg> args;
   };
 
-  // Record a complete ("X") event. No-op while disabled. `name` and `cat`
-  // must outlive the tracer (use literals).
+  // Record a complete ("X") event. No-op while not recording. `name` and
+  // `cat` must outlive the tracer (use literals). `wait_ns` is the queueing
+  // share of the span for the flight record (-1 = not applicable); the full
+  // event log carries it as a span arg instead.
   void Complete(TrackId track, const char* name, const char* cat,
                 sim::SimTime start, sim::Duration dur, TraceId trace,
-                std::vector<Arg> args = {});
+                std::vector<Arg> args = {}, std::int64_t wait_ns = -1);
 
   const std::vector<Event>& events() const { return events_; }
   void Clear() { events_.clear(); }
@@ -101,8 +140,14 @@ class Tracer {
   sim::SimTime now() const { return sim_ != nullptr ? sim_->now() : 0; }
 
  private:
+  void UpdateRecording() {
+    recording_ = sim_ != nullptr && (enabled_ || flight_ != nullptr);
+  }
+
   sim::Simulation* sim_ = nullptr;
   bool enabled_ = false;
+  bool recording_ = false;
+  FlightRecorder* flight_ = nullptr;
   TraceId last_trace_ = 0;
   TraceId current_ = 0;
   std::vector<std::string> tracks_;
@@ -126,7 +171,7 @@ class Span {
   // Explicit-trace span (server side: the id arrived over the wire).
   Span(Tracer* tracer, TrackId track, const char* name, const char* cat,
        TraceId trace) {
-    if (tracer == nullptr || !tracer->enabled()) return;
+    if (tracer == nullptr || !tracer->recording()) return;
     tracer_ = tracer;
     track_ = track;
     name_ = name;
@@ -155,6 +200,7 @@ class Span {
       start_ = other.start_;
       trace_ = other.trace_;
       root_ = other.root_;
+      wait_ns_ = other.wait_ns_;
       args_ = std::move(other.args_);
     }
     return *this;
@@ -171,13 +217,23 @@ class Span {
     if (tracer_ != nullptr) tracer_->SetCurrent(trace_);
   }
 
+  // Args attach to the full event log only — flight records are POD, so a
+  // flight-only span never allocates an arg vector.
   void ArgInt(const char* key, std::int64_t value) {
-    if (tracer_ == nullptr) return;
+    if (tracer_ == nullptr || !tracer_->enabled()) return;
     args_.push_back(Tracer::Arg{key, {}, value, false});
   }
   void ArgStr(const char* key, std::string value) {
-    if (tracer_ == nullptr) return;
+    if (tracer_ == nullptr || !tracer_->enabled()) return;
     args_.push_back(Tracer::Arg{key, std::move(value), 0, true});
+  }
+
+  // Queueing share of this span in ns; lands in the flight record so the
+  // tracestats nic-wait/wire split works on anomaly dumps. Call sites that
+  // also want it in the full trace export still ArgInt("wait_ns", ...).
+  void WaitNs(std::int64_t value) {
+    if (tracer_ == nullptr) return;
+    wait_ns_ = value;
   }
 
   // Emit the event; idempotent. A root span also clears the current trace
@@ -198,6 +254,7 @@ class Span {
   sim::SimTime start_ = 0;
   TraceId trace_ = 0;
   bool root_ = false;
+  std::int64_t wait_ns_ = -1;
   std::vector<Tracer::Arg> args_;
 };
 

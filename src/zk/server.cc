@@ -297,8 +297,12 @@ sim::Task<net::RpcResult> ZkServer::HandleRequest(net::NodeId from,
 
   if (IsWrite(req->op.type) || req->op.type == OpType::kSync) {
     c_writes_.Inc();
-    g_write_queue_.Set(
-        static_cast<std::int64_t>(write_pipeline_->queue_length()));
+    const auto write_depth =
+        static_cast<std::int64_t>(write_pipeline_->queue_length());
+    g_write_queue_.Set(write_depth);
+    if (obs_.incidents != nullptr) {
+      obs_.incidents->RecordQueueDepth(obs_.track, write_depth);
+    }
     obs::Span span(obs_.tracer, obs_.track, "zk-write", "zk", req->trace);
     Txn txn;
     txn.session = req->session;
@@ -312,8 +316,12 @@ sim::Task<net::RpcResult> ZkServer::HandleRequest(net::NodeId from,
 
   // Local read through the serialized read pipeline.
   c_reads_.Inc();
-  g_read_queue_.Set(
-      static_cast<std::int64_t>(read_pipeline_->queue_length()));
+  const auto read_depth =
+      static_cast<std::int64_t>(read_pipeline_->queue_length());
+  g_read_queue_.Set(read_depth);
+  if (obs_.incidents != nullptr) {
+    obs_.incidents->RecordQueueDepth(obs_.track, read_depth);
+  }
   obs::Span span(obs_.tracer, obs_.track, "zk-read", "zk", req->trace);
   {
     auto guard = co_await read_pipeline_->Acquire();
@@ -549,14 +557,19 @@ sim::Task<void> ZkServer::FlushProposalQueue() {
     }
     MaybeScheduleRetransmit();
 
-    if (tracing()) {
+    if (recording()) {
       // One span per quorum wave, attributed to the first txn's trace.
-      obs_.tracer->Complete(
-          obs_.track, "group-commit-flush", "zab", wave_start,
-          endpoint_.sim().now() - wave_start, wave_trace,
-          {{"batch", {}, static_cast<std::int64_t>(n), false},
-           {"zxid_lo", {}, static_cast<std::int64_t>(lo), false},
-           {"zxid_hi", {}, static_cast<std::int64_t>(hi), false}});
+      // Args only when the full event log wants them (flight records are
+      // POD; no arg vector on the flight-only path).
+      std::vector<obs::Tracer::Arg> args;
+      if (tracing()) {
+        args = {{"batch", {}, static_cast<std::int64_t>(n), false},
+                {"zxid_lo", {}, static_cast<std::int64_t>(lo), false},
+                {"zxid_hi", {}, static_cast<std::int64_t>(hi), false}};
+      }
+      obs_.tracer->Complete(obs_.track, "group-commit-flush", "zab",
+                            wave_start, endpoint_.sim().now() - wave_start,
+                            wave_trace, std::move(args));
     }
 
     // Self-ack the whole run after one local group-commit fsync.
@@ -700,15 +713,18 @@ void ZkServer::TryCommitInOrder() {
     // quorum() includes it naturally.
     if (it->second.acks.size() < quorum()) break;
     const Zxid zxid = it->first;
-    if (tracing() && it->second.proposed_at > 0) {
+    if (recording() && it->second.proposed_at > 0) {
       // PROPOSE -> quorum of ACKs, on the leader's track.
-      obs_.tracer->Complete(
-          obs_.track, "quorum-round", "zab", it->second.proposed_at,
-          endpoint_.sim().now() - it->second.proposed_at,
-          it->second.txn.trace,
-          {{"zxid", {}, static_cast<std::int64_t>(zxid), false},
-           {"acks", {}, static_cast<std::int64_t>(it->second.acks.size()),
-            false}});
+      std::vector<obs::Tracer::Arg> args;
+      if (tracing()) {
+        args = {{"zxid", {}, static_cast<std::int64_t>(zxid), false},
+                {"acks", {},
+                 static_cast<std::int64_t>(it->second.acks.size()), false}};
+      }
+      obs_.tracer->Complete(obs_.track, "quorum-round", "zab",
+                            it->second.proposed_at,
+                            endpoint_.sim().now() - it->second.proposed_at,
+                            it->second.txn.trace, std::move(args));
     }
     proposals_.erase(it);
     last_committed_ = zxid;
@@ -833,12 +849,26 @@ sim::Task<void> ZkServer::JournalLoop() {
     h_fsync_batch_.Record(static_cast<std::int64_t>(batch.size()));
     const sim::SimTime fsync_start = endpoint_.sim().now();
     co_await endpoint_.node().DiskWrite(total);  // one group-commit fsync
-    if (tracing()) {
-      obs_.tracer->Complete(
-          obs_.track, "fsync-batch", "journal", fsync_start,
-          endpoint_.sim().now() - fsync_start, batch.front().trace,
-          {{"batch", {}, static_cast<std::int64_t>(batch.size()), false},
-           {"bytes", {}, static_cast<std::int64_t>(total), false}});
+    const sim::SimTime fsync_end = endpoint_.sim().now();
+    if (recording()) {
+      // One span per batched entry — same interval, each entry's own trace
+      // id — so the decomposition charges the shared fsync to every op it
+      // made durable, not just the first in the batch.
+      for (const auto& e : batch) {
+        std::vector<obs::Tracer::Arg> args;
+        if (tracing()) {
+          args = {{"batch", {}, static_cast<std::int64_t>(batch.size()),
+                   false},
+                  {"bytes", {}, static_cast<std::int64_t>(total), false}};
+        }
+        obs_.tracer->Complete(obs_.track, "fsync-batch", "journal",
+                              fsync_start, fsync_end - fsync_start, e.trace,
+                              std::move(args));
+      }
+    }
+    if (obs_.incidents != nullptr) {
+      obs_.incidents->RecordFsync(obs_.track, fsync_end - fsync_start,
+                                  static_cast<std::int64_t>(batch.size()));
     }
     for (auto& e : batch) {
       if (journal_pending_ > 0) --journal_pending_;
@@ -1034,6 +1064,9 @@ sim::Task<void> ZkServer::BecomeLeader() {
   proposals_.clear();
   propose_queue_.clear();
   DUFS_LOG(Info) << "server " << my_index_ << " leading epoch " << epoch_;
+  if (obs_.incidents != nullptr) {
+    obs_.incidents->RecordLeaderChange(obs_.track, epoch_);
+  }
   if (config_.enable_failure_detection) {
     sim::CurrentSimulationScope scope(&endpoint_.sim());
     endpoint_.sim().Spawn(LeaderPingLoop(epoch_));

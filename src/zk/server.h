@@ -166,7 +166,12 @@ class ZkServer {
   sim::Task<void> JournalAppend(Zxid zxid, std::size_t bytes,
                                 obs::TraceId trace = 0);
 
+  // Full event log on (args are worth building) vs any span recording at
+  // all (full log or flight recorder).
   bool tracing() const { return obs_.tracer != nullptr && obs_.tracer->enabled(); }
+  bool recording() const {
+    return obs_.tracer != nullptr && obs_.tracer->recording();
+  }
 
   // Watches.
   void RegisterWatch(const Op& op, SessionId session, net::NodeId client);

@@ -132,6 +132,30 @@ TEST(FsckTest, DetectsOrphanedPhysicalFile) {
   }(f));
 }
 
+TEST(FsckTest, SurvivesDeepNamespaceChain) {
+  // Regression: the namespace walk used to recurse per directory, which
+  // overflowed the stack on deep chains (caught under ASan). The iterative
+  // walk must handle depths far beyond any sane recursion budget.
+  FsckFixture f;
+  sim::RunTask(f.tb.sim(), [](FsckFixture& fx) -> sim::Task<void> {
+    auto& fs = *fx.tb.client(0).dufs;
+    constexpr int kDepth = 512;
+    std::string path;
+    for (int i = 0; i < kDepth; ++i) {
+      path += "/d";
+      CO_ASSERT_OK(co_await fs.Mkdir(path, 0755));
+    }
+    CO_ASSERT_TRUE((co_await fs.Create(path + "/leaf", 0644)).ok());
+
+    auto fsck = fx.MakeFsck();
+    auto report = co_await fsck.Check();
+    CO_ASSERT_TRUE(report.ok());
+    EXPECT_TRUE(report->clean());
+    EXPECT_EQ(report->directories, static_cast<std::uint64_t>(kDepth) + 1);
+    EXPECT_EQ(report->files, 1u);
+  }(f));
+}
+
 TEST(RebalancerTest, MovesOnlyAffectedFilesAndPreservesData) {
   FsckFixture f(/*backends=*/3);
   sim::RunTask(f.tb.sim(), [](FsckFixture& fx) -> sim::Task<void> {

@@ -16,9 +16,11 @@ file(MAKE_DIRECTORY "${WORKDIR}")
 
 # Small sizes keep the gate fast; the seed is arbitrary but fixed.
 # --timeline folds the sim-time-series sampler into the byte-compared
-# metrics export, so sampler nondeterminism fails this gate too.
+# metrics export, so sampler nondeterminism fails this gate too; --slo arms
+# the incident engine and folds its report (sliding windows, burn rates)
+# into the same comparison.
 set(ARGS --seed=7 --width=8 --files=4 --rounds=2 --procs=8 --items=4
-    --timeline)
+    --timeline --slo=create:2ms:0.01)
 
 foreach(run 1 2)
   execute_process(

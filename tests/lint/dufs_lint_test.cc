@@ -443,6 +443,52 @@ TEST(LintHotAllocTest, SuppressibleWithReason) {
   EXPECT_TRUE(f.empty());
 }
 
+// --- obs-hot-path-alloc ---------------------------------------------------
+
+TEST(LintObsHotAllocTest, StringInFlightRecorderFires) {
+  const auto f = Lint("src/obs/flight.h",
+                      "#pragma once\n"
+                      "struct Record { std::string name; };\n");
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].rule, "obs-hot-path-alloc");
+  EXPECT_EQ(f[0].line, 2);
+}
+
+TEST(LintObsHotAllocTest, BannedContainersInSloFire) {
+  const auto f = Lint("src/obs/slo.h",
+                      "#pragma once\n"
+                      "std::map<int, int> per_op;\n"
+                      "std::function<void()> on_close;\n");
+  EXPECT_EQ(Rules(f), (std::vector<std::string>{"obs-hot-path-alloc",
+                                                "obs-hot-path-alloc"}));
+}
+
+TEST(LintObsHotAllocTest, PodAndReservedVectorsDoNotFire) {
+  // The rule bans node containers and std::string; fixed arrays and flat
+  // vectors (reserved once at setup) are the sanctioned storage.
+  const auto f = Lint("src/obs/flight.h",
+                      "#pragma once\n"
+                      "struct Record { const char* name; long dur; };\n"
+                      "std::vector<Record> slots;\n");
+  EXPECT_TRUE(f.empty());
+}
+
+TEST(LintObsHotAllocTest, OtherObsFilesAreOutOfScope) {
+  // Tracer / metrics registry are not on the always-on path; only the
+  // flight recorder and sliding-window SLO code are scoped.
+  const auto f = Lint("src/obs/trace.h",
+                      "#pragma once\n"
+                      "std::string name;\n");
+  EXPECT_TRUE(f.empty());
+}
+
+TEST(LintObsHotAllocTest, DumpSerializationSuppressibleWithReason) {
+  const auto f = Lint(
+      "src/obs/flight.cc",
+      "std::string out;  // dufs-lint: allow(obs-hot-path-alloc) dump\n");
+  EXPECT_TRUE(f.empty());
+}
+
 // --- suppressions ---------------------------------------------------------
 
 TEST(LintSuppressionTest, TrailingAllowSuppresses) {
@@ -499,7 +545,7 @@ TEST(LintEngineTest, FindingsSortedByFileLineRule) {
 
 TEST(LintEngineTest, EveryRuleHasDocumentation) {
   const auto& docs = RuleDocs();
-  ASSERT_EQ(docs.size(), 9u);
+  ASSERT_EQ(docs.size(), 10u);
   for (const auto& doc : docs) {
     EXPECT_NE(doc.id, nullptr);
     EXPECT_GT(std::string(doc.summary).size(), 0u);

@@ -1,0 +1,126 @@
+#include "obs/flight.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+#include "sim/simulation.h"
+
+namespace dufs {
+namespace {
+
+std::vector<std::int64_t> Starts(const obs::FlightRecorder& fr,
+                                 obs::TrackId track) {
+  std::vector<std::int64_t> out;
+  fr.ForEach(track, [&](const obs::FlightRecorder::Record& r) {
+    out.push_back(r.start);
+  });
+  return out;
+}
+
+TEST(FlightRecorderTest, FillsWithoutEvictionUpToCapacity) {
+  obs::FlightRecorder fr;
+  fr.SetCapacity(4);
+  for (int i = 0; i < 4; ++i) fr.Admit(0, "w", "c", i, 10, 0, -1);
+  EXPECT_EQ(fr.size(0), 4u);
+  EXPECT_EQ(fr.evicted(0), 0u);
+  EXPECT_EQ(fr.admitted(), 4u);
+  EXPECT_EQ(Starts(fr, 0), (std::vector<std::int64_t>{0, 1, 2, 3}));
+}
+
+TEST(FlightRecorderTest, RingEvictsOldestKeepsOrder) {
+  obs::FlightRecorder fr;
+  fr.SetCapacity(4);
+  for (int i = 0; i < 7; ++i) fr.Admit(0, "w", "c", i, 10, 0, -1);
+  EXPECT_EQ(fr.size(0), 4u);
+  EXPECT_EQ(fr.evicted(0), 3u);
+  EXPECT_EQ(fr.admitted(), 7u);
+  // Oldest-to-newest: the last `capacity` admissions, in admission order.
+  EXPECT_EQ(Starts(fr, 0), (std::vector<std::int64_t>{3, 4, 5, 6}));
+}
+
+TEST(FlightRecorderTest, TracksAreIndependentAndSeqIsGlobal) {
+  obs::FlightRecorder fr;
+  fr.SetCapacity(2);
+  fr.Admit(0, "a", "c", 1, 1, 0, -1);
+  fr.Admit(2, "b", "c", 2, 1, 0, -1);  // skips track 1
+  EXPECT_EQ(fr.track_count(), 3u);
+  EXPECT_EQ(fr.size(0), 1u);
+  EXPECT_EQ(fr.size(1), 0u);
+  EXPECT_EQ(fr.size(2), 1u);
+  std::uint64_t last_seq = 0;
+  fr.ForEach(2, [&](const obs::FlightRecorder::Record& r) {
+    last_seq = r.seq;
+  });
+  EXPECT_EQ(last_seq, 2u);  // global admission counter
+  EXPECT_EQ(Starts(fr, 7), std::vector<std::int64_t>{});  // unknown track
+}
+
+TEST(FlightRecorderTest, ZeroCapacityRequestIgnored) {
+  obs::FlightRecorder fr;
+  fr.SetCapacity(0);
+  EXPECT_EQ(fr.capacity(), 512u);  // default stands
+}
+
+TEST(FlightRecorderTest, ClearResets) {
+  obs::FlightRecorder fr;
+  fr.Admit(0, "w", "c", 1, 1, 0, -1);
+  fr.Clear();
+  EXPECT_EQ(fr.admitted(), 0u);
+  EXPECT_EQ(fr.track_count(), 0u);
+}
+
+TEST(FlightRecorderTest, DumpJsonIsChromeShapedAndDeterministic) {
+  auto build = [](std::string* out) {
+    sim::Simulation sim(1);
+    obs::Tracer tracer;
+    tracer.Bind(&sim);
+    const auto t0 = tracer.Track("zk0");
+    const auto t1 = tracer.Track("client0");
+    obs::FlightRecorder fr;
+    fr.SetCapacity(3);
+    for (int i = 0; i < 5; ++i) {
+      fr.Admit(t0, "fsync-batch", "zk", 1000 * i, 700, 9, -1);
+    }
+    fr.Admit(t1, "nic-tx", "net", 400, 100, 9, 25);
+    *out = fr.DumpJson(tracer, "{\"type\":\"test\"}");
+  };
+  std::string a, b;
+  build(&a);
+  build(&b);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.find("\"anomaly\":{\"type\":\"test\"}"), std::string::npos);
+  EXPECT_NE(a.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(a.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(a.find("\"zk0\""), std::string::npos);
+  EXPECT_NE(a.find("\"fsync-batch\""), std::string::npos);
+  EXPECT_NE(a.find("\"wait_ns\":25"), std::string::npos);
+  // The evicted spans (start 0, 1000) are gone from the dump.
+  EXPECT_EQ(a.find("\"ts\":0.000"), std::string::npos);
+}
+
+TEST(FlightRecorderTest, TracerAdmitsSpansWhenOnlyFlightAttached) {
+  sim::Simulation sim(1);
+  obs::Tracer tracer;
+  tracer.Bind(&sim);
+  obs::FlightRecorder fr;
+  tracer.AttachFlight(&fr);
+  EXPECT_FALSE(tracer.enabled());   // full log off...
+  EXPECT_TRUE(tracer.recording());  // ...but spans still live
+  const auto track = tracer.Track("node0");
+  tracer.Complete(track, "work", "cat", 100, 50, 7);
+  EXPECT_TRUE(tracer.events().empty());  // no unbounded log
+  EXPECT_EQ(fr.size(track), 1u);
+  fr.ForEach(track, [&](const obs::FlightRecorder::Record& r) {
+    EXPECT_STREQ(r.name, "work");
+    EXPECT_EQ(r.start, 100);
+    EXPECT_EQ(r.dur, 50);
+    EXPECT_EQ(r.trace, 7u);
+    EXPECT_EQ(r.wait_ns, -1);
+  });
+}
+
+}  // namespace
+}  // namespace dufs

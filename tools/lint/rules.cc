@@ -401,6 +401,19 @@ const std::vector<RuleDoc>& RuleDocs() {
        "far-future overflow levels) may suppress with a stated reason.",
        "std::deque<std::coroutine_handle<>> waiters;  // in src/sim/",
        "SmallQueue<std::coroutine_handle<>, 4> waiters;"},
+      {"obs-hot-path-alloc",
+       "no heap containers or std::string in flight-recorder/SLO code",
+       "The flight recorder and sliding-window digests run on every span "
+       "completion and every op sample in UNTRACED runs — their whole point "
+       "is being cheap enough to leave always-on. A std::string key, map "
+       "node, or std::function there puts a heap allocation on that path "
+       "and invalidates the overhead budget (DESIGN.md §11). In src/obs/"
+       "flight* and src/obs/slo*, keep records POD, use `const char*` "
+       "literals for names, and fixed arrays or pre-reserved flat vectors "
+       "for storage. Cold paths (dump serialization) suppress with a stated "
+       "reason.",
+       "std::string name;  // in FlightRecorder::Record",
+       "const char* name;  // literal owned by the call site"},
   };
   return kDocs;
 }
@@ -490,6 +503,7 @@ class FileLint {
     ObsNames();
     ObsKeyLiterals();
     SimHotAllocs();
+    ObsHotPathAllocs();
     Filter(out);
   }
 
@@ -832,6 +846,30 @@ class FileLint {
               "` heap-allocates per operation; in src/sim/ use the slab "
               "arena (sim/arena.h), SmallQueue (sim/small_queue.h), an "
               "intrusive list, or a template callable parameter");
+    }
+  }
+
+  // Always-on observability hot path: the flight recorder admits a record
+  // per completed span and the SLO digests observe every op sample, in
+  // untraced runs too. Same banned set as src/sim/, plus std::string —
+  // names there must be `const char*` literals. Dump serialization is the
+  // sanctioned cold path and suppresses with a reason.
+  void ObsHotPathAllocs() {
+    const bool scoped = f_.path.find("src/obs/flight") != std::string::npos ||
+                        f_.path.find("src/obs/slo") != std::string::npos;
+    if (!scoped) return;
+    const auto& toks = f_.tokens;
+    for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+      if (!IsId(toks[i], "std") || !IsPunct(toks[i + 1], "::")) continue;
+      const Token& t = toks[i + 2];
+      if (t.kind != TokKind::kIdentifier) continue;
+      if (!IsHotAllocBannedType(t.text) && t.text != "string") continue;
+      Add(t.line, "obs-hot-path-alloc",
+          "`std::" + t.text +
+              "` on the always-on flight-recorder/SLO path: records are "
+              "POD, names are `const char*` literals, storage is fixed "
+              "arrays or pre-reserved flat vectors (see src/obs/flight.h); "
+              "dump serialization may suppress with a reason");
     }
   }
 

@@ -155,6 +155,58 @@ bool LoadBaseline(const JsonValue& doc,
   return true;
 }
 
+// Shared pass for Analyze and ExplainDump: pull "X" events out of a trace
+// (or dump) document, group by trace id, and decompose every op that has a
+// root. Ops come out in trace-id order (deterministic).
+bool CollectOps(const JsonValue& trace, std::vector<OpBreakdown>* ops,
+                std::uint64_t* orphan_events, std::string* error) {
+  const JsonValue* events = trace.Find("traceEvents");
+  if (events == nullptr || !events->is_array()) {
+    *error = "trace has no \"traceEvents\" array";
+    return false;
+  }
+  std::map<std::int64_t, std::vector<RawEvent>> by_trace;
+  for (const JsonValue& ev : events->items) {
+    if (!ev.is_object() || ev.GetString("ph") != "X") continue;
+    RawEvent e;
+    e.name = ev.GetString("name");
+    e.cat = ev.GetString("cat");
+    const JsonValue* ts = ev.Find("ts");
+    const JsonValue* dur = ev.Find("dur");
+    if (ts == nullptr || dur == nullptr) continue;
+    e.ts_ns = MicrosRawToNanos(*ts);
+    e.dur_ns = MicrosRawToNanos(*dur);
+    if (const JsonValue* args = ev.Find("args"); args != nullptr) {
+      e.trace = args->GetInt("trace", 0);
+      e.wait_ns = args->GetInt("wait_ns", -1);
+      e.path = args->GetString("path");
+    }
+    if (e.trace == 0) {
+      ++*orphan_events;
+      continue;
+    }
+    by_trace[e.trace].push_back(std::move(e));
+  }
+  for (const auto& [trace_id, group] : by_trace) {
+    const RawEvent* root = nullptr;
+    for (const RawEvent& e : group) {
+      if (e.cat == "op" && (root == nullptr || e.ts_ns < root->ts_ns)) {
+        root = &e;
+      }
+    }
+    if (root == nullptr) {
+      *orphan_events += group.size();
+      continue;
+    }
+    std::vector<const RawEvent*> children;
+    for (const RawEvent& e : group) {
+      if (&e != root) children.push_back(&e);
+    }
+    ops->push_back(DecomposeOp(*root, children));
+  }
+  return true;
+}
+
 }  // namespace
 
 const char* CategoryName(Category c) {
@@ -175,54 +227,12 @@ const char* CategoryName(Category c) {
 
 bool Analyze(const JsonValue& trace, const JsonValue* metrics, int top_k,
              double check_tol, AnalyzeResult* out, std::string* error) {
-  const JsonValue* events = trace.Find("traceEvents");
-  if (events == nullptr || !events->is_array()) {
-    *error = "trace has no \"traceEvents\" array";
-    return false;
-  }
+  std::vector<OpBreakdown> ops;
+  if (!CollectOps(trace, &ops, &out->orphan_events, error)) return false;
 
-  // Pass 1: pull out complete ("X") events, grouped by trace id.
-  std::map<std::int64_t, std::vector<RawEvent>> by_trace;
-  for (const JsonValue& ev : events->items) {
-    if (!ev.is_object() || ev.GetString("ph") != "X") continue;
-    RawEvent e;
-    e.name = ev.GetString("name");
-    e.cat = ev.GetString("cat");
-    const JsonValue* ts = ev.Find("ts");
-    const JsonValue* dur = ev.Find("dur");
-    if (ts == nullptr || dur == nullptr) continue;
-    e.ts_ns = MicrosRawToNanos(*ts);
-    e.dur_ns = MicrosRawToNanos(*dur);
-    if (const JsonValue* args = ev.Find("args"); args != nullptr) {
-      e.trace = args->GetInt("trace", 0);
-      e.wait_ns = args->GetInt("wait_ns", -1);
-      e.path = args->GetString("path");
-    }
-    if (e.trace == 0) {
-      ++out->orphan_events;
-      continue;
-    }
-    by_trace[e.trace].push_back(std::move(e));
-  }
-
-  // Pass 2: decompose each op, aggregate per class, keep the slowest ops.
+  // Aggregate per class, keep the slowest ops.
   std::map<std::string, ClassStats> classes;
-  for (const auto& [trace_id, group] : by_trace) {
-    const RawEvent* root = nullptr;
-    for (const RawEvent& e : group) {
-      if (e.cat == "op" && (root == nullptr || e.ts_ns < root->ts_ns)) {
-        root = &e;
-      }
-    }
-    if (root == nullptr) {
-      out->orphan_events += group.size();
-      continue;
-    }
-    std::vector<const RawEvent*> children;
-    for (const RawEvent& e : group) {
-      if (&e != root) children.push_back(&e);
-    }
-    OpBreakdown op = DecomposeOp(*root, children);
+  for (OpBreakdown& op : ops) {
     ClassStats& cs = classes[op.op];
     cs.op = op.op;
     ++cs.count;
@@ -416,6 +426,163 @@ std::string ResultToJson(const AnalyzeResult& r) {
     out += '"' + EscapeJson(msg) + '"';
   }
   out += "]}";
+  return out;
+}
+
+bool CategoryFromName(const std::string& name, Category* out) {
+  for (int c = 0; c < kCategoryCount; ++c) {
+    if (name == CategoryName(static_cast<Category>(c))) {
+      *out = static_cast<Category>(c);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ExplainDump(const JsonValue& dump, std::int64_t window_override_ns,
+                 ExplainResult* out, std::string* error) {
+  const JsonValue* anomaly = dump.Find("anomaly");
+  if (anomaly == nullptr || !anomaly->is_object()) {
+    *error = "dump has no \"anomaly\" object (is this a flight-recorder "
+             "dump?)";
+    return false;
+  }
+  out->type = anomaly->GetString("type");
+  out->node = anomaly->GetString("node");
+  out->detail = anomaly->GetString("detail");
+  out->anomaly_t_ns = anomaly->GetInt("t_ns", 0);
+  out->window_ns = window_override_ns > 0
+                       ? window_override_ns
+                       : anomaly->GetInt("window_ns", 0);
+  if (out->window_ns <= 0) {
+    *error = "dump records no window_ns and no --window given";
+    return false;
+  }
+  out->split_ns = out->anomaly_t_ns - out->window_ns;
+
+  std::vector<OpBreakdown> ops;
+  std::uint64_t orphans = 0;
+  if (!CollectOps(dump, &ops, &orphans, error)) return false;
+
+  for (const OpBreakdown& op : ops) {
+    const bool in_window = op.start_ns >= out->split_ns;
+    if (in_window) {
+      ++out->window_ops;
+      out->window_total_ns += op.dur_ns;
+    } else {
+      ++out->baseline_ops;
+      out->baseline_total_ns += op.dur_ns;
+    }
+    for (int c = 0; c < kCategoryCount; ++c) {
+      const auto i = static_cast<std::size_t>(c);
+      (in_window ? out->window_cat_ns : out->baseline_ns)[i] += op.ns[i];
+    }
+  }
+  if (out->window_ops == 0) {
+    *error = "no ops start inside the anomaly window — widen --window or "
+             "grow the flight-recorder capacity";
+    return false;
+  }
+  if (out->baseline_ops == 0) {
+    *error = "no healthy-baseline ops precede the anomaly window in this "
+             "dump — grow the flight-recorder capacity";
+    return false;
+  }
+
+  out->baseline_mean_ns = static_cast<double>(out->baseline_total_ns) /
+                          static_cast<double>(out->baseline_ops);
+  out->window_mean_ns = static_cast<double>(out->window_total_ns) /
+                        static_cast<double>(out->window_ops);
+  out->mean_growth_ns = out->window_mean_ns - out->baseline_mean_ns;
+  out->have_growth = out->mean_growth_ns > 0.0;
+  double best = -1.0;
+  for (int c = 0; c < kCategoryCount; ++c) {
+    const auto i = static_cast<std::size_t>(c);
+    const double growth =
+        static_cast<double>(out->window_cat_ns[i]) /
+            static_cast<double>(out->window_ops) -
+        static_cast<double>(out->baseline_ns[i]) /
+            static_cast<double>(out->baseline_ops);
+    out->growth_share[i] =
+        out->have_growth ? growth / out->mean_growth_ns : 0.0;
+    if (out->growth_share[i] > best) {
+      best = out->growth_share[i];
+      out->dominant = static_cast<Category>(c);
+    }
+  }
+  return true;
+}
+
+std::string ExplainToText(const ExplainResult& r) {
+  std::string out;
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "Anomaly explain: %s on %s at t=%lld ns (window %lld ns)\n",
+                r.type.c_str(), r.node.c_str(),
+                static_cast<long long>(r.anomaly_t_ns),
+                static_cast<long long>(r.window_ns));
+  out += buf;
+  if (!r.detail.empty()) out += "  detail: " + r.detail + "\n";
+  std::snprintf(buf, sizeof(buf),
+                "  baseline: %llu ops, mean %.0f ns | window: %llu ops, "
+                "mean %.0f ns | growth %+.0f ns\n",
+                static_cast<unsigned long long>(r.baseline_ops),
+                r.baseline_mean_ns,
+                static_cast<unsigned long long>(r.window_ops),
+                r.window_mean_ns, r.mean_growth_ns);
+  out += buf;
+  if (!r.have_growth) {
+    out += "  no mean-latency growth in the anomaly window; attribution "
+           "not meaningful\n";
+    return out;
+  }
+  out += "\n## Growth attribution (share of mean-latency growth)\n";
+  for (int c = 0; c < kCategoryCount; ++c) {
+    const auto i = static_cast<std::size_t>(c);
+    std::snprintf(buf, sizeof(buf), "  %-9s %+7.1f%%%s\n",
+                  CategoryName(static_cast<Category>(c)),
+                  100.0 * r.growth_share[i],
+                  static_cast<Category>(c) == r.dominant ? "  <-- dominant"
+                                                         : "");
+    out += buf;
+  }
+  std::snprintf(buf, sizeof(buf),
+                "\nVerdict: the anomaly is %.0f%% %s\n",
+                100.0 * r.growth_share[static_cast<std::size_t>(r.dominant)],
+                CategoryName(r.dominant));
+  out += buf;
+  return out;
+}
+
+std::string ExplainToJson(const ExplainResult& r) {
+  std::string out = "{\"type\":\"" + EscapeJson(r.type) + "\"";
+  out += ",\"node\":\"" + EscapeJson(r.node) + "\"";
+  if (!r.detail.empty()) {
+    out += ",\"detail\":\"" + EscapeJson(r.detail) + "\"";
+  }
+  out += ",\"t_ns\":" + std::to_string(r.anomaly_t_ns);
+  out += ",\"window_ns\":" + std::to_string(r.window_ns);
+  out += ",\"baseline_ops\":" + std::to_string(r.baseline_ops);
+  out += ",\"window_ops\":" + std::to_string(r.window_ops);
+  out += ",\"baseline_mean_ns\":";
+  AppendDouble(&out, r.baseline_mean_ns);
+  out += ",\"window_mean_ns\":";
+  AppendDouble(&out, r.window_mean_ns);
+  out += ",\"mean_growth_ns\":";
+  AppendDouble(&out, r.mean_growth_ns);
+  out += ",\"have_growth\":";
+  out += r.have_growth ? "true" : "false";
+  out += ",\"growth_share\":{";
+  for (int c = 0; c < kCategoryCount; ++c) {
+    if (c > 0) out += ',';
+    out += '"';
+    out += CategoryName(static_cast<Category>(c));
+    out += "\":";
+    AppendDouble(&out, r.growth_share[static_cast<std::size_t>(c)]);
+  }
+  out += "},\"dominant\":\"";
+  out += CategoryName(r.dominant);
+  out += "\"}";
   return out;
 }
 

@@ -82,6 +82,50 @@ bool Analyze(const JsonValue& trace, const JsonValue* metrics, int top_k,
 std::string ResultToJson(const AnalyzeResult& r);
 std::string ResultToText(const AnalyzeResult& r);
 
+// --explain-dump: root-cause an anomaly dump written by the flight recorder
+// (obs::FlightRecorder::DumpJson via the incident engine). The dump's rings
+// hold spans both before and during the incident; ops whose root starts in
+// the anomaly window [t_anomaly - window, t_anomaly] are compared against
+// the older "healthy baseline" ops in the same dump, and the growth in mean
+// latency is attributed per category ("the spike is 86% fsync").
+struct ExplainResult {
+  // From the dump's "anomaly" object.
+  std::string type;
+  std::string node;
+  std::string detail;
+  std::int64_t anomaly_t_ns = 0;
+  std::int64_t window_ns = 0;  // effective (override or dump value)
+  std::int64_t split_ns = 0;   // roots at/after this are anomaly-window ops
+
+  std::uint64_t baseline_ops = 0;
+  std::uint64_t window_ops = 0;
+  std::int64_t baseline_total_ns = 0;
+  std::int64_t window_total_ns = 0;
+  CategoryNs baseline_ns{};
+  CategoryNs window_cat_ns{};
+
+  // Mean-latency growth (window mean − baseline mean) and its attribution.
+  // growth_share[c] = per-category mean growth / total mean growth; shares
+  // sum to 1 but an individual share may exceed 1 when another category
+  // shrank. Only meaningful when have_growth.
+  double baseline_mean_ns = 0.0;
+  double window_mean_ns = 0.0;
+  double mean_growth_ns = 0.0;
+  bool have_growth = false;
+  std::array<double, kCategoryCount> growth_share{};
+  Category dominant = Category::kClient;
+};
+
+// `window_override_ns` > 0 replaces the dump's recorded window size.
+bool ExplainDump(const JsonValue& dump, std::int64_t window_override_ns,
+                 ExplainResult* out, std::string* error);
+
+std::string ExplainToText(const ExplainResult& r);
+std::string ExplainToJson(const ExplainResult& r);
+
+// Category lookup by report name ("fsync"); false when unknown.
+bool CategoryFromName(const std::string& name, Category* out);
+
 // --compare: diff two BENCH_*.json baselines.
 struct CompareResult {
   bool ok = true;  // no regressions

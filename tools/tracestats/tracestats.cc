@@ -15,7 +15,17 @@
 // diffs two bench baselines; exits 1 when any metric regressed beyond the
 // tolerance in its "better" direction (or disappeared), 0 when clean.
 //
-// Exit codes: 0 ok, 1 check/regression failure, 2 usage or input error.
+// Explain-dump mode (anomaly root-causing):
+//   tracestats --explain-dump=dump.json [--window=NS] [--expect=CAT:SHARE]
+//              [--json] [--out=PATH]
+// reads a flight-recorder anomaly dump, splits its ops into the anomaly
+// window vs the healthy baseline before it, and attributes the mean-latency
+// growth per category. --window overrides the dump's recorded window size
+// (ns). --expect=fsync:0.5 exits 1 unless that category explains at least
+// that share of the growth (the slow-fsync injection gate uses this).
+//
+// Exit codes: 0 ok, 1 check/regression/expectation failure, 2 usage or
+// input error.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -31,7 +41,9 @@ constexpr char kUsage[] =
     "usage: tracestats --trace=PATH [--metrics=PATH] [--top=N] [--check]\n"
     "                  [--json] [--out=PATH]\n"
     "       tracestats --compare OLD.json NEW.json [--tolerance=0.05]\n"
-    "                  [--json]\n";
+    "                  [--json]\n"
+    "       tracestats --explain-dump=DUMP.json [--window=NS]\n"
+    "                  [--expect=CATEGORY:SHARE] [--json] [--out=PATH]\n";
 
 [[noreturn]] void UsageError(const std::string& message) {
   std::fprintf(stderr, "tracestats: %s\n%s", message.c_str(), kUsage);
@@ -69,13 +81,14 @@ bool WriteOutput(const std::string& path, const std::string& content) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string trace_path, metrics_path, out_path;
+  std::string trace_path, metrics_path, out_path, dump_path, expect;
   std::vector<std::string> compare_paths;
   bool compare_mode = false;
   bool json_out = false;
   bool check = false;
   int top_k = 10;
   double tolerance = 0.05;
+  long long window_ns = 0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -93,6 +106,12 @@ int main(int argc, char** argv) {
       top_k = std::atoi(v4);
     } else if (const char* v5 = value("--tolerance=")) {
       tolerance = std::atof(v5);
+    } else if (const char* v6 = value("--explain-dump=")) {
+      dump_path = v6;
+    } else if (const char* v7 = value("--window=")) {
+      window_ns = std::atoll(v7);
+    } else if (const char* v8 = value("--expect=")) {
+      expect = v8;
     } else if (arg == "--compare") {
       compare_mode = true;
     } else if (arg == "--json") {
@@ -129,6 +148,44 @@ int main(int argc, char** argv) {
                  : dufs::tracestats::CompareToText(result, tolerance);
     if (!WriteOutput(out_path, report)) return 2;
     return result.ok ? 0 : 1;
+  }
+
+  if (!dump_path.empty()) {
+    dufs::tracestats::JsonValue dump;
+    if (!LoadJson(dump_path, &dump)) return 2;
+    dufs::tracestats::ExplainResult result;
+    std::string error;
+    if (!dufs::tracestats::ExplainDump(dump, window_ns, &result, &error)) {
+      std::fprintf(stderr, "tracestats: %s\n", error.c_str());
+      return 2;
+    }
+    const std::string report =
+        json_out ? dufs::tracestats::ExplainToJson(result)
+                 : dufs::tracestats::ExplainToText(result);
+    if (!WriteOutput(out_path, report)) return 2;
+    if (!expect.empty()) {
+      const std::size_t colon = expect.find(':');
+      if (colon == std::string::npos) {
+        UsageError("--expect wants CATEGORY:SHARE, e.g. fsync:0.5");
+      }
+      dufs::tracestats::Category cat;
+      if (!dufs::tracestats::CategoryFromName(expect.substr(0, colon),
+                                              &cat)) {
+        UsageError("--expect: unknown category " + expect.substr(0, colon));
+      }
+      const double want = std::atof(expect.c_str() + colon + 1);
+      const double got =
+          result.growth_share[static_cast<std::size_t>(cat)];
+      if (!result.have_growth || got < want) {
+        std::fprintf(stderr,
+                     "tracestats: --expect failed: %s explains %.1f%% of "
+                     "the growth, wanted >= %.1f%%\n",
+                     expect.substr(0, colon).c_str(), 100.0 * got,
+                     100.0 * want);
+        return 1;
+      }
+    }
+    return 0;
   }
 
   if (trace_path.empty()) UsageError("--trace is required (or --compare)");
