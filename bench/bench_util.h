@@ -282,21 +282,31 @@ inline bool ConfigureIncidents(obs::Observability& obs, const ObsOptions& o) {
   if (o.flight_capacity > 0) {
     obs.flight().SetCapacity(static_cast<std::uint32_t>(o.flight_capacity));
   }
-  if (!o.flight_dump_dir.empty()) {
+  // Normalize the dump dir: `dumps`, `dumps/` and `dumps/.` must name the
+  // same directory. The dump writer appends `/dump_<seq>_<type>.json`
+  // verbatim and the resulting path is recorded (and embedded, as a
+  // basename, in the metrics export), so a trailing or redundant separator
+  // would leak `dumps//...` paths whose shape depends on how the flag was
+  // spelled.
+  std::string dump_dir = o.flight_dump_dir;
+  if (!dump_dir.empty()) {
+    dump_dir =
+        std::filesystem::path(dump_dir).lexically_normal().generic_string();
+    while (dump_dir.size() > 1 && dump_dir.back() == '/') dump_dir.pop_back();
     // The dump writer fopen()s into this directory and silently skips the
     // dump when it is missing; create it up front so a bare
     // --flight-dump-dir=dumps works without a pre-made directory.
     std::error_code ec;
-    std::filesystem::create_directories(o.flight_dump_dir, ec);
+    std::filesystem::create_directories(dump_dir, ec);
     if (ec) {
       std::fprintf(stderr, "cannot create --flight-dump-dir %s: %s\n",
-                   o.flight_dump_dir.c_str(), ec.message().c_str());
+                   dump_dir.c_str(), ec.message().c_str());
       return false;
     }
   }
   obs::AnomalyConfig cfg;
   cfg.window_ns = o.slo_window_us * 1000;
-  cfg.dump_dir = o.flight_dump_dir;
+  cfg.dump_dir = dump_dir;
   obs.incidents().Configure(cfg);
   // --slo=op:target:budget[,op:target:budget...]
   std::size_t start = 0;

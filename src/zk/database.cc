@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <vector>
 
 #include "common/log.h"
 
@@ -284,7 +285,11 @@ std::vector<std::uint8_t> Database::Snapshot() const {
   wire::BufferWriter w;
   w.WriteI64(last_applied_);
   w.WriteVarint(sessions_.size());
-  for (SessionId s : sessions_) w.WriteU64(s);
+  // Serialize session ids in sorted order — iterating the unordered set
+  // directly would make snapshot bytes depend on the stdlib's hash order.
+  std::vector<SessionId> sessions(sessions_.begin(), sessions_.end());
+  std::sort(sessions.begin(), sessions.end());
+  for (SessionId s : sessions) w.WriteU64(s);
   tree_->Serialize(w);
   return w.Take();
 }

@@ -951,6 +951,9 @@ sim::Task<void> ZkServer::SessionExpiryLoop() {
         expired.push_back(session);
       }
     }
+    // `expired` was filled in session_activity_'s hash order; sort so the
+    // CloseSession txn sequence is identical across stdlibs.
+    std::sort(expired.begin(), expired.end());
     for (SessionId session : expired) {
       session_activity_.erase(session);
       Txn txn;

@@ -545,7 +545,7 @@ TEST(LintEngineTest, FindingsSortedByFileLineRule) {
 
 TEST(LintEngineTest, EveryRuleHasDocumentation) {
   const auto& docs = RuleDocs();
-  ASSERT_EQ(docs.size(), 10u);
+  ASSERT_EQ(docs.size(), 14u);
   for (const auto& doc : docs) {
     EXPECT_NE(doc.id, nullptr);
     EXPECT_GT(std::string(doc.summary).size(), 0u);

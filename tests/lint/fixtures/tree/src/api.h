@@ -1,0 +1,36 @@
+// Cross-TU lint fixtures: declarations consumed by the .cc fixtures. The
+// files in this mini-tree are lexed, never compiled — they exist to pin the
+// interprocedural rules' TP/TN/suppression behavior (tests/lint/lint_v2_test.cc
+// and the dufs_lint_fixtures ctest load them from disk).
+#pragma once
+
+#include <string>
+#include <unordered_map>
+
+namespace fx {
+
+// Hazard base case for coro-ref-escape: a Task coroutine keeping a ref and
+// a pointer parameter alive in its frame across suspension.
+sim::Task<int> FetchValue(std::string& out);
+sim::Task<void> Pump(std::string* sink, int n);
+
+// Direct Task producer for the task-discard-transitive chain.
+sim::Task<void> Flush(int epoch);
+
+struct Waiter {
+  void Set(int v);
+};
+
+class Registry {
+ public:
+  std::string ToJson() const;
+  void FailAll();
+  void Prune();
+  sim::Task<int> Lookup(const std::string& key);
+
+ private:
+  std::unordered_map<std::string, int> entries_;
+  std::unordered_map<int, Waiter> waiters_;
+};
+
+}  // namespace fx

@@ -1,0 +1,33 @@
+// task-discard-transitive fixtures, consumer side: the discarded calls
+// resolve through wrap.cc's wrappers into api.h's Task producer.
+#include "api.h"
+
+namespace fx {
+
+// TP: the wrapper's Task is dropped on the floor.
+void TickOnce() {
+  FlushSoon(1);
+}
+
+// TP: two wrapper hops away from the Task producer.
+void TickTwice() {
+  FlushLater(2);
+}
+
+// TN: awaited.
+sim::Task<void> TickAwaited() {
+  co_await FlushSoon(3);
+}
+
+// TN: held in a variable (ownership taken, not discarded).
+void TickHeld(Scheduler& sched) {
+  auto pending = FlushSoon(4);
+  sched.Enqueue(pending);
+}
+
+// Suppressed TP.
+void TickAllowed() {
+  FlushLater(5);  // dufs-lint: allow(task-discard-transitive)
+}
+
+}  // namespace fx

@@ -1,0 +1,47 @@
+// coro-ref-escape fixtures: the hazard comes from api.h's coroutine
+// declarations, the wrapper hop and the call sites live here — the rule only
+// fires with the cross-TU symbol table assembled.
+#include "api.h"
+
+namespace fx {
+
+// Wrapper propagation: forwards its own ref param into FetchValue's frame
+// without awaiting, so `text` becomes hazardous by the fixpoint.
+auto BeginFetch(std::string& text) { return FetchValue(text); }
+
+// TP: a local forwarded by reference through the wrapper outlives the call.
+void EscapeThroughWrapper(Scheduler& sched) {
+  std::string local;
+  sched.Enqueue(BeginFetch(local));
+}
+
+// TP: address of a local escapes into a suspending frame.
+void EscapeAddress(Scheduler& sched) {
+  std::string buf;
+  sched.Enqueue(Pump(&buf, 3));
+}
+
+// TP: by-reference lambda capture passed into a coroutine.
+void EscapeLambda(Scheduler& sched, int n) {
+  sched.Enqueue(Pump([&] { return n; }, 1));
+}
+
+// TN: awaiting keeps the caller's scope alive across the callee's frame.
+sim::Task<int> AwaitIsClean() {
+  std::string local;
+  co_return co_await FetchValue(local);
+}
+
+// TN: members (trailing underscore) are object-lived, not scope-lived.
+struct Holder {
+  void Kick(Scheduler& sched) { sched.Enqueue(Pump(&buf_, 1)); }
+  std::string buf_;
+};
+
+// Suppressed TP: annotated escape stays out of the findings.
+void EscapeAllowed(Scheduler& sched) {
+  std::string tmp;
+  sched.Enqueue(Pump(&tmp, 2));  // dufs-lint: allow(coro-ref-escape)
+}
+
+}  // namespace fx

@@ -1,0 +1,36 @@
+// await-holding-ref fixtures: iterators/element refs held across a
+// suspension point inside a coroutine.
+#include "api.h"
+
+namespace fx {
+
+// TP: iterator obtained before the await, dereferenced after it.
+sim::Task<int> Registry::Lookup(const std::string& key) {
+  auto it = entries_.find(key);
+  co_await Flush(0);
+  co_return it->second;
+}
+
+// TN: the use sits in the awaiting statement itself — arguments are
+// evaluated before the frame suspends.
+sim::Task<int> LookupSameStatement(Registry& reg, std::string key) {
+  auto it = cache_.find(key);
+  co_return co_await reg.Lookup(it->second);
+}
+
+// TN: the iterator is re-acquired (rebound) after the await.
+sim::Task<int> LookupRebound(std::string key) {
+  auto it = cache_.find(key);
+  co_await Flush(1);
+  it = cache_.find(key);
+  co_return it->second;
+}
+
+// Suppressed TP.
+sim::Task<int> LookupAllowed(std::string key) {
+  auto it = cache_.find(key);
+  co_await Flush(2);
+  co_return it->second;  // dufs-lint: allow(await-holding-ref)
+}
+
+}  // namespace fx

@@ -1,0 +1,47 @@
+// det-export-order fixtures: the members' unordered-ness is declared in
+// api.h; the hash-order iterations live here.
+#include "api.h"
+
+namespace fx {
+
+// TP: export-path variant — a serializer walking an unordered member.
+std::string Registry::ToJson() const {
+  std::string out = "{";
+  for (const auto& [key, value] : entries_) {
+    out += key;
+  }
+  return out + "}";
+}
+
+// TP: completion variant — waiters resolved in hash order through a
+// local moved-from alias of the unordered member.
+void Registry::FailAll() {
+  auto drained = std::move(waiters_);
+  for (auto& [id, waiter] : drained) {
+    waiter.Set(-1);
+  }
+}
+
+// TN: erase-only maintenance walk, no export and no completions.
+void Registry::Prune() {
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->second == 0) {
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+// Suppressed TP.
+std::string DumpRegistryJson(const Registry& r) {
+  std::string out;
+  std::unordered_map<int, int> index;
+  // dufs-lint: allow(det-export-order)
+  for (const auto& [id, pos] : index) {
+    out += Serialize(id, pos);
+  }
+  return out;
+}
+
+}  // namespace fx

@@ -1,0 +1,13 @@
+// task-discard-transitive fixtures, producer side: an `auto` wrapper whose
+// task-ness is only visible once Flush's declaration (api.h) is in the
+// symbol table.
+#include "api.h"
+
+namespace fx {
+
+auto FlushSoon(int epoch) { return Flush(epoch); }
+
+// Second hop: wrapper-of-wrapper still resolves to the underlying Task.
+auto FlushLater(int epoch) { return FlushSoon(epoch + 1); }
+
+}  // namespace fx

@@ -1,0 +1,268 @@
+#include "cache.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+namespace dufs::lint {
+
+namespace {
+
+// Joins rule names with ','; no rule name contains a comma.
+std::string JoinRules(const std::vector<std::string>& rules) {
+  std::string out;
+  for (const auto& r : rules) {
+    if (!out.empty()) out += ',';
+    out += r;
+  }
+  return out;
+}
+
+std::vector<std::string> SplitRules(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t b = 0;
+  while (b <= s.size()) {
+    const std::size_t e = s.find(',', b);
+    if (e == std::string::npos) {
+      if (b < s.size()) out.push_back(s.substr(b));
+      break;
+    }
+    out.push_back(s.substr(b, e - b));
+    b = e + 1;
+  }
+  return out;
+}
+
+// Bare-identifier argument slots can be "" — encode as "-"; "-" is not a
+// valid identifier so the mapping is unambiguous.
+std::string EncodeArg(const std::string& s) { return s.empty() ? "-" : s; }
+std::string DecodeArg(const std::string& s) { return s == "-" ? "" : s; }
+
+}  // namespace
+
+std::uint64_t Fnv1a64(const std::string& bytes) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::string CacheKey(const std::string& path, const std::string& content) {
+  std::string blob = kCacheFormatVersion;
+  blob += '\0';
+  blob += path;
+  blob += '\0';
+  blob += content;
+  std::ostringstream hex;
+  hex << std::hex << Fnv1a64(blob);
+  return hex.str();
+}
+
+std::string SerializeArtifacts(const FileArtifacts& a) {
+  std::ostringstream out;
+  out << kCacheFormatVersion << '\n';
+  out << "path " << a.path << '\n';
+  for (const auto& f : a.local) {
+    out << "finding " << f.line << ' ' << f.rule << ' ' << f.message << '\n';
+  }
+  for (const auto& s : a.suppressions) {
+    out << "sup " << s.line << ' ' << (s.alone ? 1 : 0) << ' '
+        << JoinRules(s.rules) << '\n';
+  }
+  for (const auto& n : a.task_decl_names) out << "taskdecl " << n << '\n';
+  for (const auto& n : a.non_task_decl_names) out << "plaindecl " << n << '\n';
+  for (const auto& n : a.summary.unordered_names) {
+    out << "unordered " << n << '\n';
+  }
+  for (const auto& n : a.summary.non_task_decl_names) {
+    out << "sumplain " << n << '\n';
+  }
+  for (const auto& d : a.summary.discard_sites) {
+    out << "discard " << d.callee << ' ' << d.line << '\n';
+  }
+  for (const auto& fn : a.summary.functions) {
+    out << "func " << fn.name << ' '
+        << (fn.qualifier.empty() ? "-" : fn.qualifier) << ' ' << fn.line
+        << ' ' << fn.returns_task << fn.returns_auto << fn.is_coroutine
+        << fn.has_body << '\n';
+    for (const auto& p : fn.params) {
+      out << "param " << EncodeArg(p.name) << ' ' << p.is_ref << p.is_ptr
+          << p.is_simulation << ' ' << p.line << '\n';
+    }
+    for (const auto& c : fn.calls) {
+      out << "call " << c.callee << ' ' << c.line << ' ' << c.awaited
+          << c.returned;
+      for (const auto& arg : c.bare_args) out << ' ' << EncodeArg(arg);
+      out << '\n';
+    }
+    for (const auto& it : fn.iterations) {
+      out << "iter " << it.container << ' ' << it.line << ' ' << it.range_for;
+      for (const auto& c : it.body_calls) out << ' ' << c;
+      out << '\n';
+    }
+    for (const auto& r : fn.held_refs) {
+      out << "held " << r.name << ' ' << r.line << ' ' << r.iterator << ' '
+          << EncodeArg(r.container) << ' ' << r.await_line << ' '
+          << r.use_line << '\n';
+    }
+  }
+  out << "end\n";
+  return out.str();
+}
+
+std::optional<FileArtifacts> ParseArtifacts(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || line != kCacheFormatVersion) {
+    return std::nullopt;
+  }
+  FileArtifacts a;
+  FunctionSummary* fn = nullptr;
+  bool saw_end = false;
+  while (std::getline(in, line)) {
+    if (line == "end") {
+      saw_end = true;
+      break;
+    }
+    std::istringstream ls(line);
+    std::string tag;
+    ls >> tag;
+    if (tag == "path") {
+      ls >> a.path;
+    } else if (tag == "finding") {
+      Finding f;
+      f.file = a.path;
+      ls >> f.line >> f.rule;
+      std::getline(ls, f.message);
+      if (!f.message.empty() && f.message[0] == ' ') f.message.erase(0, 1);
+      a.local.push_back(std::move(f));
+    } else if (tag == "sup") {
+      Suppression s;
+      int alone = 0;
+      std::string rules;
+      ls >> s.line >> alone >> rules;
+      s.alone = alone != 0;
+      s.rules = SplitRules(rules);
+      a.suppressions.push_back(std::move(s));
+    } else if (tag == "taskdecl") {
+      std::string n;
+      ls >> n;
+      a.task_decl_names.push_back(std::move(n));
+    } else if (tag == "plaindecl") {
+      std::string n;
+      ls >> n;
+      a.non_task_decl_names.push_back(std::move(n));
+    } else if (tag == "unordered") {
+      std::string n;
+      ls >> n;
+      a.summary.unordered_names.push_back(std::move(n));
+    } else if (tag == "sumplain") {
+      std::string n;
+      ls >> n;
+      a.summary.non_task_decl_names.push_back(std::move(n));
+    } else if (tag == "discard") {
+      DiscardSite d;
+      ls >> d.callee >> d.line;
+      a.summary.discard_sites.push_back(std::move(d));
+    } else if (tag == "func") {
+      FunctionSummary f;
+      std::string qual, bits;
+      ls >> f.name >> qual >> f.line >> bits;
+      if (bits.size() != 4) return std::nullopt;
+      if (qual != "-") f.qualifier = qual;
+      f.returns_task = bits[0] == '1';
+      f.returns_auto = bits[1] == '1';
+      f.is_coroutine = bits[2] == '1';
+      f.has_body = bits[3] == '1';
+      a.summary.functions.push_back(std::move(f));
+      fn = &a.summary.functions.back();
+    } else if (tag == "param") {
+      if (fn == nullptr) return std::nullopt;
+      Param p;
+      std::string name, bits;
+      ls >> name >> bits >> p.line;
+      if (bits.size() != 3) return std::nullopt;
+      p.name = DecodeArg(name);
+      p.is_ref = bits[0] == '1';
+      p.is_ptr = bits[1] == '1';
+      p.is_simulation = bits[2] == '1';
+      fn->params.push_back(std::move(p));
+    } else if (tag == "call") {
+      if (fn == nullptr) return std::nullopt;
+      CallSite c;
+      std::string bits, arg;
+      ls >> c.callee >> c.line >> bits;
+      if (bits.size() != 2) return std::nullopt;
+      c.awaited = bits[0] == '1';
+      c.returned = bits[1] == '1';
+      if (ls.fail()) return std::nullopt;
+      while (ls >> arg) c.bare_args.push_back(DecodeArg(arg));
+      ls.clear();  // the list runs to end-of-line; EOF is not corruption
+      fn->calls.push_back(std::move(c));
+    } else if (tag == "iter") {
+      if (fn == nullptr) return std::nullopt;
+      Iteration it;
+      int range = 0;
+      std::string call;
+      ls >> it.container >> it.line >> range;
+      it.range_for = range != 0;
+      if (ls.fail()) return std::nullopt;
+      while (ls >> call) it.body_calls.push_back(std::move(call));
+      ls.clear();  // the list runs to end-of-line; EOF is not corruption
+      fn->iterations.push_back(std::move(it));
+    } else if (tag == "held") {
+      if (fn == nullptr) return std::nullopt;
+      HeldRef r;
+      int iter = 0;
+      std::string container;
+      ls >> r.name >> r.line >> iter >> container >> r.await_line >>
+          r.use_line;
+      r.iterator = iter != 0;
+      r.container = DecodeArg(container);
+      fn->held_refs.push_back(std::move(r));
+    } else {
+      return std::nullopt;  // unknown record: treat as corrupt
+    }
+    if (ls.fail()) return std::nullopt;
+  }
+  if (!saw_end) return std::nullopt;
+  a.summary.path = a.path;
+  for (auto& f : a.local) f.file = a.path;
+  return a;
+}
+
+std::optional<FileArtifacts> LoadCachedArtifacts(const std::string& dir,
+                                                 const std::string& key) {
+  std::ifstream in(dir + "/" + key + ".lint", std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ParseArtifacts(buf.str());
+}
+
+void StoreCachedArtifacts(const std::string& dir, const std::string& key,
+                          const FileArtifacts& a) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return;
+  // Write-then-rename so a crashed run never leaves a torn entry behind.
+  const std::string final_path = dir + "/" + key + ".lint";
+  const std::string tmp_path = final_path + ".tmp";
+  {
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!out) return;
+    out << SerializeArtifacts(a);
+    if (!out) {
+      out.close();
+      std::filesystem::remove(tmp_path, ec);
+      return;
+    }
+  }
+  std::filesystem::rename(tmp_path, final_path, ec);
+  if (ec) std::filesystem::remove(tmp_path, ec);
+}
+
+}  // namespace dufs::lint

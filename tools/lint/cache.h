@@ -1,0 +1,43 @@
+// On-disk per-file parse cache for the analyzer's stage A.
+//
+// AnalyzeFile() is pure in (path, content), so its FileArtifacts can be
+// memoized on disk keyed by a content hash. An entry is the serialized
+// artifacts; the key is FNV-1a(64) over a format-version salt, the
+// repo-relative path (path-scoped rules make two identical files at
+// different paths analyze differently), and the file bytes. Stage B (the
+// cross-TU dataflow) always runs fresh over the loaded summaries, so a warm
+// cache changes nothing but wall-clock time.
+//
+// Failure policy: a missing/corrupt/stale entry is a cache miss, never an
+// error — Load returns nullopt and the caller re-analyzes; Store is
+// best-effort.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "rules.h"
+
+namespace dufs::lint {
+
+// Bump whenever stage A's output semantics change, so entries written by an
+// older analyzer can never be mistaken for current ones.
+inline constexpr const char* kCacheFormatVersion = "dufs-lint-cache-v2";
+
+std::uint64_t Fnv1a64(const std::string& bytes);
+
+// Hex cache key for (path, content).
+std::string CacheKey(const std::string& path, const std::string& content);
+
+// In-memory (de)serialization, exposed for tests.
+std::string SerializeArtifacts(const FileArtifacts& a);
+std::optional<FileArtifacts> ParseArtifacts(const std::string& text);
+
+// Entries live at <dir>/<key>.lint; <dir> is created on first store.
+std::optional<FileArtifacts> LoadCachedArtifacts(const std::string& dir,
+                                                 const std::string& key);
+void StoreCachedArtifacts(const std::string& dir, const std::string& key,
+                          const FileArtifacts& a);
+
+}  // namespace dufs::lint

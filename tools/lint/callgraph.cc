@@ -1,0 +1,73 @@
+#include "callgraph.h"
+
+#include <deque>
+
+namespace dufs::lint {
+
+bool IsExportSinkName(const std::string& name) {
+  if (name.find("Json") != std::string::npos) return true;
+  if (name.find("Sarif") != std::string::npos) return true;
+  if (name.find("Snapshot") != std::string::npos) return true;
+  if (name.find("Serialize") != std::string::npos) return true;
+  static const std::set<std::string> kWriters = {
+      "WriteFile", "ExportTrace", "ExportMetrics", "WriteReport", "DumpState"};
+  return kWriters.count(name) > 0;
+}
+
+CallGraph::CallGraph(const SymbolTable& sym) {
+  for (const FileSummary* file : sym.files()) {
+    for (const FunctionSummary& fn : file->functions) {
+      if (!fn.has_body) continue;
+      std::set<std::string>& out = callees_[fn.name];
+      for (const CallSite& c : fn.calls) out.insert(c.callee);
+      for (const Iteration& it : fn.iterations) {
+        for (const std::string& c : it.body_calls) out.insert(c);
+      }
+    }
+  }
+
+  // reaches_sink_: fixpoint over f → callee edges. Seed with every function
+  // that names a sink or directly calls a sink-named callee (the callee need
+  // not have a parsed body).
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& [name, callees] : callees_) {
+      if (reaches_sink_.count(name) > 0) continue;
+      bool hit = IsExportSinkName(name);
+      for (const std::string& c : callees) {
+        if (hit) break;
+        hit = IsExportSinkName(c) || reaches_sink_.count(c) > 0;
+      }
+      if (hit) {
+        reaches_sink_.insert(name);
+        changed = true;
+      }
+    }
+  }
+
+  // from_sink_: BFS downward from every sink-named function with a body.
+  std::deque<std::string> work;
+  for (const auto& [name, callees] : callees_) {
+    if (IsExportSinkName(name) && from_sink_.insert(name).second) {
+      work.push_back(name);
+    }
+  }
+  while (!work.empty()) {
+    const std::string cur = std::move(work.front());
+    work.pop_front();
+    const auto it = callees_.find(cur);
+    if (it == callees_.end()) continue;
+    for (const std::string& c : it->second) {
+      if (from_sink_.insert(c).second) work.push_back(c);
+    }
+  }
+}
+
+const std::set<std::string>& CallGraph::Callees(const std::string& name) const {
+  static const std::set<std::string> kEmpty;
+  const auto it = callees_.find(name);
+  return it == callees_.end() ? kEmpty : it->second;
+}
+
+}  // namespace dufs::lint

@@ -1,0 +1,52 @@
+// Cross-TU call graph over the symbol table, plus the reachability sets the
+// dataflow rules consume.
+//
+// Edges are name → name (unqualified): every function body's call sites
+// contribute edges from the containing function's name to each callee name.
+// Overloads and same-named methods on different classes collapse into one
+// node — that over-approximation is deliberate (it can only widen
+// reachability, never miss it) and is documented in DESIGN.md §12.
+//
+// "Sinks" are the export surface the determinism gates byte-compare: JSON /
+// SARIF serialization, snapshots, file writers. Sink-ness is a pure name
+// predicate so that calls into code the parser never saw (std::, external
+// helpers) still register.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "symtab.h"
+
+namespace dufs::lint {
+
+// True when `name` is an export-serialization entry point by naming
+// convention: contains "Json"/"Sarif"/"Snapshot"/"Serialize", or is one of
+// the known writer names.
+bool IsExportSinkName(const std::string& name);
+
+class CallGraph {
+ public:
+  explicit CallGraph(const SymbolTable& sym);
+
+  // Direct callee names of every body declared with `name`.
+  const std::set<std::string>& Callees(const std::string& name) const;
+
+  // `name` is a sink or transitively calls one.
+  bool ReachesSink(const std::string& name) const {
+    return reaches_sink_.count(name) > 0;
+  }
+  // Some sink transitively calls `name` (i.e. `name` runs while an export
+  // is being produced). Includes the sinks themselves.
+  bool CalledFromSink(const std::string& name) const {
+    return from_sink_.count(name) > 0;
+  }
+
+ private:
+  std::map<std::string, std::set<std::string>> callees_;
+  std::set<std::string> reaches_sink_;
+  std::set<std::string> from_sink_;
+};
+
+}  // namespace dufs::lint

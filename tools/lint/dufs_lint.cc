@@ -1,13 +1,23 @@
 // dufs_lint — repo-specific static analysis for the DUFS tree.
 //
 //   dufs_lint [--root=DIR] [--format=text|json] [--rule=a,b] [--explain]
-//             [paths...]
+//             [--sarif=FILE] [--baseline=FILE] [--write-baseline=FILE]
+//             [--cache-dir=DIR] [--werror] [paths...]
 //
 // With no explicit paths, walks src/, bench/, and tests/ under --root
-// (default: current directory) over *.h/*.cc, applies every rule in
-// rules.cc, and prints findings. Exit status: 0 clean, 1 findings, 2 usage
-// or I/O error. `--format=json` emits a machine-readable findings array;
-// `--explain` documents each rule with a bad/good example and exits.
+// (default: current directory) over *.h/*.cc, applies the per-file rules
+// plus the cross-TU dataflow rules (see DESIGN.md §12), and prints
+// findings. Exit status: 0 clean (warn-severity findings do not fail unless
+// --werror), 1 error findings, 2 usage or I/O error.
+//
+// `--cache-dir=DIR` memoizes the per-file parse on disk keyed by content
+// hash; the cross-TU pass always runs fresh, so results are identical warm
+// or cold. `--baseline=FILE` suppresses findings whose `file:line:rule`
+// fingerprint is listed (intentional debt); `--write-baseline=FILE`
+// snapshots the current findings into that format. `--sarif=FILE` writes a
+// SARIF 2.1.0 log alongside the normal output. `--format=json` emits a
+// machine-readable findings array; `--explain` documents each rule with a
+// bad/good example and exits.
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -18,20 +28,31 @@
 #include <string>
 #include <vector>
 
+#include "cache.h"
+#include "finding.h"
 #include "rules.h"
 
 namespace {
 
 namespace fs = std::filesystem;
+using dufs::lint::FileArtifacts;
 using dufs::lint::Finding;
 using dufs::lint::Linter;
 using dufs::lint::RuleDocs;
+using dufs::lint::RuleSeverity;
+using dufs::lint::Severity;
+using dufs::lint::SeverityName;
 
 struct Options {
   std::string root = ".";
   std::string format = "text";
   std::set<std::string> rule_filter;  // empty = all rules
   bool explain = false;
+  bool werror = false;
+  std::string sarif_path;
+  std::string baseline_path;
+  std::string write_baseline_path;
+  std::string cache_dir;
   std::vector<std::string> paths;
 };
 
@@ -39,7 +60,10 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage: dufs_lint [--root=DIR] [--format=text|json] [--rule=a,b] "
-      "[--explain] [paths...]\n");
+      "[--explain]\n"
+      "                 [--sarif=FILE] [--baseline=FILE] "
+      "[--write-baseline=FILE]\n"
+      "                 [--cache-dir=DIR] [--werror] [paths...]\n");
   return 2;
 }
 
@@ -69,6 +93,16 @@ bool ParseArgs(int argc, char** argv, Options* opt) {
           rule += *p;
         }
       }
+    } else if (const char* v = value("--sarif")) {
+      opt->sarif_path = v;
+    } else if (const char* v = value("--baseline")) {
+      opt->baseline_path = v;
+    } else if (const char* v = value("--write-baseline")) {
+      opt->write_baseline_path = v;
+    } else if (const char* v = value("--cache-dir")) {
+      opt->cache_dir = v;
+    } else if (arg == "--werror") {
+      opt->werror = true;
     } else if (arg == "--explain") {
       opt->explain = true;
     } else if (arg.rfind("--", 0) == 0) {
@@ -83,14 +117,18 @@ bool ParseArgs(int argc, char** argv, Options* opt) {
 void Explain() {
   std::printf("dufs_lint rules\n===============\n");
   for (const auto& doc : RuleDocs()) {
-    std::printf("\n%s — %s\n", doc.id, doc.summary);
+    std::printf("\n%s — %s [%s]\n", doc.id, doc.summary,
+                SeverityName(doc.severity));
     std::printf("  %s\n", doc.rationale);
     std::printf("  bad:  %s\n", doc.bad);
     std::printf("  good: %s\n", doc.good);
   }
   std::printf(
       "\nSuppress a finding with `// dufs-lint: allow(<rule>)` on the "
-      "offending line or alone on the line above (give a reason).\n");
+      "offending line or alone on the line above (give a reason). "
+      "Intentional debt lives in the baseline file "
+      "(tools/lint/baseline.txt); refresh it with "
+      "tools/lint/update_baseline.sh.\n");
 }
 
 bool IsSourceFile(const fs::path& p) {
@@ -111,12 +149,18 @@ std::string RelativePath(const fs::path& p, const fs::path& root) {
 std::vector<std::string> CollectFiles(const Options& opt) {
   const fs::path root(opt.root);
   std::vector<std::string> files;
-  auto add_tree = [&files](const fs::path& dir) {
+  auto add_tree = [&files, &root](const fs::path& dir) {
     if (!fs::exists(dir)) return;
     for (const auto& entry : fs::recursive_directory_iterator(dir)) {
-      if (entry.is_regular_file() && IsSourceFile(entry.path())) {
-        files.push_back(entry.path().string());
-      }
+      if (!entry.is_regular_file() || !IsSourceFile(entry.path())) continue;
+      // The lint fixture mini-tree is intentionally-violating *input* for
+      // the analyzer (tests/lint/lint_v2_test.cc, dufs_lint_fixtures); it
+      // is linted through --root=.../fixtures/tree, never as tree code.
+      std::error_code ec;
+      const std::string rel =
+          fs::relative(entry.path(), root, ec).generic_string();
+      if (!ec && rel.rfind("tests/lint/fixtures/", 0) == 0) continue;
+      files.push_back(entry.path().string());
     }
   };
   if (opt.paths.empty()) {
@@ -157,6 +201,82 @@ std::string JsonEscape(const std::string& s) {
   return out;
 }
 
+std::string Fingerprint(const Finding& f) {
+  return f.file + ":" + std::to_string(f.line) + ":" + f.rule;
+}
+
+// Baseline format: one `file:line:rule` fingerprint per line; blank lines
+// and `#` comments ignored.
+bool LoadBaseline(const std::string& path, std::set<std::string>* out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::string line;
+  while (std::getline(in, line)) {
+    while (!line.empty() && (line.back() == '\r' || line.back() == ' ')) {
+      line.pop_back();
+    }
+    if (line.empty() || line[0] == '#') continue;
+    out->insert(line);
+  }
+  return true;
+}
+
+bool WriteBaseline(const std::string& path,
+                   const std::vector<Finding>& findings) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << "# dufs_lint findings baseline — intentional debt only.\n"
+      << "# One `file:line:rule` fingerprint per line; regenerate with\n"
+      << "# tools/lint/update_baseline.sh after deliberate changes.\n";
+  std::set<std::string> prints;
+  for (const auto& f : findings) prints.insert(Fingerprint(f));
+  for (const auto& p : prints) out << p << '\n';
+  return static_cast<bool>(out);
+}
+
+// Minimal valid SARIF 2.1.0: one run, rule metadata from RuleDocs(), one
+// result per finding with a physical location.
+bool WriteSarif(const std::string& path,
+                const std::vector<Finding>& findings) {
+  std::string out;
+  out +=
+      "{\"$schema\":"
+      "\"https://json.schemastore.org/sarif-2.1.0.json\","
+      "\"version\":\"2.1.0\",\"runs\":[{\"tool\":{\"driver\":{"
+      "\"name\":\"dufs_lint\",\"version\":\"2.0.0\","
+      "\"informationUri\":\"https://github.com/\",\"rules\":[";
+  const auto& docs = RuleDocs();
+  for (std::size_t i = 0; i < docs.size(); ++i) {
+    if (i > 0) out += ',';
+    out += "{\"id\":\"" + JsonEscape(docs[i].id) + "\"";
+    out += ",\"shortDescription\":{\"text\":\"" +
+           JsonEscape(docs[i].summary) + "\"}";
+    out += ",\"fullDescription\":{\"text\":\"" +
+           JsonEscape(docs[i].rationale) + "\"}";
+    out += ",\"defaultConfiguration\":{\"level\":\"";
+    out += docs[i].severity == Severity::kWarn ? "warning" : "error";
+    out += "\"}}";
+  }
+  out += "]}},\"results\":[";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    if (i > 0) out += ',';
+    out += "{\"ruleId\":\"" + JsonEscape(f.rule) + "\"";
+    out += ",\"level\":\"";
+    out += RuleSeverity(f.rule) == Severity::kWarn ? "warning" : "error";
+    out += "\",\"message\":{\"text\":\"" + JsonEscape(f.message) + "\"}";
+    out += ",\"locations\":[{\"physicalLocation\":{\"artifactLocation\":{";
+    out += "\"uri\":\"" + JsonEscape(f.file) + "\"}";
+    out += ",\"region\":{\"startLine\":" +
+           std::to_string(f.line > 0 ? f.line : 1) + "}}}]}";
+  }
+  out += "]}]}\n";
+  std::ofstream file(path, std::ios::trunc | std::ios::binary);
+  if (!file) return false;
+  file << out;
+  return static_cast<bool>(file);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -175,6 +295,7 @@ int main(int argc, char** argv) {
                  opt.root.c_str());
     return 2;
   }
+  std::size_t cache_hits = 0;
   for (const auto& file : files) {
     std::ifstream in(file, std::ios::binary);
     if (!in) {
@@ -183,7 +304,20 @@ int main(int argc, char** argv) {
     }
     std::ostringstream content;
     content << in.rdbuf();
-    linter.AddFile(RelativePath(file, root), content.str());
+    const std::string rel = RelativePath(file, root);
+    if (opt.cache_dir.empty()) {
+      linter.AddFile(rel, content.str());
+      continue;
+    }
+    const std::string key = dufs::lint::CacheKey(rel, content.str());
+    if (auto cached = dufs::lint::LoadCachedArtifacts(opt.cache_dir, key)) {
+      ++cache_hits;
+      linter.AddArtifacts(std::move(*cached));
+      continue;
+    }
+    FileArtifacts fresh = dufs::lint::AnalyzeFile(rel, content.str());
+    dufs::lint::StoreCachedArtifacts(opt.cache_dir, key, fresh);
+    linter.AddArtifacts(std::move(fresh));
   }
 
   std::vector<Finding> findings = linter.Run();
@@ -191,6 +325,47 @@ int main(int argc, char** argv) {
     std::erase_if(findings, [&opt](const Finding& f) {
       return opt.rule_filter.count(f.rule) == 0;
     });
+  }
+
+  if (!opt.write_baseline_path.empty()) {
+    if (!WriteBaseline(opt.write_baseline_path, findings)) {
+      std::fprintf(stderr, "dufs_lint: cannot write baseline %s\n",
+                   opt.write_baseline_path.c_str());
+      return 2;
+    }
+    std::fprintf(stderr, "dufs_lint: wrote %zu fingerprint(s) to %s\n",
+                 findings.size(), opt.write_baseline_path.c_str());
+    return 0;
+  }
+
+  std::size_t baselined = 0;
+  if (!opt.baseline_path.empty()) {
+    std::set<std::string> baseline;
+    if (!LoadBaseline(opt.baseline_path, &baseline)) {
+      std::fprintf(stderr, "dufs_lint: cannot read baseline %s\n",
+                   opt.baseline_path.c_str());
+      return 2;
+    }
+    std::erase_if(findings, [&baseline, &baselined](const Finding& f) {
+      const bool hit = baseline.count(Fingerprint(f)) > 0;
+      baselined += hit ? 1 : 0;
+      return hit;
+    });
+  }
+
+  if (!opt.sarif_path.empty() && !WriteSarif(opt.sarif_path, findings)) {
+    std::fprintf(stderr, "dufs_lint: cannot write SARIF %s\n",
+                 opt.sarif_path.c_str());
+    return 2;
+  }
+
+  std::size_t errors = 0, warns = 0;
+  for (const Finding& f : findings) {
+    if (RuleSeverity(f.rule) == Severity::kWarn) {
+      ++warns;
+    } else {
+      ++errors;
+    }
   }
 
   if (opt.format == "json") {
@@ -201,17 +376,27 @@ int main(int argc, char** argv) {
       out += "{\"file\":\"" + JsonEscape(f.file) + "\"";
       out += ",\"line\":" + std::to_string(f.line);
       out += ",\"rule\":\"" + JsonEscape(f.rule) + "\"";
-      out += ",\"message\":\"" + JsonEscape(f.message) + "\"}";
+      out += ",\"severity\":\"";
+      out += SeverityName(RuleSeverity(f.rule));
+      out += "\",\"message\":\"" + JsonEscape(f.message) + "\"}";
     }
     out += "],\"files_scanned\":" + std::to_string(files.size()) + "}\n";
     std::fputs(out.c_str(), stdout);
   } else {
     for (const Finding& f : findings) {
-      std::printf("%s:%d: [%s] %s\n", f.file.c_str(), f.line, f.rule.c_str(),
+      std::printf("%s:%d: [%s] %s: %s\n", f.file.c_str(), f.line,
+                  SeverityName(RuleSeverity(f.rule)), f.rule.c_str(),
                   f.message.c_str());
     }
-    std::fprintf(stderr, "dufs_lint: %zu finding(s) in %zu file(s)\n",
+    std::fprintf(stderr, "dufs_lint: %zu finding(s) in %zu file(s)",
                  findings.size(), files.size());
+    if (baselined > 0) std::fprintf(stderr, ", %zu baselined", baselined);
+    if (!opt.cache_dir.empty()) {
+      std::fprintf(stderr, ", cache %zu/%zu", cache_hits, files.size());
+    }
+    std::fprintf(stderr, "\n");
   }
-  return findings.empty() ? 0 : 1;
+  if (errors > 0) return 1;
+  if (opt.werror && warns > 0) return 1;
+  return 0;
 }

@@ -2,38 +2,17 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <map>
 #include <set>
 #include <utility>
+
+#include "callgraph.h"
+#include "dataflow.h"
+#include "token_util.h"
 
 namespace dufs::lint {
 
 namespace {
-
-constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
-
-bool IsId(const Token& t, const char* s) {
-  return t.kind == TokKind::kIdentifier && t.text == s;
-}
-bool IsPunct(const Token& t, const char* s) {
-  return t.kind == TokKind::kPunct && t.text == s;
-}
-
-bool IsCoroKeyword(const Token& t) {
-  return t.kind == TokKind::kIdentifier &&
-         (t.text == "co_await" || t.text == "co_return" ||
-          t.text == "co_yield");
-}
-
-// Keywords that can directly precede a call expression; an identifier from
-// this set before `Name(` does not make `Name` a declaration.
-bool IsExprKeyword(const std::string& s) {
-  static const std::set<std::string> kSet = {
-      "return", "co_return", "co_await", "co_yield", "throw", "new",
-      "delete", "else",      "case",     "do",       "sizeof", "typedef",
-      "using",  "if",        "while",    "for",      "switch", "operator",
-      "goto",   "not",       "and",      "or"};
-  return kSet.count(s) > 0;
-}
 
 // Wall-clock / entropy identifiers that are banned on sight in sim code.
 bool IsBannedTimeSourceType(const std::string& s) {
@@ -66,53 +45,6 @@ bool IsHotAllocBannedType(const std::string& s) {
       "multiset",      "unordered_map", "unordered_multimap",
       "unordered_set", "unordered_multiset"};
   return kSet.count(s) > 0;
-}
-
-// Index just past the `>` matching tokens[open] == `<`, or kNpos when the
-// angles do not close within the statement (then `<` was a comparison).
-// `>>` closes two levels.
-std::size_t MatchAngle(const std::vector<Token>& toks, std::size_t open) {
-  int depth = 0;
-  const std::size_t limit = std::min(toks.size(), open + 400);
-  for (std::size_t i = open; i < limit; ++i) {
-    const Token& t = toks[i];
-    if (t.kind != TokKind::kPunct) continue;
-    if (t.text == "<") {
-      ++depth;
-    } else if (t.text == ">") {
-      if (--depth == 0) return i + 1;
-    } else if (t.text == ">>") {
-      depth -= 2;
-      if (depth <= 0) return i + 1;
-    } else if (t.text == ";" || t.text == "{" || t.text == "}") {
-      return kNpos;
-    }
-  }
-  return kNpos;
-}
-
-// Index just past the `)` matching tokens[open] == `(`, or kNpos.
-std::size_t MatchParen(const std::vector<Token>& toks, std::size_t open) {
-  int depth = 0;
-  for (std::size_t i = open; i < toks.size(); ++i) {
-    const Token& t = toks[i];
-    if (t.kind != TokKind::kPunct) continue;
-    if (t.text == "(") ++depth;
-    if (t.text == ")" && --depth == 0) return i + 1;
-  }
-  return kNpos;
-}
-
-// Index just past the `}` matching tokens[open] == `{`, or kNpos.
-std::size_t MatchBrace(const std::vector<Token>& toks, std::size_t open) {
-  int depth = 0;
-  for (std::size_t i = open; i < toks.size(); ++i) {
-    const Token& t = toks[i];
-    if (t.kind != TokKind::kPunct) continue;
-    if (t.text == "{") ++depth;
-    if (t.text == "}" && --depth == 0) return i + 1;
-  }
-  return kNpos;
 }
 
 // First `&` in the parameter list `tokens[open]=='('` .. its matching `)`
@@ -414,23 +346,86 @@ const std::vector<RuleDoc>& RuleDocs() {
        "reason.",
        "std::string name;  // in FlightRecorder::Record",
        "const char* name;  // literal owned by the call site"},
+      {"coro-ref-escape",
+       "no reference escapes into a coroutine frame across a wrapper",
+       "A coroutine frame can outlive the caller's scope the moment it "
+       "suspends. Passing `&local`, a `[&]` lambda, or forwarding a "
+       "reference parameter through a non-coroutine wrapper into a "
+       "Task-returning callee stores a dangling pointer in that frame. The "
+       "per-file coro-ref-param rule sees only the callee's signature; this "
+       "interprocedural rule follows the argument through the call graph. "
+       "Pass by value, or co_await the call so the frame dies before the "
+       "referent does.",
+       "void Kick(Client& c, std::string& p) { StartRename(c, p); }  "
+       "// StartRename -> Task RenameLoop(Client&, std::string& path)",
+       "void Kick(Client& c, std::string p) { StartRename(c, std::move(p)); "
+       "}"},
+      {"task-discard-transitive",
+       "no discarded sim::Task through wrapper call chains",
+       "task-discard catches `client.Mkdir(...);`. But a Task smuggled "
+       "through `auto Retry() { return Mkdir(...); }` is just as lazy: "
+       "discarding `Retry();` destroys the frame before it ever runs. This "
+       "rule propagates Task-ness through `auto`-returning wrappers that "
+       "return a Task-returning call, then flags discards of any name in "
+       "the closure.",
+       "auto Retry() { return client.Mkdir(\"/a\", 0755); }\nRetry();",
+       "co_await Retry();  // or sim.Spawn(...), or hold the Task"},
+      {"det-export-order",
+       "no unordered-container iteration on byte-compared export paths",
+       "CI byte-compares metrics.json, trace exports, incident dumps, and "
+       "wire snapshots across runs and stdlib implementations. "
+       "std::unordered_map/set iteration order is an implementation detail "
+       "of the hash table: the same data serializes to different bytes on "
+       "libstdc++ vs libc++ (or across versions). Any loop over an "
+       "unordered container that feeds a serialization sink — directly, "
+       "inside a sink, or anywhere a sink can reach through the call graph "
+       "— must sort keys first or use an ordered container.",
+       "for (SessionId s : sessions_) w.WriteU64(s);  "
+       "// sessions_ is unordered_set, inside Snapshot()",
+       "std::vector<SessionId> ids(sessions_.begin(), sessions_.end());\n"
+       "std::sort(ids.begin(), ids.end());\n"
+       "for (SessionId s : ids) w.WriteU64(s);"},
+      {"await-holding-ref",
+       "no container reference/iterator held across a co_await",
+       "While a coroutine is suspended, anything else may run: the "
+       "container behind an iterator or element reference can rehash, "
+       "reallocate, or erase. Using the handle after resuming is "
+       "use-after-free that ASan only catches on the unlucky interleaving. "
+       "Re-acquire the iterator/reference after the co_await (and handle "
+       "the element having vanished), or copy the value out before "
+       "suspending. Warn-severity: flagged code is suspect, not always "
+       "wrong — suppress with a reason when the container is provably "
+       "quiescent.",
+       "auto it = map_.find(k);\nco_await gate_.Wait();\nUse(it->second);",
+       "co_await gate_.Wait();\nauto it = map_.find(k);\nif (it != "
+       "map_.end()) Use(it->second);",
+       Severity::kWarn},
   };
   return kDocs;
+}
+
+Severity RuleSeverity(const std::string& rule) {
+  for (const RuleDoc& doc : RuleDocs()) {
+    if (rule == doc.id) return doc.severity;
+  }
+  return Severity::kError;
+}
+
+const char* SeverityName(Severity s) {
+  return s == Severity::kWarn ? "warn" : "error";
 }
 
 // ---------------------------------------------------------------------------
 // Pass 1: declaration collection
 // ---------------------------------------------------------------------------
 
-void Linter::AddFile(std::string path, const std::string& content) {
-  FileFacts facts;
-  facts.lexed = Lex(std::move(path), content);
-  CollectDeclarations(facts);
-  files_.push_back(std::move(facts));
-}
+namespace {
 
-void Linter::CollectDeclarations(FileFacts& facts) {
-  const auto& toks = facts.lexed.tokens;
+// Historical task-discard declaration scan, kept verbatim so the
+// TaskFunctionNames() set (and with it the task-discard findings) is
+// unchanged by the cross-TU rework.
+void CollectTaskDecls(const LexedFile& lexed, FileArtifacts* a) {
+  const auto& toks = lexed.tokens;
   std::set<std::size_t> claimed;
 
   // Task/Future-returning function declarations:
@@ -456,8 +451,7 @@ void Linter::CollectDeclarations(FileFacts& facts) {
       continue;
     }
     claimed.insert(name_tok);
-    facts.task_decl_name_tokens.push_back(name_tok);
-    task_fn_names_.push_back(toks[name_tok].text);
+    a->task_decl_names.push_back(toks[name_tok].text);
   }
 
   // Non-Task declarations of the same shape (`Type Name(`): names seen here
@@ -473,32 +467,26 @@ void Linter::CollectDeclarations(FileFacts& facts) {
         (prev.kind == TokKind::kIdentifier && !IsExprKeyword(prev.text)) ||
         IsPunct(prev, ">") || IsPunct(prev, ">>") || IsPunct(prev, "*") ||
         IsPunct(prev, "&");
-    if (type_before) non_task_fn_names_.push_back(toks[i].text);
+    if (type_before) a->non_task_decl_names.push_back(toks[i].text);
   }
 }
 
-std::vector<std::string> Linter::TaskFunctionNames() const {
-  std::set<std::string> names(task_fn_names_.begin(), task_fn_names_.end());
-  for (const auto& n : non_task_fn_names_) names.erase(n);
-  return {names.begin(), names.end()};
-}
+}  // namespace
 
 // ---------------------------------------------------------------------------
-// Pass 2: rules
+// Pass 2: per-file rules
 // ---------------------------------------------------------------------------
 
 namespace {
 
 class FileLint {
  public:
-  FileLint(const LexedFile& f, const std::set<std::string>& task_fns)
-      : f_(f), task_fns_(task_fns) {}
+  explicit FileLint(const LexedFile& f) : f_(f) {}
 
   void Run(std::vector<Finding>* out) {
     Lambdas();
     CoroutineSignatures();
     TimeSources();
-    TaskDiscards();
     IncludeHygiene();
     ObsNames();
     ObsKeyLiterals();
@@ -606,49 +594,6 @@ class FileLint {
                   "()` is wall-clock/process entropy; sim code must use "
                   "Simulation::now()/rng() (src/common/rng.h)");
         }
-      }
-    }
-  }
-
-  void TaskDiscards() {
-    const auto& toks = f_.tokens;
-    bool at_stmt_start = true;
-    for (std::size_t i = 0; i < toks.size(); ++i) {
-      const Token& t = toks[i];
-      if (IsPunct(t, ";") || IsPunct(t, "{") || IsPunct(t, "}") ||
-          IsId(t, "else")) {
-        at_stmt_start = true;
-        continue;
-      }
-      if (!at_stmt_start) continue;
-      at_stmt_start = false;
-      // Walk a call chain `a.b->c::Name(` from the statement start.
-      std::size_t j = i;
-      std::size_t last_name = kNpos;
-      while (j < toks.size()) {
-        if (toks[j].kind == TokKind::kIdentifier &&
-            !IsExprKeyword(toks[j].text)) {
-          last_name = j;
-          ++j;
-          if (j < toks.size() &&
-              (IsPunct(toks[j], ".") || IsPunct(toks[j], "->") ||
-               IsPunct(toks[j], "::"))) {
-            ++j;
-            continue;
-          }
-        }
-        break;
-      }
-      if (last_name == kNpos || j != last_name + 1) continue;
-      if (j >= toks.size() || !IsPunct(toks[j], "(")) continue;
-      if (task_fns_.count(toks[last_name].text) == 0) continue;
-      const std::size_t close = MatchParen(toks, j);
-      if (close == kNpos || close >= toks.size()) continue;
-      if (IsPunct(toks[close], ";")) {
-        Add(toks[last_name].line, "task-discard",
-            "result of Task-returning `" + toks[last_name].text +
-                "` is discarded: the coroutine frame is destroyed before "
-                "it runs; co_await it, Spawn() it, or hold it");
       }
     }
   }
@@ -894,19 +839,84 @@ class FileLint {
   }
 
   const LexedFile& f_;
-  const std::set<std::string>& task_fns_;
   std::vector<Finding> raw_;
 };
 
+bool IsSuppressed(const Finding& finding,
+                  const std::vector<Suppression>& sups) {
+  for (const auto& sup : sups) {
+    const int covered = sup.alone ? sup.line + 1 : sup.line;
+    if (covered != finding.line) continue;
+    for (const auto& rule : sup.rules) {
+      if (rule == "all" || rule == finding.rule) return true;
+    }
+  }
+  return false;
+}
+
 }  // namespace
+
+// ---------------------------------------------------------------------------
+// Stage A: per-file analysis
+// ---------------------------------------------------------------------------
+
+FileArtifacts AnalyzeFile(std::string path, const std::string& content) {
+  FileArtifacts a;
+  const LexedFile lexed = Lex(std::move(path), content);
+  a.path = lexed.path;
+  CollectTaskDecls(lexed, &a);
+  FileLint(lexed).Run(&a.local);
+  a.summary = BuildFileSummary(lexed);
+  a.suppressions = lexed.suppressions;
+  return a;
+}
+
+// ---------------------------------------------------------------------------
+// Stage B: whole-tree run
+// ---------------------------------------------------------------------------
+
+void Linter::AddFile(std::string path, const std::string& content) {
+  files_.push_back(AnalyzeFile(std::move(path), content));
+}
+
+void Linter::AddArtifacts(FileArtifacts artifacts) {
+  files_.push_back(std::move(artifacts));
+}
+
+std::vector<std::string> Linter::TaskFunctionNames() const {
+  std::set<std::string> names;
+  for (const auto& a : files_) {
+    names.insert(a.task_decl_names.begin(), a.task_decl_names.end());
+  }
+  for (const auto& a : files_) {
+    for (const auto& n : a.non_task_decl_names) names.erase(n);
+  }
+  return {names.begin(), names.end()};
+}
 
 std::vector<Finding> Linter::Run() {
   std::vector<Finding> out;
-  const auto names = TaskFunctionNames();
-  const std::set<std::string> task_fns(names.begin(), names.end());
-  for (const auto& facts : files_) {
-    FileLint(facts.lexed, task_fns).Run(&out);
+  for (const auto& a : files_) {
+    out.insert(out.end(), a.local.begin(), a.local.end());
   }
+
+  SymbolTable sym;
+  for (const auto& a : files_) sym.Add(&a.summary);
+  const CallGraph graph(sym);
+  const auto names = TaskFunctionNames();
+  const std::set<std::string> direct_task(names.begin(), names.end());
+
+  std::vector<Finding> flow;
+  RunDataflow(sym, graph, direct_task, &flow);
+
+  std::map<std::string, const std::vector<Suppression>*> sups;
+  for (const auto& a : files_) sups[a.path] = &a.suppressions;
+  for (auto& finding : flow) {
+    const auto it = sups.find(finding.file);
+    if (it != sups.end() && IsSuppressed(finding, *it->second)) continue;
+    out.push_back(std::move(finding));
+  }
+
   std::sort(out.begin(), out.end());
   return out;
 }

@@ -3,8 +3,17 @@
 // The rules encode the two invariants the simulator's credibility rests on:
 // coroutine lifetime safety (nothing captured or referenced across a
 // co_await may die before the frame does) and determinism (no wall-clock or
-// process-global entropy in sim code). See `dufs_lint --explain` or
-// DESIGN.md §8 for the rule-by-rule rationale.
+// process-global entropy in sim code; no hash-order-dependent bytes in the
+// compared exports). See `dufs_lint --explain` or DESIGN.md §8/§12 for the
+// rule-by-rule rationale.
+//
+// The analyzer is two-stage. Stage A (AnalyzeFile) is strictly per-file:
+// lexing, the local token rules, and FileSummary extraction for the
+// cross-TU passes — its output (FileArtifacts) depends only on the file's
+// own bytes, which is what makes the on-disk parse cache (cache.h) sound.
+// Stage B (Linter::Run) builds the symbol table and call graph over every
+// added file's summary and runs the interprocedural dataflow rules
+// (dataflow.h), then merges, suppression-filters, and sorts.
 //
 // Suppression: append `// dufs-lint: allow(<rule>[, <rule>...])` to the
 // offending line, or place it alone on the line directly above. The rule
@@ -14,65 +23,49 @@
 #include <string>
 #include <vector>
 
+#include "finding.h"
 #include "lexer.h"
+#include "symtab.h"
 
 namespace dufs::lint {
 
-struct Finding {
-  std::string file;
-  int line = 0;
-  std::string rule;
-  std::string message;
-
-  bool operator<(const Finding& o) const {
-    if (file != o.file) return file < o.file;
-    if (line != o.line) return line < o.line;
-    return rule < o.rule;
-  }
-  bool operator==(const Finding& o) const {
-    return file == o.file && line == o.line && rule == o.rule;
-  }
+// Everything stage A produces for one file.
+struct FileArtifacts {
+  std::string path;
+  // Per-file rule findings, already suppression-filtered.
+  std::vector<Finding> local;
+  // Declaration/body facts for the cross-TU passes.
+  FileSummary summary;
+  // Kept so stage B can suppression-filter the dataflow findings it
+  // attributes to this file.
+  std::vector<Suppression> suppressions;
+  // Historical task-discard declaration scan (`Task<...> Name(` and the
+  // same-shape ambiguity set); drives Linter::TaskFunctionNames().
+  std::vector<std::string> task_decl_names;
+  std::vector<std::string> non_task_decl_names;
 };
 
-struct RuleDoc {
-  const char* id;
-  const char* summary;
-  const char* rationale;
-  const char* bad;   // minimal example that fires
-  const char* good;  // the conforming rewrite
-};
+// Stage A: lex + local rules + summary extraction. Pure in (path, content).
+// Paths should be repo-relative ("src/zk/server.cc") so path-scoped rules
+// (sim-time-source's rng exemption, header rules) work.
+FileArtifacts AnalyzeFile(std::string path, const std::string& content);
 
-// Every rule the linter knows, in stable order (the --explain output).
-const std::vector<RuleDoc>& RuleDocs();
-
-// Two-pass linter: AddFile() lexes and collects cross-file facts (the set of
-// Task-returning function names for task-discard); Run() applies every rule
-// to every added file and returns suppression-filtered findings sorted by
-// (file, line, rule). Paths should be repo-relative ("src/zk/server.cc") so
-// path-scoped rules (sim-time-source's rng exemption, header rules) work.
+// Whole-tree linter: add every file (parsed fresh or from the cache), then
+// Run() applies the per-file results plus the interprocedural rules and
+// returns suppression-filtered findings sorted by (file, line, rule).
 class Linter {
  public:
   void AddFile(std::string path, const std::string& content);
+  void AddArtifacts(FileArtifacts artifacts);
   std::vector<Finding> Run();
 
-  // Names that pass 1 decided are Task/Future-returning functions (minus
-  // names that also appear with non-coroutine-looking declarations).
+  // Names the declaration scan decided are Task/Future-returning functions
+  // (minus names that also appear with non-coroutine-looking declarations).
   // Exposed for tests.
   std::vector<std::string> TaskFunctionNames() const;
 
  private:
-  struct FileFacts {
-    LexedFile lexed;
-    // Token indices pass 1 identified as Task-fn declaration names; the
-    // ambiguity scan must not re-classify them.
-    std::vector<std::size_t> task_decl_name_tokens;
-  };
-
-  void CollectDeclarations(FileFacts& facts);
-
-  std::vector<FileFacts> files_;
-  std::vector<std::string> task_fn_names_;       // sorted unique
-  std::vector<std::string> non_task_fn_names_;   // sorted unique
+  std::vector<FileArtifacts> files_;
 };
 
 }  // namespace dufs::lint

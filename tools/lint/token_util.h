@@ -1,0 +1,104 @@
+// Token-stream helpers shared by the per-file rules (rules.cc) and the
+// declaration parser (symtab.cc). Header-only; everything is cheap inline
+// scanning over the lexer's token vector.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lexer.h"
+
+namespace dufs::lint {
+
+inline constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+
+inline bool IsId(const Token& t, const char* s) {
+  return t.kind == TokKind::kIdentifier && t.text == s;
+}
+inline bool IsPunct(const Token& t, const char* s) {
+  return t.kind == TokKind::kPunct && t.text == s;
+}
+
+inline bool IsCoroKeyword(const Token& t) {
+  return t.kind == TokKind::kIdentifier &&
+         (t.text == "co_await" || t.text == "co_return" ||
+          t.text == "co_yield");
+}
+
+// Keywords that can directly precede a call expression; an identifier from
+// this set before `Name(` does not make `Name` a declaration.
+inline bool IsExprKeyword(const std::string& s) {
+  static const std::set<std::string> kSet = {
+      "return", "co_return", "co_await", "co_yield", "throw", "new",
+      "delete", "else",      "case",     "do",       "sizeof", "typedef",
+      "using",  "if",        "while",    "for",      "switch", "operator",
+      "goto",   "not",       "and",      "or"};
+  return kSet.count(s) > 0;
+}
+
+// Control/declaration keywords that look like `kw (...)` but are never
+// function names or call sites.
+inline bool IsControlKeyword(const std::string& s) {
+  static const std::set<std::string> kSet = {
+      "if",     "while",    "for",          "switch", "catch",
+      "sizeof", "alignof",  "decltype",     "static_assert",
+      "return", "co_await", "co_return",    "co_yield",
+      "throw",  "new",      "delete",       "static_cast",
+      "const_cast",         "dynamic_cast", "reinterpret_cast"};
+  return kSet.count(s) > 0;
+}
+
+// Index just past the `>` matching tokens[open] == `<`, or kNpos when the
+// angles do not close within the statement (then `<` was a comparison).
+// `>>` closes two levels.
+inline std::size_t MatchAngle(const std::vector<Token>& toks,
+                              std::size_t open) {
+  int depth = 0;
+  const std::size_t limit = std::min(toks.size(), open + 400);
+  for (std::size_t i = open; i < limit; ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokKind::kPunct) continue;
+    if (t.text == "<") {
+      ++depth;
+    } else if (t.text == ">") {
+      if (--depth == 0) return i + 1;
+    } else if (t.text == ">>") {
+      depth -= 2;
+      if (depth <= 0) return i + 1;
+    } else if (t.text == ";" || t.text == "{" || t.text == "}") {
+      return kNpos;
+    }
+  }
+  return kNpos;
+}
+
+// Index just past the `)` matching tokens[open] == `(`, or kNpos.
+inline std::size_t MatchParen(const std::vector<Token>& toks,
+                              std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokKind::kPunct) continue;
+    if (t.text == "(") ++depth;
+    if (t.text == ")" && --depth == 0) return i + 1;
+  }
+  return kNpos;
+}
+
+// Index just past the `}` matching tokens[open] == `{`, or kNpos.
+inline std::size_t MatchBrace(const std::vector<Token>& toks,
+                              std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokKind::kPunct) continue;
+    if (t.text == "{") ++depth;
+    if (t.text == "}" && --depth == 0) return i + 1;
+  }
+  return kNpos;
+}
+
+}  // namespace dufs::lint
