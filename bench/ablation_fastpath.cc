@@ -46,6 +46,11 @@ double MeasureReadDirUs(std::uint64_t seed, std::size_t width,
                         std::size_t fanout) {
   auto config = BaseConfig(seed);
   config.dufs.lookup_fanout = fanout;
+  // Pin the legacy readdir path: with compound ops the cold listing is one
+  // ReadDirPlus RPC and the fan-out knob never engages, which would erase
+  // the (a)-vs-(a) contrast this ablation measures (and shift its baseline).
+  // The compound readdir has its own figure: bench/fig13_deep_tree.
+  config.dufs.compound_ops = false;
   Testbed tb(config);
   tb.MountAll();
   double us = 0;

@@ -20,6 +20,30 @@ StatusCode MapZkCode(StatusCode code) {
   return code;
 }
 
+// Kind tag compound ops hand the server: MetaRecord::Encode writes the
+// FileType as its first byte, so the server's interior-component guard
+// (data[0] == kDirTag ? directory : ENOTDIR) needs no record schema.
+constexpr std::uint8_t kDirTag =
+    static_cast<std::uint8_t>(vfs::FileType::kDirectory);
+
+// Interior-ENOTDIR normalization. The server's resolution walk is strict
+// POSIX, but DUFS resolves znodes by *flat* full-path key (as does the
+// MemFs oracle), so a path that walks through a file has always read as
+// absent (ENOENT) — except a create whose immediate parent is the file,
+// which the explicit parent check reported as ENOTDIR. Map the server's
+// walk codes back onto those established semantics.
+StatusCode MapCompoundCode(zk::OpType type, const zk::OpResult& res,
+                           std::size_t n_components) {
+  if (res.code == StatusCode::kNotADirectory &&
+      res.resolved_depth < n_components) {
+    const bool parent_offender = res.resolved_depth + 1 == n_components;
+    if (type != zk::OpType::kResolveCreate || !parent_offender) {
+      return StatusCode::kNotFound;
+    }
+  }
+  return MapZkCode(res.code);
+}
+
 }  // namespace
 
 // One client operation: a root trace span (the head of the client-op ->
@@ -191,6 +215,112 @@ void DufsClient::AssumeFormatted() {
 
 sim::Task<Result<DufsClient::Lookup>> DufsClient::LookupPath(
     std::string virtual_path) {
+  if (config_.compound_ops) return LookupCompound(std::move(virtual_path));
+  return LookupWalk(std::move(virtual_path));
+}
+
+// The FUSE-faithful walk (--compound=off ablation): resolve dentry by
+// dentry like the kernel VFS does against the paper's prototype — one
+// full-path probe per component, so a cold depth-D lookup costs O(D) round
+// trips. Warm lookups still collapse to cache hits component-by-component.
+sim::Task<Result<DufsClient::Lookup>> DufsClient::LookupWalk(
+    std::string virtual_path) {
+  if (virtual_path.size() <= 1) {
+    co_return co_await LookupSingle(std::move(virtual_path));
+  }
+  const auto components = zk::PathComponents(virtual_path);
+  std::string walked;
+  walked.reserve(virtual_path.size());
+  for (std::size_t i = 0; i < components.size(); ++i) {
+    walked.push_back('/');
+    walked.append(components[i]);
+    auto step = co_await LookupSingle(walked);
+    if (!step.ok()) co_return step.status();
+    if (i + 1 == components.size()) co_return std::move(*step);
+    if (step->record.type != FileType::kDirectory) {
+      // Interior file: the flat-key namespace reads this as absent (the
+      // walked suffix cannot exist under a file), matching LookupSingle.
+      co_return Status(StatusCode::kNotFound, virtual_path);
+    }
+  }
+  co_return Status(StatusCode::kNotFound, virtual_path);  // unreachable
+}
+
+void DufsClient::SeedFromCompound(const std::string& znode_path,
+                                  const zk::OpResult& result) {
+  if (!config_.enable_meta_cache) return;
+  const auto components = zk::PathComponents(znode_path);
+  std::string seeded;
+  seeded.reserve(znode_path.size());
+  for (const auto& node : result.prefix) {
+    seeded.push_back('/');
+    seeded.append(node.name);
+    auto rec = MetaRecord::Decode(node.data);
+    if (rec.ok()) meta_cache_.PutPositive(seeded, *rec, node.stat);
+  }
+  if (result.resolved_depth >= components.size()) {
+    // Fully resolved. The terminal's record rides stat/data (compound
+    // writes that already know their record leave data empty and seed at
+    // the call site instead).
+    if (!result.data.empty()) {
+      auto rec = MetaRecord::Decode(result.data);
+      if (rec.ok()) meta_cache_.PutPositive(znode_path, *rec, result.stat);
+    }
+  } else if (result.code == StatusCode::kOk ||
+             result.code == StatusCode::kNotFound) {
+    // Partial miss (or a delete that just removed the terminal): the first
+    // missing component is *known* absent and the server holds a creation
+    // watch on it — exactly what a coherent negative entry needs. Not on
+    // kNotADirectory: components past the offender were never examined.
+    seeded.push_back('/');
+    seeded.append(components[result.resolved_depth]);
+    meta_cache_.PutNegative(seeded);
+  }
+}
+
+// The one-RPC fast path: full-path resolution runs server-side against the
+// znode tree; hit or miss, the reply carries every component the walk
+// touched and the cache is seeded from all of them (satellite: positives
+// for the resolved prefix + a negative for the first missing component).
+sim::Task<Result<DufsClient::Lookup>> DufsClient::LookupCompound(
+    std::string virtual_path) {
+  const std::string znode = ZnodePath(virtual_path);
+  if (config_.enable_meta_cache) {
+    if (const MetaCache::Entry* hit = meta_cache_.Lookup(znode)) {
+      c_cache_hits_.Inc();
+      if (obs_.incidents != nullptr) {
+        obs_.incidents->RecordCacheProbe(obs_.track, /*hit=*/true);
+      }
+      if (hit->negative) co_return Status(StatusCode::kNotFound, virtual_path);
+      Lookup out;
+      out.record = hit->record;
+      out.stat = hit->stat;
+      co_return out;
+    }
+    c_cache_misses_.Inc();
+    if (obs_.incidents != nullptr) {
+      obs_.incidents->RecordCacheProbe(obs_.track, /*hit=*/false);
+    }
+  }
+  auto res = co_await zk_.Resolve(znode, /*watch=*/config_.enable_meta_cache,
+                                  kDirTag);
+  if (!res.ok()) co_return Status(MapZkCode(res.code()), virtual_path);
+  SeedFromCompound(znode, *res);
+  if (res->code != StatusCode::kOk) {
+    co_return Status(MapCompoundCode(zk::OpType::kResolvePath, *res,
+                                     zk::PathComponents(znode).size()),
+                     virtual_path);
+  }
+  auto record = MetaRecord::Decode(res->data);
+  if (!record.ok()) co_return record.status();
+  Lookup out;
+  out.record = std::move(*record);
+  out.stat = res->stat;
+  co_return out;
+}
+
+sim::Task<Result<DufsClient::Lookup>> DufsClient::LookupSingle(
+    std::string virtual_path) {
   const std::string znode = ZnodePath(virtual_path);
   if (config_.enable_meta_cache) {
     if (const MetaCache::Entry* hit = meta_cache_.Lookup(znode)) {
@@ -349,7 +479,11 @@ sim::Task<Result<FileAttr>> DufsClient::Create(std::string path,
                                                vfs::Mode mode) {
   OpScope op(*this, t_create_, "create", path);
   if (auto st = vfs::ValidateVirtualPath(path); !st.ok()) co_return st;
-  if (auto st = co_await CheckParentIsDir(path); !st.ok()) co_return st;
+  // Compound mode folds the parent check into the ResolveCreate itself
+  // (missing ancestor -> ENOENT, file ancestor -> ENOTDIR, atomically).
+  if (!config_.compound_ops) {
+    if (auto st = co_await CheckParentIsDir(path); !st.ok()) co_return st;
+  }
 
   const Fid fid = NextFid();
   std::uint32_t backend = 0;
@@ -360,16 +494,32 @@ sim::Task<Result<FileAttr>> DufsClient::Create(std::string path,
   // is nothing to roll back if the znode create loses.
   auto create_znode = [](DufsClient& self, std::string znode, Fid f,
                          vfs::Mode m) -> sim::Task<Status> {
-    auto created =
-        co_await self.zk_.Create(std::move(znode), MetaRecord::File(f, m).Encode());
-    co_return created.status();
+    if (!self.config_.compound_ops) {
+      auto created = co_await self.zk_.Create(std::move(znode),
+                                              MetaRecord::File(f, m).Encode());
+      co_return created.status();
+    }
+    auto res = co_await self.zk_.ResolveCreate(
+        znode, MetaRecord::File(f, m).Encode(), zk::CreateMode::kPersistent,
+        kDirTag, /*watch=*/self.config_.enable_meta_cache);
+    if (!res.ok()) co_return res.status();
+    // Seed instead of invalidate: the reply's prefix carries the parent's
+    // post-create stat, strictly fresher than what a re-fetch would see.
+    self.SeedFromCompound(znode, *res);
+    if (res->code == StatusCode::kOk && self.config_.enable_meta_cache) {
+      // The reply does not echo the record the client just wrote; seed the
+      // terminal from what we know plus the authoritative stat.
+      self.meta_cache_.PutPositive(znode, MetaRecord::File(f, m), res->stat);
+    }
+    co_return Status(MapCompoundCode(zk::OpType::kResolveCreate, *res,
+                                     zk::PathComponents(znode).size()));
   };
   std::vector<sim::Task<Status>> prep;
   prep.push_back(create_znode(*this, ZnodePath(path), fid, mode));
   prep.push_back(EnsurePhysicalDirs(backend, fid));
   op.Arm();
   auto prep_sts = co_await sim::WhenAll(std::move(prep));
-  InvalidateAfterMutation(path);
+  if (!config_.compound_ops) InvalidateAfterMutation(path);
   if (!prep_sts[0].ok()) co_return Status(MapZkCode(prep_sts[0].code()), path);
   if (!prep_sts[1].ok()) {
     (void)co_await zk_.Delete(ZnodePath(path));
@@ -393,6 +543,31 @@ sim::Task<Result<FileAttr>> DufsClient::Create(std::string path,
 
 sim::Task<Status> DufsClient::Unlink(std::string path) {
   OpScope op(*this, t_unlink_, "unlink", path);
+  if (config_.compound_ops) {
+    // Resolve + delete in one replicated txn: no lookup round trip and no
+    // version race to retry — the server checks kind server-side (interior
+    // file -> ENOTDIR, directory terminal -> EISDIR) and removes the znode
+    // atomically. The reply carries the deleted record, which names the
+    // physical file still to be unlinked.
+    const std::string znode = ZnodePath(path);
+    auto res = co_await zk_.ResolveDelete(znode, zk::kAnyVersion, kDirTag,
+                                          /*watch=*/config_.enable_meta_cache);
+    if (!res.ok()) co_return Status(MapZkCode(res.code()), path);
+    SeedFromCompound(znode, *res);
+    if (res->code != StatusCode::kOk) {
+      co_return Status(MapCompoundCode(zk::OpType::kResolveDelete, *res,
+                                       zk::PathComponents(znode).size()),
+                       path);
+    }
+    auto record = MetaRecord::Decode(res->data);
+    if (record.ok() && record->type == FileType::kRegular) {
+      auto& fs = BackendFor(record->fid);
+      op.Arm();
+      auto phys = co_await fs.Unlink(PhysicalPathForFid(record->fid));
+      if (!phys.ok() && phys.code() != StatusCode::kNotFound) co_return phys;
+    }
+    co_return Status::Ok();
+  }
   for (int attempt = 0; attempt <= config_.race_retries; ++attempt) {
     op.Arm();
     auto lookup = co_await LookupPath(path);
@@ -421,6 +596,34 @@ sim::Task<Status> DufsClient::Unlink(std::string path) {
 sim::Task<Result<std::vector<vfs::DirEntry>>> DufsClient::ReadDir(
     std::string path) {
   OpScope op(*this, t_readdir_, "readdir", path);
+  if (config_.compound_ops) {
+    // readdir + per-entry stat in one reply: the K child-record probes the
+    // fan-out below pays (even in parallel, ~1 RTT + K server reads) become
+    // part of the single ReadDirPlus, and every entry seeds the cache so a
+    // following stat storm over the listing is all hits.
+    const std::string znode = ZnodePath(path);
+    auto res = co_await zk_.ReadDirPlus(znode,
+                                        /*watch=*/config_.enable_meta_cache,
+                                        kDirTag);
+    if (!res.ok()) co_return Status(MapZkCode(res.code()), path);
+    SeedFromCompound(znode, *res);
+    if (res->code != StatusCode::kOk) {
+      co_return Status(MapCompoundCode(zk::OpType::kReadDirPlus, *res,
+                                       zk::PathComponents(znode).size()),
+                       path);
+    }
+    std::vector<vfs::DirEntry> entries;
+    entries.reserve(res->entries.size());
+    for (auto& e : res->entries) {
+      auto rec = MetaRecord::Decode(e.data);
+      const FileType type = rec.ok() ? rec->type : FileType::kRegular;
+      if (rec.ok() && config_.enable_meta_cache) {
+        meta_cache_.PutPositive(znode + "/" + e.name, *rec, e.stat);
+      }
+      entries.push_back({std::move(e.name), type});
+    }
+    co_return entries;
+  }
   auto lookup = co_await LookupPath(path);
   if (!lookup.ok()) co_return lookup.status();
   if (lookup->record.type != FileType::kDirectory) {

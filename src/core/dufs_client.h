@@ -49,6 +49,13 @@ struct DufsConfig {
   // child lookups, rename subtree reads, format). 1 = fully serial (the
   // pre-fast-path behavior, kept for ablation).
   std::size_t lookup_fanout = 32;
+  // Server-side path resolution (DESIGN.md §13): metadata hot paths issue
+  // one compound ZooKeeper op per cache miss (ResolvePath / ResolveCreate /
+  // ResolveDelete / ReadDirPlus) and seed the cache from the returned
+  // prefix. Off = the FUSE-faithful ablation, resolving dentry-by-dentry
+  // like the kernel VFS against the paper's prototype: a cold depth-D path
+  // costs O(D) round trips instead of one.
+  bool compound_ops = true;
 };
 
 class DufsClient : public vfs::FileSystem {
@@ -133,7 +140,21 @@ class DufsClient : public vfs::FileSystem {
     MetaRecord record;
     zk::ZnodeStat stat;
   };
+  // Dispatches on config_.compound_ops: one server-side resolution
+  // (LookupCompound) or a per-component walk (LookupWalk) built from the
+  // single full-path probe (LookupSingle).
   sim::Task<Result<Lookup>> LookupPath(std::string virtual_path);
+  sim::Task<Result<Lookup>> LookupCompound(std::string virtual_path);
+  sim::Task<Result<Lookup>> LookupWalk(std::string virtual_path);
+  sim::Task<Result<Lookup>> LookupSingle(std::string virtual_path);
+
+  // Seeds the metadata cache from a compound-op reply: positive entries for
+  // every prefix component (and the terminal when its record rode back), a
+  // negative entry for the first missing component on a partial miss. The
+  // server registered matching one-shot watches, so every seeded entry is
+  // invalidated on remote change exactly like a LookupSingle fill.
+  void SeedFromCompound(const std::string& znode_path,
+                        const zk::OpResult& result);
 
   // Own-write invalidation: drops `virtual_path` (and, when `subtree`, all
   // cached descendants) plus the parent's cached attr (child count/mtime

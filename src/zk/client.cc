@@ -203,4 +203,41 @@ sim::Task<Result<std::vector<OpResult>>> ZkClient::Multi(std::vector<Op> ops) {
   co_return std::move(resp->multi_results);
 }
 
+sim::Task<Result<OpResult>> ZkClient::Resolve(std::string path, bool watch,
+                                              std::uint8_t dir_tag) {
+  auto resp = co_await Execute(
+      Op::ResolvePath(std::move(path), watch, dir_tag), {});
+  if (!resp.ok()) co_return resp.status();
+  co_return std::move(resp->result);
+}
+
+sim::Task<Result<OpResult>> ZkClient::ReadDirPlus(std::string path, bool watch,
+                                                  std::uint8_t dir_tag) {
+  auto resp = co_await Execute(
+      Op::ReadDirPlus(std::move(path), watch, dir_tag), {});
+  if (!resp.ok()) co_return resp.status();
+  co_return std::move(resp->result);
+}
+
+sim::Task<Result<OpResult>> ZkClient::ResolveCreate(
+    std::string path, std::vector<std::uint8_t> data, CreateMode mode,
+    std::uint8_t dir_tag, bool watch) {
+  auto resp = co_await Execute(
+      Op::ResolveCreate(std::move(path), std::move(data), mode, dir_tag,
+                        watch),
+      {});
+  if (!resp.ok()) co_return resp.status();
+  co_return std::move(resp->result);
+}
+
+sim::Task<Result<OpResult>> ZkClient::ResolveDelete(std::string path,
+                                                    std::int32_t version,
+                                                    std::uint8_t dir_tag,
+                                                    bool watch) {
+  auto resp = co_await Execute(
+      Op::ResolveDelete(std::move(path), version, dir_tag, watch), {});
+  if (!resp.ok()) co_return resp.status();
+  co_return std::move(resp->result);
+}
+
 }  // namespace dufs::zk

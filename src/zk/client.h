@@ -58,6 +58,26 @@ class ZkClient {
   // Atomic batch; returns per-op results on success, first failure otherwise.
   sim::Task<Result<std::vector<OpResult>>> Multi(std::vector<Op> ops);
 
+  // --- compound ops (server-side path resolution, DESIGN.md §13) ----------
+  // Unlike the zoo_* calls above, these return the whole OpResult with the
+  // application-level code left *inside* it (only transport failures become
+  // a bad status): a partial miss still carries the resolved prefix the
+  // caller seeds its cache from. A nonzero dir_tag makes the server require
+  // every interior component's data to begin with that byte (ENOTDIR
+  // otherwise); `watch` registers per-component one-shot watches.
+  sim::Task<Result<OpResult>> Resolve(std::string path, bool watch = false,
+                                      std::uint8_t dir_tag = 0);
+  sim::Task<Result<OpResult>> ReadDirPlus(std::string path, bool watch = false,
+                                          std::uint8_t dir_tag = 0);
+  sim::Task<Result<OpResult>> ResolveCreate(
+      std::string path, std::vector<std::uint8_t> data,
+      CreateMode mode = CreateMode::kPersistent, std::uint8_t dir_tag = 0,
+      bool watch = false);
+  sim::Task<Result<OpResult>> ResolveDelete(std::string path,
+                                            std::int32_t version = kAnyVersion,
+                                            std::uint8_t dir_tag = 0,
+                                            bool watch = false);
+
   // One watch sink per client node (first client to register wins).
   void SetWatchHandler(WatchCallback cb);
 

@@ -8,6 +8,72 @@
 
 namespace dufs::zk {
 
+namespace {
+
+// Server-side resolution walk (DESIGN.md §13). Walks `components` from the
+// root child-by-child. On success `chain` holds every component's znode; on
+// kNotFound it holds exactly the leading components that do exist; on
+// kNotADirectory the offending *interior* non-directory node is the last
+// chain entry and later components were never examined. A nonzero dir_tag
+// requires every interior component's data to begin with that byte — the FS
+// layer's kind tag — so the walk enforces the POSIX rule without the
+// coordination service knowing the record schema.
+struct ResolveOutcome {
+  StatusCode code = StatusCode::kOk;
+  std::vector<const DataTree::Znode*> chain;
+};
+
+ResolveOutcome ResolveChain(const DataTree& tree,
+                            const std::vector<std::string_view>& components,
+                            std::uint8_t dir_tag) {
+  ResolveOutcome out;
+  out.chain.reserve(components.size());
+  const DataTree::Znode* cur = &tree.root();
+  for (std::size_t i = 0; i < components.size(); ++i) {
+    auto it = cur->children.find(components[i]);
+    if (it == cur->children.end()) {
+      out.code = StatusCode::kNotFound;
+      return out;
+    }
+    cur = it->second.get();
+    out.chain.push_back(cur);
+    if (i + 1 < components.size() && dir_tag != 0 &&
+        (cur->data.empty() || cur->data[0] != dir_tag)) {
+      out.code = StatusCode::kNotADirectory;
+      return out;
+    }
+  }
+  return out;
+}
+
+// Copies the first `count` chain nodes into res.prefix and stamps
+// res.resolved_depth. Called *after* any mutation: the chain holds live
+// pointers, so ancestor stats (pzxid/cversion/num_children) reflect the
+// post-op state the client should seed.
+void FillResolved(const std::vector<const DataTree::Znode*>& chain,
+                  std::size_t count, std::uint32_t depth, OpResult& res) {
+  res.resolved_depth = depth;
+  res.prefix.clear();
+  res.prefix.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    ResolvedNode n;
+    n.name = chain[i]->name;
+    n.stat = chain[i]->stat;
+    n.data = chain[i]->data;
+    res.prefix.push_back(std::move(n));
+  }
+}
+
+// Shared failure-path shaping for compound ops: a partial resolution ships
+// the whole existing prefix back so the client can seed positives for it.
+void FillPartial(const ResolveOutcome& r, OpResult& res) {
+  res.code = r.code;
+  FillResolved(r.chain, r.chain.size(),
+               static_cast<std::uint32_t>(r.chain.size()), res);
+}
+
+}  // namespace
+
 Database::Database() : tree_(std::make_unique<DataTree>()) {}
 
 OpResult Database::Read(const Op& op) const {
@@ -45,6 +111,66 @@ OpResult Database::Read(const Op& op) const {
     }
     case OpType::kSync:
       return res;  // ordering is handled by the server pipeline
+    case OpType::kResolvePath: {
+      if (auto st = ValidatePath(op.path); !st.ok()) {
+        res.code = st.code();
+        return res;
+      }
+      const auto components = PathComponents(op.path);
+      auto r = ResolveChain(*tree_, components, op.dir_tag);
+      if (r.code != StatusCode::kOk) {
+        FillPartial(r, res);
+        return res;
+      }
+      // Terminal stat/data ride the ordinary fields; prefix excludes it.
+      FillResolved(r.chain,
+                   components.empty() ? 0 : components.size() - 1,
+                   static_cast<std::uint32_t>(components.size()), res);
+      if (!components.empty()) {
+        res.stat = r.chain.back()->stat;
+        res.data = r.chain.back()->data;
+      } else {
+        res.stat = tree_->root().stat;
+        res.data = tree_->root().data;
+      }
+      return res;
+    }
+    case OpType::kReadDirPlus: {
+      if (auto st = ValidatePath(op.path); !st.ok()) {
+        res.code = st.code();
+        return res;
+      }
+      const auto components = PathComponents(op.path);
+      auto r = ResolveChain(*tree_, components, op.dir_tag);
+      if (r.code != StatusCode::kOk) {
+        FillPartial(r, res);
+        return res;
+      }
+      const DataTree::Znode* dir =
+          components.empty() ? &tree_->root() : r.chain.back();
+      FillResolved(r.chain,
+                   components.empty() ? 0 : components.size() - 1,
+                   static_cast<std::uint32_t>(components.size()), res);
+      res.stat = dir->stat;
+      res.data = dir->data;
+      // The listed node itself must carry the directory tag when the guard
+      // is on — listing a file is ENOTDIR, with the full prefix (and the
+      // terminal's stat/data, above) still shipped for cache seeding.
+      if (op.dir_tag != 0 && !components.empty() &&
+          (dir->data.empty() || dir->data[0] != op.dir_tag)) {
+        res.code = StatusCode::kNotADirectory;
+        return res;
+      }
+      res.entries.reserve(dir->children.size());
+      for (const auto& [name, child] : dir->children) {
+        ResolvedNode n;
+        n.name = name;
+        n.stat = child->stat;
+        n.data = child->data;
+        res.entries.push_back(std::move(n));
+      }
+      return res;
+    }
     default:
       res.code = StatusCode::kInvalidArgument;
       return res;
@@ -103,6 +229,88 @@ OpResult Database::ApplyOne(const Op& op, SessionId session, Zxid zxid,
       if (op.version != kAnyVersion && stat->version != op.version) {
         res.code = StatusCode::kBadVersion;
       }
+      return res;
+    }
+    case OpType::kResolveCreate: {
+      if (auto st = ValidatePath(op.path); !st.ok() || op.path == "/") {
+        res.code = st.ok() ? StatusCode::kAlreadyExists : st.code();
+        return res;
+      }
+      const auto components = PathComponents(op.path);
+      auto r = ResolveChain(*tree_, components, op.dir_tag);
+      if (r.code == StatusCode::kNotADirectory ||
+          (r.code == StatusCode::kNotFound &&
+           r.chain.size() < components.size() - 1)) {
+        FillPartial(r, res);  // broken ancestor chain — nothing to create
+        return res;
+      }
+      if (r.code == StatusCode::kOk && !IsSequential(op.mode)) {
+        FillPartial(r, res);
+        res.code = StatusCode::kAlreadyExists;
+        // The existing terminal is the client's freshest view of the node
+        // it raced against: surface it via stat/data, not the prefix.
+        res.prefix.pop_back();
+        res.stat = r.chain.back()->stat;
+        res.data = r.chain.back()->data;
+        return res;
+      }
+      auto created = tree_->Create(op.path, op.data, op.mode,
+                                   IsEphemeral(op.mode) ? session : 0, zxid,
+                                   now_ns);
+      if (!created.ok()) {
+        FillPartial(r, res);
+        res.code = created.code();
+        return res;
+      }
+      res.created_path = std::move(*created);
+      // Chain pointers stay live across the mutation, and the parent's stat
+      // was updated in place — the prefix the client seeds is post-create.
+      FillResolved(r.chain, components.size() - 1,
+                   static_cast<std::uint32_t>(components.size()), res);
+      if (auto stat = tree_->Stat(res.created_path); stat.ok()) {
+        res.stat = *stat;
+      }
+      out.push_back({WatchEventType::kNodeCreated, res.created_path});
+      out.push_back({WatchEventType::kNodeChildrenChanged,
+                     ParentPath(res.created_path)});
+      return res;
+    }
+    case OpType::kResolveDelete: {
+      if (auto st = ValidatePath(op.path); !st.ok() || op.path == "/") {
+        res.code = st.ok() ? StatusCode::kInvalidArgument : st.code();
+        return res;
+      }
+      const auto components = PathComponents(op.path);
+      auto r = ResolveChain(*tree_, components, op.dir_tag);
+      if (r.code != StatusCode::kOk) {
+        FillPartial(r, res);
+        return res;
+      }
+      // Pre-delete snapshot: the client needs the victim's record (its fid)
+      // to finish the physical unlink, and its stat for version accounting.
+      res.stat = r.chain.back()->stat;
+      res.data = r.chain.back()->data;
+      if (op.dir_tag != 0 && !r.chain.back()->data.empty() &&
+          r.chain.back()->data[0] == op.dir_tag) {
+        FillResolved(r.chain, components.size() - 1,
+                     static_cast<std::uint32_t>(components.size()), res);
+        res.code = StatusCode::kIsADirectory;
+        return res;
+      }
+      auto st = tree_->Delete(op.path, op.version, zxid);
+      if (!st.ok()) {
+        FillResolved(r.chain, components.size() - 1,
+                     static_cast<std::uint32_t>(components.size()), res);
+        res.code = st.code();
+        return res;
+      }
+      // Depth excludes the deleted terminal; the parent's in-place stat
+      // update (cversion/num_children) is visible through the prefix.
+      FillResolved(r.chain, components.size() - 1,
+                   static_cast<std::uint32_t>(components.size() - 1), res);
+      out.push_back({WatchEventType::kNodeDeleted, op.path});
+      out.push_back(
+          {WatchEventType::kNodeChildrenChanged, ParentPath(op.path)});
       return res;
     }
     default:

@@ -15,6 +15,10 @@ const char* OpTypeName(OpType t) {
     case OpType::kCreateSession: return "createSession";
     case OpType::kCloseSession: return "closeSession";
     case OpType::kCheckVersion: return "checkVersion";
+    case OpType::kResolvePath: return "resolvePath";
+    case OpType::kReadDirPlus: return "readDirPlus";
+    case OpType::kResolveCreate: return "resolveCreate";
+    case OpType::kResolveDelete: return "resolveDelete";
   }
   return "unknown";
 }
@@ -26,6 +30,7 @@ void Op::Encode(wire::BufferWriter& w) const {
   w.WriteU8(static_cast<std::uint8_t>(mode));
   w.WriteU32(static_cast<std::uint32_t>(version));
   w.WriteBool(watch);
+  w.WriteU8(dir_tag);
 }
 
 Result<Op> Op::Decode(wire::BufferReader& r) {
@@ -48,6 +53,9 @@ Result<Op> Op::Decode(wire::BufferReader& r) {
   auto watch = r.ReadBool();
   DUFS_RETURN_IF_ERROR(watch);
   op.watch = *watch;
+  auto dir_tag = r.ReadU8();
+  DUFS_RETURN_IF_ERROR(dir_tag);
+  op.dir_tag = *dir_tag;
   return op;
 }
 
@@ -84,6 +92,47 @@ Op Op::CheckVersion(std::string path, std::int32_t version) {
   op.type = OpType::kCheckVersion;
   op.path = std::move(path);
   op.version = version;
+  return op;
+}
+
+Op Op::ResolvePath(std::string path, bool watch, std::uint8_t dir_tag) {
+  Op op;
+  op.type = OpType::kResolvePath;
+  op.path = std::move(path);
+  op.watch = watch;
+  op.dir_tag = dir_tag;
+  return op;
+}
+
+Op Op::ReadDirPlus(std::string path, bool watch, std::uint8_t dir_tag) {
+  Op op;
+  op.type = OpType::kReadDirPlus;
+  op.path = std::move(path);
+  op.watch = watch;
+  op.dir_tag = dir_tag;
+  return op;
+}
+
+Op Op::ResolveCreate(std::string path, std::vector<std::uint8_t> data,
+                     CreateMode mode, std::uint8_t dir_tag, bool watch) {
+  Op op;
+  op.type = OpType::kResolveCreate;
+  op.path = std::move(path);
+  op.data = std::move(data);
+  op.mode = mode;
+  op.dir_tag = dir_tag;
+  op.watch = watch;
+  return op;
+}
+
+Op Op::ResolveDelete(std::string path, std::int32_t version,
+                     std::uint8_t dir_tag, bool watch) {
+  Op op;
+  op.type = OpType::kResolveDelete;
+  op.path = std::move(path);
+  op.version = version;
+  op.dir_tag = dir_tag;
+  op.watch = watch;
   return op;
 }
 
@@ -126,6 +175,26 @@ std::size_t Txn::EncodedSize() const {
   return w.size();
 }
 
+void ResolvedNode::Encode(wire::BufferWriter& w) const {
+  w.WriteString(name);
+  stat.Encode(w);
+  w.WriteBytes(data);
+}
+
+Result<ResolvedNode> ResolvedNode::Decode(wire::BufferReader& r) {
+  ResolvedNode node;
+  auto name = r.ReadString();
+  DUFS_RETURN_IF_ERROR(name);
+  node.name = std::move(*name);
+  auto stat = ZnodeStat::Decode(r);
+  DUFS_RETURN_IF_ERROR(stat);
+  node.stat = *stat;
+  auto data = r.ReadBytes();
+  DUFS_RETURN_IF_ERROR(data);
+  node.data = std::move(*data);
+  return node;
+}
+
 void OpResult::Encode(wire::BufferWriter& w) const {
   w.WriteU8(static_cast<std::uint8_t>(code));
   w.WriteString(created_path);
@@ -133,6 +202,11 @@ void OpResult::Encode(wire::BufferWriter& w) const {
   w.WriteBytes(data);
   w.WriteVarint(children.size());
   for (const auto& c : children) w.WriteString(c);
+  w.WriteVarint(resolved_depth);
+  w.WriteVarint(prefix.size());
+  for (const auto& n : prefix) n.Encode(w);
+  w.WriteVarint(entries.size());
+  for (const auto& n : entries) n.Encode(w);
 }
 
 Result<OpResult> OpResult::Decode(wire::BufferReader& r) {
@@ -155,6 +229,23 @@ Result<OpResult> OpResult::Decode(wire::BufferReader& r) {
     auto child = r.ReadString();
     DUFS_RETURN_IF_ERROR(child);
     res.children.push_back(std::move(*child));
+  }
+  auto depth = r.ReadVarint();
+  DUFS_RETURN_IF_ERROR(depth);
+  res.resolved_depth = static_cast<std::uint32_t>(*depth);
+  auto n_prefix = r.ReadVarint();
+  DUFS_RETURN_IF_ERROR(n_prefix);
+  for (std::uint64_t i = 0; i < *n_prefix; ++i) {
+    auto node = ResolvedNode::Decode(r);
+    DUFS_RETURN_IF_ERROR(node);
+    res.prefix.push_back(std::move(*node));
+  }
+  auto n_entries = r.ReadVarint();
+  DUFS_RETURN_IF_ERROR(n_entries);
+  for (std::uint64_t i = 0; i < *n_entries; ++i) {
+    auto node = ResolvedNode::Decode(r);
+    DUFS_RETURN_IF_ERROR(node);
+    res.entries.push_back(std::move(*node));
   }
   return res;
 }

@@ -42,6 +42,11 @@ enum class OpType : std::uint8_t {
   kExists = 1,
   kGetChildren = 2,
   kSync = 3,
+  // Compound reads: server-side path resolution (DESIGN.md §13). One RPC
+  // resolves every component of `path` against the local replica and ships
+  // the whole prefix back for client cache seeding.
+  kResolvePath = 4,
+  kReadDirPlus = 5,
   // Writes (replicated as Txns).
   kCreate = 10,
   kDelete = 11,
@@ -51,9 +56,19 @@ enum class OpType : std::uint8_t {
   kCloseSession = 15,
   // Multi-only guard op.
   kCheckVersion = 16,
+  // Compound writes: resolve + mutate in one replicated txn. They ride the
+  // ordinary Txn path (leader sequencing, group commit, replay untouched);
+  // the resolution loop runs inside Database::Apply on every replica.
+  kResolveCreate = 17,
+  kResolveDelete = 18,
 };
 
 inline bool IsWrite(OpType t) { return static_cast<int>(t) >= 10; }
+
+inline bool IsCompound(OpType t) {
+  return t == OpType::kResolvePath || t == OpType::kReadDirPlus ||
+         t == OpType::kResolveCreate || t == OpType::kResolveDelete;
+}
 
 // Stable display name ("create", "getChildren", ...) for logs and traces.
 const char* OpTypeName(OpType t);
@@ -65,7 +80,16 @@ struct Op {
   std::vector<std::uint8_t> data;
   CreateMode mode = CreateMode::kPersistent;
   std::int32_t version = kAnyVersion;
-  bool watch = false;  // reads only
+  // Reads and compound writes; on compound ops the session server registers
+  // a one-shot data watch on every resolved component (plus the first
+  // missing one), keeping client-side prefix seeding coherent.
+  bool watch = false;
+  // Compound ops only. Nonzero = every *interior* resolved component's data
+  // must begin with this byte or resolution stops with kNotADirectory. The
+  // FS layer stores its kind tag as the first MetaRecord byte, which lets
+  // the (otherwise schema-agnostic) coordination service enforce the POSIX
+  // walk rule server-side. 0 disables the guard (existence checks only).
+  std::uint8_t dir_tag = 0;
 
   void Encode(wire::BufferWriter& w) const;
   static Result<Op> Decode(wire::BufferReader& r);
@@ -77,6 +101,12 @@ struct Op {
   static Op SetData(std::string path, std::vector<std::uint8_t> data,
                     std::int32_t version = kAnyVersion);
   static Op CheckVersion(std::string path, std::int32_t version);
+  static Op ResolvePath(std::string path, bool watch, std::uint8_t dir_tag);
+  static Op ReadDirPlus(std::string path, bool watch, std::uint8_t dir_tag);
+  static Op ResolveCreate(std::string path, std::vector<std::uint8_t> data,
+                          CreateMode mode, std::uint8_t dir_tag, bool watch);
+  static Op ResolveDelete(std::string path, std::int32_t version,
+                          std::uint8_t dir_tag, bool watch);
 };
 
 // A replicated transaction: the client's write plus its session stamp and
@@ -95,13 +125,43 @@ struct Txn {
   std::size_t EncodedSize() const;
 };
 
+// One resolved path component (compound-op replies): its name plus the
+// stat/data snapshot taken during the server-side resolution walk.
+struct ResolvedNode {
+  std::string name;
+  ZnodeStat stat;
+  std::vector<std::uint8_t> data;
+
+  void Encode(wire::BufferWriter& w) const;
+  static Result<ResolvedNode> Decode(wire::BufferReader& r);
+};
+
 // Result of applying one Op.
+//
+// Compound-op contract (kResolvePath/kReadDirPlus/kResolveCreate/
+// kResolveDelete — see DESIGN.md §13):
+//   - resolved_depth = number of leading components of Op::path that exist
+//     *after* the op ran (so a successful ResolveDelete of an n-component
+//     path reports n-1; a successful ResolveCreate reports n).
+//   - prefix = one ResolvedNode per existing leading component EXCLUDING
+//     the terminal; the terminal's stat/data ride `stat`/`data` as usual.
+//     prefix.size() == min(resolved_depth, n_components - 1). On a partial
+//     miss (code kNotFound) the prefix covers exactly the components that
+//     do exist, so the client can seed positives for them and a negative
+//     for the first missing one. On kNotADirectory the offending non-dir
+//     component is the *last* prefix entry; components past it were never
+//     examined, so no negative may be inferred.
+//   - entries = kReadDirPlus only: every child of the terminal directory
+//     with its stat+data, in sorted (map) order.
 struct OpResult {
   StatusCode code = StatusCode::kOk;
   std::string created_path;          // kCreate
   ZnodeStat stat;                    // kExists/kSetData/kGetData
   std::vector<std::uint8_t> data;    // kGetData
   std::vector<std::string> children; // kGetChildren
+  std::uint32_t resolved_depth = 0;  // compound ops
+  std::vector<ResolvedNode> prefix;  // compound ops
+  std::vector<ResolvedNode> entries; // kReadDirPlus
 
   bool ok() const { return code == StatusCode::kOk; }
   Status ToStatus() const { return Status(code); }

@@ -276,6 +276,8 @@ void ZkServer::AttachObs(obs::NodeObs node_obs) {
   obs_ = node_obs;
   c_reads_ = obs_.counter("zk.reads");
   c_writes_ = obs_.counter("zk.writes");
+  c_compound_ = obs_.counter("zk.compound_ops");
+  h_resolve_depth_ = obs_.histogram("zk.resolve_depth");
   g_read_queue_ = obs_.gauge("zk.read_queue");
   g_write_queue_ = obs_.gauge("zk.write_queue");
   g_journal_pending_ = obs_.gauge("journal.pending");
@@ -304,6 +306,12 @@ sim::Task<net::RpcResult> ZkServer::HandleRequest(net::NodeId from,
       obs_.incidents->RecordQueueDepth(obs_.track, write_depth);
     }
     obs::Span span(obs_.tracer, obs_.track, "zk-write", "zk", req->trace);
+    // Compound writes register watches *here* on the session server after
+    // the txn applies (the replicated state machine stays watch-free); the
+    // op fields needed for that outlive the move below.
+    const OpType op_type = req->op.type;
+    const bool op_watch = req->op.watch;
+    std::string op_path = IsCompound(op_type) ? req->op.path : std::string();
     Txn txn;
     txn.session = req->session;
     txn.trace = req->trace;
@@ -311,6 +319,15 @@ sim::Task<net::RpcResult> ZkServer::HandleRequest(net::NodeId from,
     txn.multi_ops = std::move(req->multi_ops);
     auto resp = co_await SubmitWrite(std::move(txn));
     if (!resp.ok()) co_return UnavailableResponse().Encode();
+    if (IsCompound(op_type)) {
+      c_compound_.Inc();
+      h_resolve_depth_.Record(
+          static_cast<std::int64_t>(resp->result.resolved_depth));
+      if (op_watch) {
+        RegisterCompoundWatches(op_type, op_path, resp->result, req->session,
+                                from);
+      }
+    }
     co_return resp->Encode();
   }
 
@@ -329,7 +346,17 @@ sim::Task<net::RpcResult> ZkServer::HandleRequest(net::NodeId from,
   }
   ClientResponse resp;
   resp.result = db_->Read(req->op);
-  if (req->op.watch) RegisterWatch(req->op, req->session, from);
+  if (IsCompound(req->op.type)) {
+    c_compound_.Inc();
+    h_resolve_depth_.Record(
+        static_cast<std::int64_t>(resp.result.resolved_depth));
+    if (req->op.watch) {
+      RegisterCompoundWatches(req->op.type, req->op.path, resp.result,
+                              req->session, from);
+    }
+  } else if (req->op.watch) {
+    RegisterWatch(req->op, req->session, from);
+  }
   ++reads_served_;
   co_return resp.Encode();
 }
@@ -346,6 +373,45 @@ void ZkServer::RegisterWatch(const Op& op, SessionId session,
       break;
     default:
       break;
+  }
+}
+
+void ZkServer::RegisterCompoundWatches(OpType type, const std::string& path,
+                                       const OpResult& result,
+                                       SessionId session,
+                                       net::NodeId client) {
+  const auto components = PathComponents(path);
+  const auto key = std::make_pair(session, client);
+  // Data watch on every component the walk resolved. resolved_depth may
+  // exceed prefix.size() by one (the terminal rides stat/data), and for a
+  // successful ResolveDelete it is one *less* than the walk reached — the
+  // deleted terminal must not be re-watched, or the watch would never fire.
+  std::string znode_path;
+  znode_path.reserve(path.size());
+  const std::size_t watched =
+      std::min<std::size_t>(result.resolved_depth, components.size());
+  for (std::size_t i = 0; i < watched; ++i) {
+    znode_path.push_back('/');
+    znode_path.append(components[i]);
+    data_watches_[znode_path][key] = true;
+  }
+  // Partial miss: an existence watch on the first missing component keeps
+  // the client's negative cache entry coherent (kNodeCreated fires it).
+  if (watched < components.size()) {
+    znode_path.push_back('/');
+    znode_path.append(components[watched]);
+    data_watches_[znode_path][key] = true;
+    return;
+  }
+  if (type == OpType::kReadDirPlus && result.ok()) {
+    // The listing seeds one positive cache entry per child: mirror it with
+    // a child watch on the directory plus a data watch per entry.
+    child_watches_[path][key] = true;
+    for (const auto& entry : result.entries) {
+      std::string child_path = path == "/" ? "/" + entry.name
+                                           : path + "/" + entry.name;
+      data_watches_[std::move(child_path)][key] = true;
+    }
   }
 }
 

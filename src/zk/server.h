@@ -175,6 +175,13 @@ class ZkServer {
 
   // Watches.
   void RegisterWatch(const Op& op, SessionId session, net::NodeId client);
+  // Compound ops: one data watch per resolved component (plus the first
+  // missing one on a partial miss), and for ReadDirPlus a child watch on
+  // the directory + data watches on every listed entry — the server-side
+  // mirror of the client seeding every one of those cache entries.
+  void RegisterCompoundWatches(OpType type, const std::string& path,
+                               const OpResult& result, SessionId session,
+                               net::NodeId client);
   void FireTriggers(const std::vector<AppliedTxn::Trigger>& triggers);
 
   // Failure detection & election.
@@ -258,6 +265,8 @@ class ZkServer {
   obs::NodeObs obs_;
   obs::Counter c_reads_;
   obs::Counter c_writes_;
+  obs::Counter c_compound_;
+  obs::Histogram h_resolve_depth_;
   obs::Gauge g_read_queue_;
   obs::Gauge g_write_queue_;
   obs::Gauge g_journal_pending_;

@@ -86,6 +86,19 @@ std::string_view BaseName(std::string_view path) {
   return path.substr(pos + 1);
 }
 
+std::vector<std::string_view> PathComponents(std::string_view path) {
+  std::vector<std::string_view> out;
+  if (path.size() <= 1) return out;
+  std::size_t start = 1;
+  while (start <= path.size()) {
+    auto end = path.find('/', start);
+    if (end == std::string_view::npos) end = path.size();
+    out.push_back(path.substr(start, end - start));
+    start = end + 1;
+  }
+  return out;
+}
+
 DataTree::DataTree() : root_(std::make_unique<Znode>()) {}
 
 Result<const DataTree::Znode*> DataTree::Find(std::string_view path) const {

@@ -62,6 +62,9 @@ Status ValidatePath(std::string_view path);
 std::string ParentPath(std::string_view path);
 // Basename of "/a/b" is "b".
 std::string_view BaseName(std::string_view path);
+// Components of "/a/b/c" are ["a", "b", "c"]; "/" has none. The views alias
+// `path`, so the caller keeps the backing string alive. Precondition: valid.
+std::vector<std::string_view> PathComponents(std::string_view path);
 
 class DataTree {
  public:

@@ -18,9 +18,14 @@ file(MAKE_DIRECTORY "${WORKDIR}")
 # --timeline folds the sim-time-series sampler into the byte-compared
 # metrics export, so sampler nondeterminism fails this gate too; --slo arms
 # the incident engine and folds its report (sliding windows, burn rates)
-# into the same comparison.
-set(ARGS --seed=7 --width=8 --files=4 --rounds=2 --procs=8 --items=4
-    --timeline --slo=create:2ms:0.01)
+# into the same comparison.  A caller may override the whole flag set with
+# -DEXTRA_ARGS (semicolon-separated) for benches with a different CLI.
+if(DEFINED EXTRA_ARGS)
+  set(ARGS ${EXTRA_ARGS})
+else()
+  set(ARGS --seed=7 --width=8 --files=4 --rounds=2 --procs=8 --items=4
+      --timeline --slo=create:2ms:0.01)
+endif()
 
 foreach(run 1 2)
   execute_process(
