@@ -68,6 +68,7 @@ int main(int argc, char** argv) {
   const auto items = static_cast<std::size_t>(flags.Int("items", 25));
   const auto procs_list = flags.IntList("procs", {64, 256});
   const auto obs_opts = bench::ObsOptions::FromFlags(flags);
+  bench::ProfileSession prof_session(obs_opts);
   bench::MetricsJsonWriter out;
   std::string registry_json, timeline_json;
 

@@ -192,6 +192,7 @@ int main(int argc, char** argv) {
                          ? std::max<std::size_t>(1, ops / procs)
                          : static_cast<std::size_t>(flags.Int("items", 10));
   const auto obs_opts = bench::ObsOptions::FromFlags(flags);
+  bench::ProfileSession prof_session(obs_opts);
 
   std::printf("Ablation: metadata fast path (seed=%llu)\n",
               static_cast<unsigned long long>(seed));

@@ -66,6 +66,7 @@ int main(int argc, char** argv) {
   const auto fids = MakeFids(
       static_cast<std::size_t>(flags.Int("fids", 200'000)));
   const auto obs_opts = bench::ObsOptions::FromFlags(flags);
+  bench::ProfileSession prof_session(obs_opts);
   bench::MetricsJsonWriter out;
 
   std::printf("Ablation: FID placement policies over %zu FIDs\n",

@@ -36,6 +36,7 @@ int main(int argc, char** argv) {
   const double factor = flags.Double("degrade-factor", 15.0);
   const std::string expect = flags.Str("expect-anomaly", "");
   const auto obs_opts = bench::ObsOptions::FromFlags(flags);
+  bench::ProfileSession prof_session(obs_opts);
 
   TestbedConfig config;
   config.seed = seed;

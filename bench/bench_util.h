@@ -240,6 +240,11 @@ inline std::int64_t ParseDurationNs(const std::string& s) {
 //                         recorder to DIR/dump_<seq>_<type>.json on firing
 //   --slo-window-us=N     detector/SLO window on sim time (default 10ms)
 //   --flight-capacity=N   flight-recorder spans kept per node (default 512)
+//   --profile=PATH        sample the CPU profiler, write folded stacks
+//   --profile-hz=N        signal-mode sample rate (default 97)
+//   --profile-every=N     N > 0: deterministic count mode, fold every Nth
+//                         dispatch instead of using SIGPROF (CI gates)
+//   --profile-digest=PATH also write the profiler's JSON digest
 struct ObsOptions {
   std::string metrics_path;
   std::string trace_path;
@@ -250,6 +255,10 @@ struct ObsOptions {
   std::string flight_dump_dir;
   long slo_window_us = 10000;
   long flight_capacity = 0;
+  std::string profile_path;
+  std::string profile_digest_path;
+  long profile_hz = 97;
+  long profile_every = 0;
 
   static ObsOptions FromFlags(const Flags& flags) {
     ObsOptions o;
@@ -262,6 +271,10 @@ struct ObsOptions {
     o.flight_dump_dir = flags.Str("flight-dump-dir", "");
     o.slo_window_us = flags.Int("slo-window-us", 10000);
     o.flight_capacity = flags.Int("flight-capacity", 0);
+    o.profile_path = flags.Str("profile", "");
+    o.profile_digest_path = flags.Str("profile-digest", "");
+    o.profile_hz = flags.Int("profile-hz", 97);
+    o.profile_every = flags.Int("profile-every", 0);
     return o;
   }
   bool trace_enabled() const { return !trace_path.empty(); }
@@ -270,7 +283,76 @@ struct ObsOptions {
   bool incidents_enabled() const {
     return !slo.empty() || !flight_dump_dir.empty();
   }
+  bool profile_enabled() const { return !profile_path.empty(); }
   long timeline_interval_ns() const { return timeline_us * 1000; }
+};
+
+// RAII around the CPU profiler for a whole bench run: Start() from the
+// shared flags at construction, Finish() (or destruction) stops, writes the
+// folded export (+ optional digest), prints a one-line summary, and resets
+// the accumulated profile. A default --profile-less run constructs and
+// destroys this for free without ever starting the profiler.
+class ProfileSession {
+ public:
+  explicit ProfileSession(const ObsOptions& o) : opts_(o) {
+    if (!opts_.profile_enabled()) return;
+    prof::Options po;
+    if (opts_.profile_every > 0) {
+      po.mode = prof::Options::Mode::kCount;
+      po.every = static_cast<std::uint64_t>(opts_.profile_every);
+    } else {
+      po.mode = prof::Options::Mode::kSignal;
+      po.hz = static_cast<int>(opts_.profile_hz);
+    }
+    std::string error;
+    if (!prof::Start(po, &error)) {
+      std::fprintf(stderr, "--profile: %s\n", error.c_str());
+      ok_ = false;
+      return;
+    }
+    running_ = true;
+  }
+  ~ProfileSession() { Finish(); }
+
+  ProfileSession(const ProfileSession&) = delete;
+  ProfileSession& operator=(const ProfileSession&) = delete;
+
+  // False when the profiler failed to start or an export failed to write.
+  bool ok() const { return ok_; }
+
+  void Finish() {
+    if (!running_) return;
+    running_ = false;
+    prof::Stop();
+    const prof::Stats stats = prof::GetStats();
+    if (!WriteText(opts_.profile_path, prof::ExportFolded())) ok_ = false;
+    if (!opts_.profile_digest_path.empty() &&
+        !WriteText(opts_.profile_digest_path, prof::ExportDigestJson())) {
+      ok_ = false;
+    }
+    std::printf("[prof] %llu samples (%llu dropped, %llu truncated) -> %s\n",
+                static_cast<unsigned long long>(stats.samples),
+                static_cast<unsigned long long>(stats.dropped),
+                static_cast<unsigned long long>(stats.truncated),
+                opts_.profile_path.c_str());
+    prof::Reset();
+  }
+
+ private:
+  bool WriteText(const std::string& path, const std::string& content) {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write profile: %s\n", path.c_str());
+      return false;
+    }
+    std::fwrite(content.data(), 1, content.size(), f);
+    std::fclose(f);
+    return true;
+  }
+
+  ObsOptions opts_;
+  bool running_ = false;
+  bool ok_ = true;
 };
 
 // Arm the incident engine (detectors + SLOs) from the shared flags. The

@@ -198,6 +198,7 @@ int main(int argc, char** argv) {
   const auto items = static_cast<std::size_t>(flags.Int("items", 40));
   const auto nodes = static_cast<std::size_t>(flags.Int("client-nodes", 8));
   const auto obs_opts = bench::ObsOptions::FromFlags(flags);
+  bench::ProfileSession prof_session(obs_opts);
 
   std::printf("Figure 7: ZooKeeper throughput for basic operations\n");
   std::printf("(ops/sec; %zu ops/process; 8 client nodes)\n", items);

@@ -30,6 +30,7 @@ int main(int argc, char** argv) {
   const auto backends_list = flags.IntList("backends", {2, 4});
   const auto items = static_cast<std::size_t>(flags.Int("items", 30));
   const auto obs_opts = bench::ObsOptions::FromFlags(flags);
+  bench::ProfileSession prof_session(obs_opts);
   std::string registry_json, timeline_json, incidents_json;
 
   const std::vector<Phase> phases = {Phase::kFileCreate, Phase::kFileRemove,

@@ -48,6 +48,7 @@ int main(int argc, char** argv) {
   // --trace records the DUFS-over-Lustre system only (one span per op and
   // per RPC — pair it with --quick to keep the file reviewable).
   const auto obs_opts = bench::ObsOptions::FromFlags(flags);
+  bench::ProfileSession prof_session(obs_opts);
 
   const System systems[] = {
       {"Basic Lustre", BackendKind::kLustre, Target::kBaseline},

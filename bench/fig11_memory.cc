@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
   const double millions = flags.Double("millions", 1.0);
   const long samples = flags.Int("samples", 10);
   const auto obs_opts = bench::ObsOptions::FromFlags(flags);
+  bench::ProfileSession prof_session(obs_opts);
   const std::size_t total =
       static_cast<std::size_t>(millions * 1'000'000.0);
   const std::size_t step = total / static_cast<std::size_t>(samples);

@@ -217,6 +217,7 @@ int main(int argc, char** argv) {
   const bool run_off = mode == "both" || mode == "off";
   DUFS_CHECK(run_on || run_off);
   const auto obs_opts = bench::ObsOptions::FromFlags(flags);
+  bench::ProfileSession prof_session(obs_opts);
 
   const std::size_t max_depth =
       static_cast<std::size_t>(*std::max_element(depths.begin(), depths.end()));

@@ -23,6 +23,7 @@
 
 #include "bench/bench_util.h"
 #include "common/md5.h"
+#include "obs/prof.h"
 #include "core/physical_path.h"
 #include "sim/audit.h"
 #include "sim/task.h"
@@ -95,6 +96,7 @@ struct PhaseResult {
 };
 
 PhaseResult RunChurn(std::uint64_t seed, std::uint64_t budget, long timers) {
+  prof::ProfScope phase_scope("selfbench.churn", prof::FrameKind::kComponent);
   PhaseResult out;
   out.best_seconds = 1e100;
   sim::Simulation sim(seed);
@@ -113,6 +115,7 @@ PhaseResult RunChurn(std::uint64_t seed, std::uint64_t budget, long timers) {
 }
 
 PhaseResult RunCoro(std::uint64_t seed, long procs, long rounds) {
+  prof::ProfScope phase_scope("selfbench.coro", prof::FrameKind::kComponent);
   PhaseResult out;
   sim::Simulation sim(seed);
   {
@@ -133,6 +136,7 @@ PhaseResult RunCoro(std::uint64_t seed, long procs, long rounds) {
 }
 
 PhaseResult RunSpawn(std::uint64_t seed, std::uint64_t spawns) {
+  prof::ProfScope phase_scope("selfbench.spawn", prof::FrameKind::kComponent);
   PhaseResult out;
   sim::Simulation sim(seed);
   const double t0 = WallSeconds();
@@ -165,7 +169,9 @@ int SelfBenchMain(int argc, char** argv) {
       argc, argv,
       "micro_core --selfbench [--seed=N] [--reps=N] [--churn-events=N] "
       "[--churn-timers=N] [--coro-procs=N] [--coro-rounds=N] [--spawns=N] "
-      "[--baseline=PATH] [--metrics-json=PATH] [--audit-check]");
+      "[--baseline=PATH] [--metrics-json=PATH] [--audit-check] "
+      "[--profile=PATH] [--profile-hz=N] [--profile-every=N] "
+      "[--profile-digest=PATH]");
   const auto seed = static_cast<std::uint64_t>(flags.Int("seed", 1));
   const long reps = flags.Int("reps", 3);
   const auto churn_events =
@@ -174,6 +180,10 @@ int SelfBenchMain(int argc, char** argv) {
   const long coro_procs = flags.Int("coro-procs", 256);
   const long coro_rounds = flags.Int("coro-rounds", 2000);
   const auto spawns = static_cast<std::uint64_t>(flags.Int("spawns", 500'000));
+  const bench::ObsOptions obs = bench::ObsOptions::FromFlags(flags);
+  // Constructed before the phases so the profiler covers them; its
+  // destructor (end of main) writes the folded export.
+  bench::ProfileSession prof_session(obs);
 
   sim::audit::Reset();
 
@@ -208,7 +218,6 @@ int SelfBenchMain(int argc, char** argv) {
               static_cast<unsigned long long>(spawn.events),
               spawn.best_seconds * 1e3, spawn_ps);
 
-  const bench::ObsOptions obs = bench::ObsOptions::FromFlags(flags);
   if (obs.baseline_enabled()) {
     bench::BaselineWriter baseline("micro_core");
     baseline.AddHigherBetter("engine.timer_churn.events_per_s", churn_eps);

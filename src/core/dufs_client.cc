@@ -59,6 +59,7 @@ class OpScope {
         name_(name),
         start_(client.zk_.sim().now()),
         hits_before_(client.c_cache_hits_.value()),
+        prof_node_(client.obs_.prof_name, prof::FrameKind::kNode),
         span_(obs::Span::Root(client.obs_, name, "op")) {
     if (span_.active()) span_.ArgStr("path", path);
   }
@@ -95,6 +96,9 @@ class OpScope {
   const char* name_;
   sim::SimTime start_;
   std::uint64_t hits_before_;
+  // Node frame below the op-class frame (the root span): `client0;create`.
+  // Declared before span_ so the push order gives node -> op on the stack.
+  prof::ProfScope prof_node_;
   obs::Span span_;
   bool finished_ = false;
 };

@@ -11,6 +11,7 @@
 #include "obs/flight.h"
 #include "obs/incident.h"
 #include "obs/metrics.h"
+#include "obs/prof.h"
 #include "obs/trace.h"
 
 namespace dufs::obs {
@@ -24,6 +25,9 @@ struct NodeObs {
   // Anomaly-detector hooks; disarmed engines ignore every call, so holders
   // may invoke hooks unconditionally after a null check.
   Incidents* incidents = nullptr;
+  // Interned node name for profiler frames (stable storage — safe inside
+  // samples); "" for a default-constructed bundle.
+  const char* prof_name = "";
 
   Counter counter(const std::string& key) const {
     return metrics != nullptr ? metrics->counter(key) : Counter();
@@ -59,7 +63,7 @@ class Observability {
   // that share a node name share a scope and a track.
   NodeObs Node(const std::string& name) {
     return NodeObs{&metrics_.scope(name), &tracer_, tracer_.Track(name),
-                   &incidents_};
+                   &incidents_, prof::InternName(name)};
   }
 
  private:

@@ -130,10 +130,16 @@ Span::Span(const NodeObs& obs, const char* name, const char* cat)
     : Span(obs.tracer, obs.track, name, cat) {}
 
 Span Span::Root(const NodeObs& obs, const char* name, const char* cat) {
-  if (obs.tracer == nullptr || !obs.tracer->recording()) return Span();
-  Span s(obs.tracer, obs.track, name, cat, obs.tracer->NewTrace());
-  s.root_ = true;
-  s.Arm();
+  // Not recording: the span still contributes its profiler frame (the ctor
+  // pushes it before the recording check), but must not burn a trace id.
+  const bool recording =
+      obs.tracer != nullptr && obs.tracer->recording();
+  Span s(obs.tracer, obs.track, name, cat,
+         recording ? obs.tracer->NewTrace() : 0);
+  if (s.active()) {
+    s.root_ = true;
+    s.Arm();
+  }
   return s;
 }
 

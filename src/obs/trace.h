@@ -34,10 +34,12 @@
 #pragma once
 
 #include <cstdint>
+#include <cstring>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "obs/prof.h"
 #include "sim/simulation.h"
 #include "sim/time.h"
 
@@ -171,6 +173,13 @@ class Span {
   // Explicit-trace span (server side: the id arrived over the wire).
   Span(Tracer* tracer, TrackId track, const char* name, const char* cat,
        TraceId trace) {
+    // Every span doubles as a profiler frame (op-class for client ops,
+    // component otherwise) — so the existing instrumentation points feed the
+    // CPU profile even when the tracer itself is not recording. One branch
+    // each when profiling / tracing is off.
+    prof_ = prof::PushFrame(name, std::strcmp(cat, "op") == 0
+                                      ? prof::FrameKind::kOpClass
+                                      : prof::FrameKind::kComponent);
     if (tracer == nullptr || !tracer->recording()) return;
     tracer_ = tracer;
     track_ = track;
@@ -202,6 +211,8 @@ class Span {
       root_ = other.root_;
       wait_ns_ = other.wait_ns_;
       args_ = std::move(other.args_);
+      prof_ = other.prof_;
+      other.prof_ = prof::FrameToken{};
     }
     return *this;
   }
@@ -240,6 +251,7 @@ class Span {
   // id (if still its own) so unrelated background work is not attributed
   // to a finished operation.
   void End() {
+    prof::PopFrame(prof_);  // the frame may outlive the tracer's interest
     if (tracer_ == nullptr) return;
     Emit();
   }
@@ -256,6 +268,7 @@ class Span {
   bool root_ = false;
   std::int64_t wait_ns_ = -1;
   std::vector<Tracer::Arg> args_;
+  prof::FrameToken prof_;
 };
 
 }  // namespace dufs::obs

@@ -28,6 +28,8 @@
 #include <cstdint>
 #include <new>
 
+#include "obs/prof.h"
+
 #if defined(__SANITIZE_ADDRESS__)
 #define DUFS_ARENA_PASSTHROUGH 1
 #elif defined(__has_feature)
@@ -152,6 +154,7 @@ class Arena {
     if (static_cast<std::size_t>(bump_end_ - bump_) < cell_bytes) {
       // Start a fresh chunk; the tail remainder of the old one (< 2KB out of
       // 64KB) is abandoned, not leaked — its chunk stays on the list.
+      prof::ProfScope arena_scope("engine.arena", prof::FrameKind::kEnginePhase);
       auto* raw = static_cast<char*>(::operator new(kChunkBytes));
       auto* chunk = reinterpret_cast<Chunk*>(raw);
       chunk->next = chunks_;

@@ -19,15 +19,23 @@ template <typename T>
 struct FutureState {
   Simulation* sim;
   std::optional<T> value;
-  std::coroutine_handle<> waiter;
+  // Captured at await_suspend (Set runs on the fulfiller's stack, which is
+  // the wrong profiler context for the waiter).
+  SuspendedHandle waiter;
 
   explicit FutureState(Simulation* s) : sim(s) {}
+
+  ~FutureState() {
+    // A waiter abandoned without a Set still owns its captured context (the
+    // frame itself is reclaimed by the detached registry at Shutdown).
+    prof::FreeSnapshot(waiter.ctx);
+  }
 
   bool Set(T v) {
     if (value.has_value()) return false;  // first writer wins
     value.emplace(std::move(v));
-    if (waiter) {
-      sim->ScheduleHandle(0, std::exchange(waiter, nullptr));
+    if (waiter.h) {
+      sim->ScheduleHandle(0, std::exchange(waiter, SuspendedHandle{}));
     }
     return true;
   }
@@ -48,8 +56,8 @@ class Future {
       std::shared_ptr<internal::FutureState<T>> st;
       bool await_ready() const { return st->value.has_value(); }
       void await_suspend(std::coroutine_handle<> h) {
-        DUFS_CHECK(st->waiter == nullptr);  // single waiter
-        st->waiter = h;
+        DUFS_CHECK(st->waiter.h == nullptr);  // single waiter
+        st->waiter = CaptureSuspended(h);
       }
       T await_resume() {
         DUFS_CHECK(st->value.has_value());

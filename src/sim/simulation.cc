@@ -151,6 +151,7 @@ EventNode* Simulation::PopNextBefore(SimTime until) {
       EventList list = upper_[level][slot];
       upper_[level][slot] = EventList{};
       occupied_[level] &= ~(std::uint64_t{1} << slot);
+      prof::ProfScope wheel_scope("engine.wheel", prof::FrameKind::kEnginePhase);
       for (EventNode* n = list.head; n != nullptr;) {
         EventNode* next = n->next;
         PlaceInWheel(n);
@@ -165,6 +166,7 @@ EventNode* Simulation::PopNextBefore(SimTime until) {
     const SimTime first = overflow_.begin()->first;
     if (first > until) return nullptr;  // skip the reload near a horizon
     cursor_ = first;
+    prof::ProfScope wheel_scope("engine.wheel", prof::FrameKind::kEnginePhase);
     while (!overflow_.empty() &&
            ((static_cast<std::uint64_t>(overflow_.begin()->first) ^
              static_cast<std::uint64_t>(cursor_)) >>
@@ -186,7 +188,18 @@ void Simulation::ScheduleHandle(Duration delay, std::coroutine_handle<> h) {
   // Double-resume and resume-after-completion are caught here, at schedule
   // time, before the corrupted resume would actually execute.
   audit::HandleScheduled(h.address());
-  InsertNode(NewNode(now_ + delay, h.address()));
+  EventNode* n = NewNode(now_ + delay, h.address());
+  n->u.prof_ctx = prof::CaptureContext();
+  InsertNode(n);
+}
+
+void Simulation::ScheduleHandle(Duration delay, SuspendedHandle s) {
+  DUFS_CHECK(delay >= 0);
+  DUFS_CHECK(s.h != nullptr);
+  audit::HandleScheduled(s.h.address());
+  EventNode* n = NewNode(now_ + delay, s.h.address());
+  n->u.prof_ctx = s.ctx;
+  InsertNode(n);
 }
 
 std::uint64_t Simulation::Run(SimTime until) {
@@ -202,15 +215,26 @@ std::uint64_t Simulation::Run(SimTime until) {
     ++events_processed_;
     if (n->handle != nullptr) {
       void* frame = n->handle;
+      prof::Snapshot* prof_ctx = n->u.prof_ctx;
       FreeNode(n);  // recycle before the resume schedules its next event
       audit::HandleResumed(frame);
-      std::coroutine_handle<>::from_address(frame).resume();
+      if (prof_ctx == nullptr && !prof::internal::Active()) {
+        std::coroutine_handle<>::from_address(frame).resume();
+      } else {
+        prof::ResumeGuard prof_guard(prof_ctx, /*callback=*/false);
+        std::coroutine_handle<>::from_address(frame).resume();
+      }
     } else {
       struct NodeGuard {
         EventNode* n;
         ~NodeGuard() { FreeNode(n); }
       } guard{n};
-      n->fn.InvokeAndDestroy();
+      if (!prof::internal::Active()) {
+        n->u.fn.InvokeAndDestroy();
+      } else {
+        prof::ResumeGuard prof_guard(nullptr, /*callback=*/true);
+        n->u.fn.InvokeAndDestroy();
+      }
     }
   }
   if (!stop_requested_ && now_ < until && until != kSimTimeMax) {
@@ -224,7 +248,11 @@ void Simulation::DropAll() {
     for (EventNode* n = list.head; n != nullptr;) {
       EventNode* next = n->next;
       audit::EventDroppedAtShutdown(n->handle);
-      n->fn.DestroyOnly();
+      if (n->handle == nullptr) {
+        n->u.fn.DestroyOnly();
+      } else {
+        prof::FreeSnapshot(n->u.prof_ctx);
+      }
       FreeNode(n);
       n = next;
     }

@@ -35,11 +35,13 @@
 #include <coroutine>
 #include <cstdint>
 #include <map>  // dufs-lint: allow(sim-hot-alloc) cold-path overflow/early levels
+#include <new>
 #include <type_traits>
 #include <utility>
 
 #include "common/log.h"
 #include "common/rng.h"
+#include "obs/prof.h"
 #include "sim/arena.h"
 #include "sim/time.h"
 
@@ -118,11 +120,18 @@ class InlineFn {
 
 // One scheduled event: a coroutine resume (handle != nullptr) or a callback.
 // Exactly one slab-arena cell (64 bytes); `next` chains the FIFO slot list.
+// The payload is a union — a resume never carries a callable, so its slot
+// holds the profiler context captured at schedule time instead (nullptr
+// while profiling is off). NewNode activates the right member.
 struct EventNode {
   SimTime at;
   EventNode* next;
   void* handle;
-  InlineFn fn;
+  union Payload {
+    Payload() {}  // lifetime managed by NewNode / dispatch / DropAll
+    InlineFn fn;            // handle == nullptr
+    prof::Snapshot* prof_ctx;  // handle != nullptr
+  } u;
 };
 static_assert(sizeof(EventNode) == 64);
 
@@ -135,6 +144,22 @@ struct DetachedNode {
 };
 
 }  // namespace internal
+
+// A suspended coroutine bundled with the profiler context captured at
+// await_suspend time. Waiter lists (sync.h Resource/Mailbox/Barrier,
+// future.h) store these instead of bare handles: their wake-up
+// (ReleaseNow/Send/Set) runs on the *waker's* stack, so scheduling there
+// must carry the waiter's own captured context, not the current one. The
+// holder owns `ctx` until the handle is scheduled (prof::FreeSnapshot it if
+// the waiter is abandoned).
+struct SuspendedHandle {
+  std::coroutine_handle<> h;
+  prof::Snapshot* ctx = nullptr;
+};
+
+inline SuspendedHandle CaptureSuspended(std::coroutine_handle<> h) {
+  return SuspendedHandle{h, prof::CaptureContext()};
+}
 
 class Simulation {
  public:
@@ -152,13 +177,18 @@ class Simulation {
   static Simulation* Current();
 
   // --- scheduling ------------------------------------------------------
+  // Captures the current profiler context for the resume (await_suspend runs
+  // on the suspending coroutine's stack, so "current" is correct here).
   void ScheduleHandle(Duration delay, std::coroutine_handle<> h);
+  // Waiter wake-up path: the context was captured at suspension and rides in
+  // `s` (ownership transfers to the event node).
+  void ScheduleHandle(Duration delay, SuspendedHandle s);
 
   template <typename F>
   void ScheduleFn(Duration delay, F&& fn) {
     DUFS_CHECK(delay >= 0);
     internal::EventNode* n = NewNode(now_ + delay, nullptr);
-    n->fn.Set(std::forward<F>(fn));
+    n->u.fn.Set(std::forward<F>(fn));
     InsertNode(n);
   }
 
@@ -230,7 +260,15 @@ class Simulation {
   internal::EventNode* NewNode(SimTime at, void* handle) {
     auto* n = static_cast<internal::EventNode*>(
         Arena::ThreadLocal().Allocate(sizeof(internal::EventNode)));
-    return new (n) internal::EventNode{at, nullptr, handle, {}};
+    n->at = at;
+    n->next = nullptr;
+    n->handle = handle;
+    if (handle == nullptr) {
+      new (&n->u.fn) internal::InlineFn();
+    } else {
+      n->u.prof_ctx = nullptr;
+    }
+    return n;
   }
   static void FreeNode(internal::EventNode* n) {
     Arena::ThreadLocal().Free(n, sizeof(internal::EventNode));

@@ -26,7 +26,15 @@ class Resource {
     Simulation* sim = nullptr;
     std::size_t capacity = 0;
     std::size_t in_use = 0;
-    SmallQueue<std::coroutine_handle<>, 4> waiters;
+    SmallQueue<SuspendedHandle, 4> waiters;
+
+    ~State() {
+      // Waiters abandoned at teardown own their captured profiler context.
+      while (!waiters.empty()) {
+        prof::FreeSnapshot(waiters.front().ctx);
+        waiters.pop_front();
+      }
+    }
   };
 
  public:
@@ -59,9 +67,9 @@ class Resource {
       DUFS_CHECK(st->in_use > 0);
       if (!st->waiters.empty()) {
         // Hand the permit directly to the next waiter (in_use unchanged).
-        auto h = st->waiters.front();
+        SuspendedHandle w = st->waiters.front();
         st->waiters.pop_front();
-        st->sim->ScheduleHandle(0, h);
+        st->sim->ScheduleHandle(0, w);
       } else {
         --st->in_use;
       }
@@ -82,7 +90,7 @@ class Resource {
       }
       void await_suspend(std::coroutine_handle<> h) {
         suspended = true;
-        st->waiters.push_back(h);
+        st->waiters.push_back(CaptureSuspended(h));
       }
       Guard await_resume() {
         // Ready path takes a fresh permit; the woken path was handed one by
@@ -107,8 +115,15 @@ class Mailbox {
   struct State {
     Simulation* sim = nullptr;
     SmallQueue<T, 8> items;
-    SmallQueue<std::coroutine_handle<>, 4> waiters;
+    SmallQueue<SuspendedHandle, 4> waiters;
     bool closed = false;
+
+    ~State() {
+      while (!waiters.empty()) {
+        prof::FreeSnapshot(waiters.front().ctx);
+        waiters.pop_front();
+      }
+    }
   };
 
  public:
@@ -126,9 +141,9 @@ class Mailbox {
   void Close() {
     st_->closed = true;
     while (!st_->waiters.empty()) {
-      auto h = st_->waiters.front();
+      SuspendedHandle w = st_->waiters.front();
       st_->waiters.pop_front();
-      st_->sim->ScheduleHandle(0, h);
+      st_->sim->ScheduleHandle(0, w);
     }
   }
 
@@ -137,7 +152,7 @@ class Mailbox {
       std::shared_ptr<State> st;
       bool await_ready() const { return !st->items.empty() || st->closed; }
       void await_suspend(std::coroutine_handle<> h) {
-        st->waiters.push_back(h);
+        st->waiters.push_back(CaptureSuspended(h));
       }
       std::optional<T> await_resume() {
         if (st->items.empty()) return std::nullopt;  // closed
@@ -155,9 +170,9 @@ class Mailbox {
  private:
   void WakeOne() {
     if (!st_->waiters.empty()) {
-      auto h = st_->waiters.front();
+      SuspendedHandle w = st_->waiters.front();
       st_->waiters.pop_front();
-      st_->sim->ScheduleHandle(0, h);
+      st_->sim->ScheduleHandle(0, w);
     }
   }
 
@@ -170,7 +185,14 @@ class Barrier {
     std::size_t parties = 0;
     std::size_t arrived = 0;
     std::uint64_t generation = 0;
-    SmallQueue<std::coroutine_handle<>, 8> waiters;
+    SmallQueue<SuspendedHandle, 8> waiters;
+
+    ~State() {
+      while (!waiters.empty()) {
+        prof::FreeSnapshot(waiters.front().ctx);
+        waiters.pop_front();
+      }
+    }
   };
 
  public:
@@ -199,7 +221,7 @@ class Barrier {
       }
       void await_suspend(std::coroutine_handle<> h) {
         ++st->arrived;
-        st->waiters.push_back(h);
+        st->waiters.push_back(CaptureSuspended(h));
       }
       void await_resume() const noexcept {}
     };

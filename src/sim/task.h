@@ -218,7 +218,15 @@ inline void Simulation::Spawn(Task<void> task) {
   h.promise().detached_node.frame = h.address();
   RegisterDetached(&h.promise().detached_node);
   CurrentSimulationScope scope(this);
-  h.resume();  // run until first suspension (or completion, which frees it)
+  // Run until first suspension (or completion, which frees the frame). With
+  // profiling on, SpawnGuard rewinds any frames the body leaves pushed at
+  // its first suspension and runs the per-dispatch sampling tick.
+  if (!prof::internal::Active()) {
+    h.resume();
+  } else {
+    prof::SpawnGuard prof_guard;
+    h.resume();
+  }
 }
 
 // Test/bench helper: spawn `task`, run the simulation until it completes

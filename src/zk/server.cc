@@ -305,6 +305,9 @@ sim::Task<net::RpcResult> ZkServer::HandleRequest(net::NodeId from,
     if (obs_.incidents != nullptr) {
       obs_.incidents->RecordQueueDepth(obs_.track, write_depth);
     }
+    // Server-side work runs on this node's coroutine stack, not the
+    // client's: root the profiler attribution at the node frame.
+    prof::ProfScope node_scope(obs_.prof_name, prof::FrameKind::kNode);
     obs::Span span(obs_.tracer, obs_.track, "zk-write", "zk", req->trace);
     // Compound writes register watches *here* on the session server after
     // the txn applies (the replicated state machine stays watch-free); the
@@ -339,6 +342,7 @@ sim::Task<net::RpcResult> ZkServer::HandleRequest(net::NodeId from,
   if (obs_.incidents != nullptr) {
     obs_.incidents->RecordQueueDepth(obs_.track, read_depth);
   }
+  prof::ProfScope node_scope(obs_.prof_name, prof::FrameKind::kNode);
   obs::Span span(obs_.tracer, obs_.track, "zk-read", "zk", req->trace);
   {
     auto guard = co_await read_pipeline_->Acquire();
@@ -902,6 +906,8 @@ sim::Task<void> ZkServer::JournalLoop() {
   for (;;) {
     auto first = co_await journal_mb_->Recv();
     if (!first.has_value()) co_return;
+    prof::ProfScope node_scope(obs_.prof_name, prof::FrameKind::kNode);
+    prof::ProfScope fsync_scope("fsync-batch", prof::FrameKind::kComponent);
     std::vector<JournalEntry> batch;
     batch.push_back(std::move(*first));
     while (journal_mb_->size() > 0 &&

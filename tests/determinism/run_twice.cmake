@@ -27,11 +27,17 @@ else()
       --timeline --slo=create:2ms:0.01)
 endif()
 
+# --profile rides along in wall-clock signal mode to prove profiling does
+# not perturb the simulation (the byte-compared exports must stay
+# identical). The folded profiles themselves are wall-clock sampled, hence
+# nondeterministic BY DESIGN, and are deliberately NOT byte-compared — see
+# the export-determinism table in DESIGN.md §14.
 foreach(run 1 2)
   execute_process(
     COMMAND "${BENCH}" ${ARGS}
       --metrics-json=${WORKDIR}/metrics_${run}.json
       --trace=${WORKDIR}/trace_${run}.json
+      --profile=${WORKDIR}/prof_${run}.folded --profile-hz=997
     OUTPUT_QUIET
     RESULT_VARIABLE rc)
   if(NOT rc EQUAL 0)

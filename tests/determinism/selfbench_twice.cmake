@@ -16,6 +16,10 @@ file(MAKE_DIRECTORY "${WORKDIR}")
 
 # Small sizes keep the gate fast; one rep is enough for the deterministic
 # fields (reps only tighten the wall-clock timings, which are not compared).
+# --profile-every runs the CPU profiler in deterministic count mode (fold
+# every Nth dispatch, no signals), so its folded export is byte-compared
+# too: sample counts follow the event order, and the event order must not
+# drift.
 set(ARGS --selfbench --seed=7 --reps=1 --churn-events=100000
     --churn-timers=256 --coro-procs=64 --coro-rounds=200 --spawns=20000)
 
@@ -23,6 +27,7 @@ foreach(run 1 2)
   execute_process(
     COMMAND "${BENCH}" ${ARGS}
       --metrics-json=${WORKDIR}/selfbench_${run}.json
+      --profile=${WORKDIR}/selfbench_${run}.folded --profile-every=64
     OUTPUT_QUIET
     RESULT_VARIABLE rc)
   if(NOT rc EQUAL 0)
@@ -38,4 +43,15 @@ if(NOT diff EQUAL 0)
   message(FATAL_ERROR
     "self-bench sim metrics differ between two runs with --seed=7: the "
     "engine scheduler is no longer deterministic")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+    "${WORKDIR}/selfbench_1.folded" "${WORKDIR}/selfbench_2.folded"
+  RESULT_VARIABLE diff)
+if(NOT diff EQUAL 0)
+  message(FATAL_ERROR
+    "count-mode CPU profile differs between two runs with --seed=7: either "
+    "the event order drifted or the profiler's context stack is "
+    "nondeterministic")
 endif()

@@ -32,10 +32,14 @@ foreach(run 1 2)
   else()
     set(dumpdir "${WORKDIR}/run1")
   endif()
+  # Signal-mode --profile rides along to prove wall-clock sampling does not
+  # perturb the incident pipeline; prof.folded is nondeterministic by
+  # design and excluded from the byte-compare below (DESIGN.md §14).
   execute_process(
     COMMAND "${BENCH}" ${ARGS}
       --flight-dump-dir=${dumpdir}
       --metrics-json=${WORKDIR}/run${run}/metrics.json
+      --profile=${WORKDIR}/run${run}/prof.folded --profile-hz=997
     OUTPUT_QUIET
     RESULT_VARIABLE rc)
   if(NOT rc EQUAL 0)

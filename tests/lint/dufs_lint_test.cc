@@ -395,6 +395,33 @@ TEST(LintObsKeyTest, ForwardedSpanNameParamIsTolerated) {
   EXPECT_TRUE(f.empty());
 }
 
+TEST(LintObsKeyTest, RuntimeProfScopeNameFires) {
+  // ProfScope names are held by pointer inside profiler samples: runtime
+  // assembly is both unenumerable and a dangling-pointer hazard.
+  const auto f = Lint(
+      "src/x.cc",
+      "prof::ProfScope s((\"node-\" + id).c_str(), "
+      "prof::FrameKind::kNode);\n");
+  ASSERT_GE(f.size(), 1u);
+  EXPECT_EQ(f[0].rule, "obs-key-literal");
+}
+
+TEST(LintObsKeyTest, LiteralAndInternedProfScopeNamesAreClean) {
+  const auto f = Lint(
+      "src/x.cc",
+      "prof::ProfScope a(\"engine.wheel\", prof::FrameKind::kEnginePhase);\n"
+      "prof::ProfScope b(obs_.prof_name, prof::FrameKind::kNode);\n");
+  EXPECT_TRUE(f.empty());
+}
+
+TEST(LintObsNameTest, BadProfScopeNameFiresSpanNameRule) {
+  const auto f = Lint(
+      "src/x.cc",
+      "prof::ProfScope s(\"Engine Wheel\", prof::FrameKind::kEnginePhase);\n");
+  ASSERT_GE(f.size(), 1u);
+  EXPECT_EQ(f[0].rule, "trace-span-name");
+}
+
 // --- sim-hot-alloc --------------------------------------------------------
 
 TEST(LintHotAllocTest, StdFunctionInSimFires) {

@@ -236,5 +236,26 @@ TEST(CompareTest, MissingMetricRegressesNewMetricInforms) {
   EXPECT_TRUE(informed);  // additions inform, never fail
 }
 
+TEST(CompareTest, MarkdownCarriesVerdictAndAllLines) {
+  const JsonValue nw = Parse(R"({"metrics":{
+    "create.ops_per_s":{"value":900,"better":"higher"},
+    "readdir.us":{"value":50,"better":"lower"}}})");
+  CompareResult r;
+  std::string error;
+  ASSERT_TRUE(Compare(Parse(kOldBase), nw, 0.05, &r, &error)) << error;
+  // The $GITHUB_STEP_SUMMARY rendering: FAIL verdict in the header, every
+  // per-metric line inside the fenced block.
+  const std::string md = CompareToMarkdown(r, 0.05);
+  EXPECT_NE(md.find("### perf-compare gate: FAIL (1 regressions"),
+            std::string::npos);
+  EXPECT_NE(md.find("```text\n"), std::string::npos);
+  for (const auto& line : r.lines) {
+    EXPECT_NE(md.find(line), std::string::npos) << line;
+  }
+  CompareResult clean;
+  ASSERT_TRUE(Compare(Parse(kOldBase), Parse(kOldBase), 0.05, &clean, &error));
+  EXPECT_NE(CompareToMarkdown(clean, 0.05).find("PASS"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace dufs::tracestats

@@ -316,8 +316,11 @@ const std::vector<RuleDoc>& RuleDocs() {
        "c_str() — makes the key set data-dependent, so neither the linter "
        "nor a reader of the call site can enumerate it, and one stray value "
        "explodes export cardinality. Pass a fixed literal to counter()/"
-       "gauge()/histogram()/timer() and to span constructors; put the "
-       "variable part in a span arg or a per-node Scope instead. "
+       "gauge()/histogram()/timer(), to span constructors, and to "
+       "prof::ProfScope frames (whose names additionally feed the "
+       "async-signal-safe profiler, which stores the pointer — a temporary "
+       "from c_str() would dangle inside a sample); put the variable part "
+       "in a span arg, a per-node Scope, or prof::InternName(). "
        "(src/obs/ itself is exempt: its forwarding shims take the key as a "
        "parameter by design.)",
        "obs_.counter(\"op.\" + phase + \"_count\").Inc();",
@@ -648,7 +651,8 @@ class FileLint {
       if (t.text == "counter" || t.text == "timer" || t.text == "gauge" ||
           t.text == "histogram") {
         if (IsPunct(toks[i + 1], "(")) open = i + 1;
-      } else if (t.text == "Span" || t.text == "Root") {
+      } else if (t.text == "Span" || t.text == "Root" ||
+                 t.text == "ProfScope") {
         if (t.text == "Root" &&
             !(i >= 2 && IsPunct(toks[i - 1], "::") && IsId(toks[i - 2], "Span"))) {
           continue;
@@ -732,7 +736,10 @@ class FileLint {
                   "()` must be a single string literal: runtime-built keys "
                   "make the export key set data-dependent");
         }
-      } else if (t.text == "Span" || t.text == "Root") {
+      } else if (t.text == "Span" || t.text == "Root" ||
+                 t.text == "ProfScope") {
+        // ProfScope frame names are held by pointer inside profiler samples,
+        // so a runtime-assembled name is not just unenumerable — it dangles.
         if (t.text == "Root" &&
             !(i >= 2 && IsPunct(toks[i - 1], "::") &&
               IsId(toks[i - 2], "Span"))) {

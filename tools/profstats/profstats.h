@@ -1,0 +1,109 @@
+// Folded-stack profile analytics for the prof layer's exports (DESIGN.md
+// §14): aggregation (top-N self/total), profile-to-profile diffs, and the
+// share-drift comparison used by the CI cpu-profile gate.
+//
+// Input format is flamegraph.pl's folded text — one `a;b;c N` line per
+// distinct stack, frames joined by ';', sample count last. Everything here
+// is deterministic: sorted maps, integer sample counts, fixed output
+// ordering — identical inputs produce byte-identical reports.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dufs::profstats {
+
+// One distinct stack (root first) and its sample count.
+struct Stack {
+  std::vector<std::string> frames;
+  std::uint64_t count = 0;
+};
+
+struct Profile {
+  std::vector<Stack> stacks;  // file order
+  std::uint64_t total = 0;    // sum of counts
+};
+
+bool ReadFile(const std::string& path, std::string* out, std::string* error);
+bool ParseFolded(const std::string& text, Profile* out, std::string* error);
+
+// Per-frame rollup. `self` counts stacks where the frame is the leaf;
+// `total` counts every stack the frame appears on (once per stack, even if
+// the name repeats along the path).
+struct FrameStats {
+  std::string name;
+  std::uint64_t self = 0;
+  std::uint64_t total = 0;
+};
+
+struct Aggregate {
+  std::uint64_t total_samples = 0;
+  std::vector<FrameStats> frames;  // sorted by name
+};
+
+void AggregateProfile(const Profile& p, Aggregate* out);
+
+// Top-K tables by self and by total (K <= 0 means all frames).
+std::string ReportText(const Aggregate& a, int top_k);
+std::string ReportJson(const Aggregate& a, int top_k);
+
+// --diff: where did the CPU move? Shares are self-samples / total-samples,
+// so two profiles of different lengths compare cleanly.
+struct DiffRow {
+  std::string name;
+  double old_share = 0.0;  // 0..1; 0 when the frame is absent on that side
+  double new_share = 0.0;
+  double delta = 0.0;  // new_share - old_share
+};
+
+struct DiffResult {
+  std::uint64_t old_total = 0;
+  std::uint64_t new_total = 0;
+  std::vector<DiffRow> rows;  // by |delta| descending, then name
+};
+
+void Diff(const Aggregate& old_a, const Aggregate& new_a, DiffResult* out);
+std::string DiffToText(const DiffResult& d, int top_k);
+
+// --compare: the regression gate. Per-frame better-direction, like the
+// tracestats baseline gate: frames that are pure overhead (engine.*,
+// unattributed) only regress when their self-share *grows* past the
+// tolerance; workload frames regress on drift in either direction (the
+// count-mode profile is deterministic, so drift means the CPU distribution
+// actually changed). Frames under `min_share` on both sides are noise and
+// reported as "ok" regardless.
+struct CompareOptions {
+  double tolerance = 0.02;   // allowed |share drift|, absolute (0.02 = 2pts)
+  double min_share = 0.005;  // ignore frames below this share on both sides
+};
+
+// "lower" for overhead frames (growth is a regression), "stable" otherwise
+// (any drift past tolerance is one).
+const char* FrameDirection(const std::string& name);
+
+struct CompareRow {
+  std::string name;
+  std::string direction;  // FrameDirection(name)
+  double old_share = 0.0;
+  double new_share = 0.0;
+  double delta = 0.0;
+  bool regressed = false;
+};
+
+struct CompareResult {
+  bool ok = true;
+  int regressions = 0;
+  std::vector<CompareRow> rows;  // by |delta| descending, then name
+};
+
+void CompareProfiles(const Aggregate& old_a, const Aggregate& new_a,
+                     const CompareOptions& opts, CompareResult* out);
+
+std::string CompareToText(const CompareResult& r, const CompareOptions& opts);
+std::string CompareToJson(const CompareResult& r, const CompareOptions& opts);
+// GitHub-flavored markdown table, appended to $GITHUB_STEP_SUMMARY by main.
+std::string CompareToMarkdown(const CompareResult& r,
+                              const CompareOptions& opts, int top_k);
+
+}  // namespace dufs::profstats

@@ -651,6 +651,25 @@ std::string CompareToText(const CompareResult& r, double tol) {
   return out;
 }
 
+std::string CompareToMarkdown(const CompareResult& r, double tol) {
+  std::string out;
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "### perf-compare gate: %s (%d regressions, tolerance "
+                "%.1f%%)\n\n",
+                r.ok ? "PASS" : "FAIL", r.regressions, 100.0 * tol);
+  out += buf;
+  // The lines are pre-formatted fixed-width text; a fenced block keeps the
+  // columns aligned in the rendered summary.
+  out += "```text\n";
+  for (const std::string& line : r.lines) {
+    out += line;
+    out += '\n';
+  }
+  out += "```\n";
+  return out;
+}
+
 std::string CompareToJson(const CompareResult& r, double tol) {
   std::string out = "{\"ok\":";
   out += r.ok ? "true" : "false";

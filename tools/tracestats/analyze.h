@@ -138,5 +138,9 @@ bool Compare(const JsonValue& old_base, const JsonValue& new_base, double tol,
 
 std::string CompareToText(const CompareResult& r, double tol);
 std::string CompareToJson(const CompareResult& r, double tol);
+// GitHub-flavored markdown (PASS/FAIL header + the per-metric lines in a
+// fenced block); tracestats appends it to $GITHUB_STEP_SUMMARY in compare
+// mode so the perf gate's verdict shows on the workflow run page.
+std::string CompareToMarkdown(const CompareResult& r, double tol);
 
 }  // namespace dufs::tracestats

@@ -78,6 +78,17 @@ bool WriteOutput(const std::string& path, const std::string& content) {
   return true;
 }
 
+// CI visibility: surface the gate verdict on the workflow run page.
+void AppendStepSummary(const std::string& markdown) {
+  const char* path = std::getenv("GITHUB_STEP_SUMMARY");
+  if (path == nullptr || path[0] == '\0') return;
+  std::FILE* f = std::fopen(path, "a");
+  if (f == nullptr) return;
+  std::fwrite(markdown.data(), 1, markdown.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -147,6 +158,7 @@ int main(int argc, char** argv) {
         json_out ? dufs::tracestats::CompareToJson(result, tolerance)
                  : dufs::tracestats::CompareToText(result, tolerance);
     if (!WriteOutput(out_path, report)) return 2;
+    AppendStepSummary(dufs::tracestats::CompareToMarkdown(result, tolerance));
     return result.ok ? 0 : 1;
   }
 
